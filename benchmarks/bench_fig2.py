@@ -1,0 +1,30 @@
+"""Figure 2: ORAM access rate over time across benchmark inputs.
+
+Regenerates the paper's motivation plot: average instructions between two
+ORAM accesses, in instruction windows, for perlbench (diffmail/splitmail)
+and astar (rivers/biglakes) on a 1 MB LLC.  The paper's shapes: perlbench
+accesses ORAM ~80x more frequently on one input than the other; astar is
+steady on one input and drifts dramatically on the other.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import run_figure2
+
+
+def test_bench_figure2_input_sensitivity(benchmark, sim):
+    result = benchmark.pedantic(
+        run_figure2, args=(sim,), kwargs={"n_windows": 50}, rounds=1, iterations=1
+    )
+    perl_ratio = result.input_sensitivity("perlbench")
+    astar_drift = result.drift("astar/biglakes")
+    rivers_drift = result.drift("astar/rivers")
+    body = result.render() + (
+        f"\n\npaper shape checks:"
+        f"\n  perlbench input sensitivity: {perl_ratio:.0f}x (paper: ~80x)"
+        f"\n  astar/biglakes within-run drift: {astar_drift:.1f}x "
+        f"(paper: 'changes dramatically')"
+        f"\n  astar/rivers within-run drift: {rivers_drift:.1f}x (paper: steady)"
+    )
+    emit("Figure 2: ORAM access rate across inputs (1 MB LLC)", body)
+    assert perl_ratio > 20
+    assert astar_drift > rivers_drift

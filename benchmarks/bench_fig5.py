@@ -1,0 +1,29 @@
+"""Figure 5: power/performance vs static ORAM rate for mcf and h264ref.
+
+Regenerates the sweep that picks R's extreme values (Section 9.2): rates
+below ~200 destabilize the memory-bound benchmark (mcf) as the rate goes
+underset; rates much above ~30000 drop the compute-bound benchmark's
+(h264ref) power below base_dram because the processor idles waiting for
+ORAM.  Hence R spans 256..32768.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import run_figure5
+
+
+def test_bench_figure5_rate_sweep(benchmark, sim):
+    result = benchmark.pedantic(run_figure5, args=(sim,), rounds=1, iterations=1)
+    crossover = result.power_crossover_rate("h264ref")
+    body = result.render() + (
+        f"\n\npaper shape checks:"
+        f"\n  h264ref power drops below base_dram at rate ~{crossover} "
+        f"(paper: >30000)"
+        f"\n  mcf perf overhead at fastest vs slowest swept rate: "
+        f"{result.perf_overhead['mcf'][0]:.1f}x vs "
+        f"{result.perf_overhead['mcf'][-1]:.1f}x"
+    )
+    emit("Figure 5: static rate sweep (mcf memory-bound, h264ref compute-bound)", body)
+    # Shape: mcf monotonically degrades as rate slows.
+    assert result.perf_overhead["mcf"][-1] > 2 * result.perf_overhead["mcf"][0]
+    # Shape: a slow-enough rate pushes h264ref power below base_dram.
+    assert crossover is not None

@@ -1,0 +1,37 @@
+"""Figure 6 (main result): perf overhead and power for all schemes.
+
+Regenerates the paper's headline comparison over the eleven-benchmark
+suite: base_oram (insecure oracle), dynamic_R4_E4 (32-bit leakage), and
+the static_300/500/1300 strawmen, all against base_dram.  The shapes to
+hold (Section 9.3): the dynamic scheme lands within ~20% performance and
+~12% power of base_oram; static_300 needs ~47% more power than dynamic for
+comparable performance; static_1300 gives up ~30% performance to match
+dynamic's power; ~34% of dynamic accesses are dummies (footnote 5).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import run_figure6
+
+
+def test_bench_figure6_main_result(benchmark, sim):
+    result = benchmark.pedantic(run_figure6, args=(sim,), rounds=1, iterations=1)
+    deltas = result.headline_deltas()
+    dummy = result.comparisons["dynamic_R4_E4"].avg_dummy_fraction
+    body = result.render() + (
+        f"\n\npaper shape checks (Section 9.3):"
+        f"\n  dynamic vs base_oram: perf {deltas['dyn_vs_oram_perf']:+.0%} "
+        f"(paper +20%), power {deltas['dyn_vs_oram_power']:+.0%} (paper +12%)"
+        f"\n  static_300 vs dynamic: perf {deltas['s300_vs_dyn_perf']:+.0%} "
+        f"(paper -6%), power {deltas['s300_vs_dyn_power']:+.0%} (paper +47%)"
+        f"\n  static_500 vs dynamic: power {deltas['s500_vs_dyn_power']:+.0%} "
+        f"(paper +34% at equal perf)"
+        f"\n  static_1300 vs dynamic: perf {deltas['s1300_vs_dyn_perf']:+.0%} "
+        f"(paper +30% at equal power)"
+        f"\n  dynamic dummy-access fraction: {dummy:.0%} (paper ~34%)"
+    )
+    emit("Figure 6: performance overhead and power across schemes", body)
+    # Who-wins shapes.
+    assert 0.0 < deltas["dyn_vs_oram_perf"] < 0.40
+    assert deltas["s300_vs_dyn_power"] > 0.15
+    assert deltas["s1300_vs_dyn_perf"] > 0.20
+    assert 0.15 < dummy < 0.60

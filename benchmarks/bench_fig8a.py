@@ -1,0 +1,26 @@
+"""Figure 8a: leakage reduction by shrinking |R|.
+
+Regenerates the paper's |R| study: dynamic_R{16,8,4,2}_E2 over the full
+suite.  Shapes (Section 9.5): going from |R|=16 to |R|=4 halves leakage
+with little performance change; |R|=2 leaves only the extreme rates, which
+penalizes mid-tier benchmarks' power (neither 256 nor 32768 matches them).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import run_figure8a
+
+
+def test_bench_figure8a_vary_rates(benchmark, sim):
+    result = benchmark.pedantic(run_figure8a, args=(sim,), rounds=1, iterations=1)
+    body = result.render() + (
+        "\n\npaper shape checks (Section 9.5 / Fig 8a):"
+        "\n  leakage halves with each halving of |R| at fixed epochs"
+        "\n  |R|=2 loses power efficiency on mid-tier benchmarks"
+    )
+    emit("Figure 8a: varying the candidate rate count |R| (E2)", body)
+    leak = result.leakage_bits
+    assert leak["dynamic_R16_E2"] == 2 * leak["dynamic_R4_E2"]
+    assert leak["dynamic_R2_E2"] == 0.5 * leak["dynamic_R4_E2"]
+    # Performance stays in a tight band across |R| (paper: ~2% change).
+    perfs = list(result.avg_perf_overhead.values())
+    assert max(perfs) / min(perfs) < 1.25

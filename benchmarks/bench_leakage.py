@@ -1,0 +1,32 @@
+"""Leakage accounting: every closed-form number the paper quotes.
+
+Covers Example 2.1/6.1, Section 6's termination-channel bounds and
+discretization, Section 9.1.5's 62-bit baseline, Section 9.3's 32-bit /
+94-bit totals, Section 9.5's 16-bit configuration, and footnote 4's
+astronomically-large no-protection count.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import run_leakage_table
+from repro.core.leakage import unprotected_trace_count
+
+
+def test_bench_leakage_accounting(benchmark):
+    result = benchmark.pedantic(run_leakage_table, rounds=1, iterations=1)
+    emit("Leakage accounting (Sections 2.1, 6, 9.1.5, 9.3, 9.5)", result.render())
+    table = result.as_dict()
+    assert table["dynamic R4 E4 total (SS9.3: 94)"] == 94.0
+    assert table["dynamic R4 E2 total (Ex 6.1: 126)"] == 126.0
+
+
+def test_bench_unprotected_trace_count(benchmark):
+    """Footnote 4's exact big-integer count at a small scale."""
+    count = benchmark.pedantic(
+        unprotected_trace_count, args=(3000, 1488), rounds=1, iterations=1
+    )
+    emit(
+        "Footnote 4: exact no-protection trace count",
+        f"T=3000 cycles, OLAT=1488 -> {count} traces "
+        f"({count.bit_length()} bits) vs 0 bits for a static rate",
+    )
+    assert count > 1

@@ -1,0 +1,81 @@
+"""ORAM substrate microbenchmarks: functional throughput and stash behaviour.
+
+Not a paper figure, but the substrate-health numbers an implementation
+paper would report: functional Path ORAM access throughput in this model,
+stash occupancy at Z=3 vs Z=4, and recursive-composition cost.
+"""
+
+import statistics
+
+from benchmarks.conftest import emit
+from repro.oram.config import ORAMConfig, TreeGeometry
+from repro.oram.path_oram import PathORAM
+from repro.oram.recursion import RecursivePathORAM
+from repro.util.rng import make_rng
+from repro.util.units import KB
+
+
+def _access_burst(oram: PathORAM, n_accesses: int, seed: int = 0) -> None:
+    rng = make_rng(seed, "oram-bench")
+    for index in range(n_accesses):
+        address = int(rng.integers(0, oram.n_blocks))
+        if index % 3 == 0:
+            oram.write(address, b"payload")
+        else:
+            oram.read(address)
+
+
+def test_bench_functional_oram_throughput(benchmark):
+    geometry = TreeGeometry(levels=10, blocks_per_bucket=4, block_bytes=64)
+    oram = PathORAM(geometry, n_blocks=1024, seed=1)
+    benchmark(_access_burst, oram, 200)
+    emit(
+        "ORAM micro: functional access burst",
+        f"  tree {geometry.describe()}\n"
+        f"  accesses: {oram.stats.total_accesses}, "
+        f"stash peak: {oram.stats.stash_peak} blocks",
+    )
+    assert oram.stats.stash_peak < 64
+
+
+def _stash_profile(z: int) -> tuple[int, float]:
+    geometry = TreeGeometry(levels=9, blocks_per_bucket=z, block_bytes=64)
+    oram = PathORAM(geometry, n_blocks=min(600, geometry.n_slots // 2), seed=2)
+    _access_burst(oram, 500, seed=3)
+    samples = oram.stats.stash_occupancy_samples
+    return oram.stats.stash_peak, statistics.mean(samples)
+
+
+def test_bench_stash_occupancy_z3_vs_z4(benchmark):
+    """Z ablation: the paper runs Z=3; larger Z trades bandwidth for stash."""
+    peak_z3, mean_z3 = benchmark.pedantic(_stash_profile, args=(3,), rounds=1,
+                                          iterations=1)
+    peak_z4, mean_z4 = _stash_profile(4)
+    emit(
+        "ORAM micro: stash occupancy, Z=3 vs Z=4",
+        f"  Z=3: peak {peak_z3}, mean {mean_z3:.1f} blocks\n"
+        f"  Z=4: peak {peak_z4}, mean {mean_z4:.1f} blocks",
+    )
+    assert peak_z4 <= peak_z3 + 8  # more slots per bucket, smaller stash
+
+
+def test_bench_recursive_composition(benchmark):
+    config = ORAMConfig(
+        capacity_bytes=64 * KB, blocks_per_bucket=4,
+        recursion_levels=2, recursive_block_bytes=32,
+    )
+
+    def run():
+        oram = RecursivePathORAM(config, n_blocks=64, seed=5)
+        for address in range(0, 64, 3):
+            oram.write(address, bytes([address]))
+        for address in range(0, 64, 3):
+            assert oram.read(address)[0] == address
+        return oram
+
+    oram = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ORAM micro: recursive composition",
+        f"  {oram.levels} trees; {oram.stats.paths_per_access:.0f} physical "
+        f"paths per logical access",
+    )

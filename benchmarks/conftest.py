@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped simulator serves every figure bench so each benchmark's
+functional cache pass runs once; benches then replay it per scheme.  The
+instruction budget can be scaled with ``REPRO_BENCH_INSTRUCTIONS``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.simulator import SecureProcessorSim, SimConfig
+
+DEFAULT_INSTRUCTIONS = 2_000_000
+
+
+def bench_instructions() -> int:
+    """Instruction budget per benchmark run (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", DEFAULT_INSTRUCTIONS))
+
+
+@pytest.fixture(scope="session")
+def sim() -> SecureProcessorSim:
+    """Session-shared simulator with cached functional passes."""
+    return SecureProcessorSim(SimConfig(n_instructions=bench_instructions(), seed=0))
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labeled experiment report (visible with pytest -s or on
+    benchmark runs, and captured into bench_output.txt by the final run)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

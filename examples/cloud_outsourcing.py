@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Scenario: outsourcing private computation to an untrusted cloud.
+
+This walks the paper's motivating use case (Sections 1, 5, 8) end to end:
+
+1. The user negotiates a session key with a remote secure processor.
+2. The user ships encrypted data with a leakage limit L bound by HMAC.
+3. The server proposes leakage parameters (R, E); the processor *refuses*
+   parameter sets that exceed L, and runs otherwise.
+4. The session closes, the processor forgets the key, and the server's
+   replay attempt fails — capping total leakage at L rather than N*L.
+
+Usage::
+
+    python examples/cloud_outsourcing.py
+"""
+
+from repro.core.epochs import paper_schedule
+from repro.core.rates import lg_spaced_rates
+from repro.security.protocol import (
+    LeakageLimitExceededError,
+    LeakageParameters,
+    SecureProcessorProtocol,
+    UserSubmission,
+    bind_submission,
+    program_hash,
+)
+from repro.security.replay import replay_campaign
+from repro.security.session import SessionTerminatedError
+
+
+def the_program(data: bytes) -> bytes:
+    """Stand-in computation: word count of the user's document."""
+    return str(len(data.split())).encode()
+
+
+def main() -> None:
+    print("=== Cloud outsourcing with a leakage budget ===\n")
+
+    processor = SecureProcessorProtocol()
+    keys = processor.open_session()
+    print(f"1. Session opened; user and processor share K ({len(keys.k) * 8} bits).")
+
+    document = b"the quick brown fox jumps over the lazy dog " * 40
+    leakage_limit = 32.0  # the user's L
+    sealed = processor.seal_for_user(document)
+    tag = bind_submission(keys.k, document, leakage_limit, program_hash("wordcount"))
+    submission = UserSubmission(
+        sealed_data=sealed,
+        leakage_limit_bits=leakage_limit,
+        hmac_tag=tag,
+        bound_program_hash=program_hash("wordcount"),
+    )
+    print(f"2. User ships {len(document)} encrypted bytes, L = {leakage_limit:.0f} bits.")
+
+    greedy = LeakageParameters(lg_spaced_rates(16), paper_schedule(growth=2))
+    print(
+        f"\n3a. Server proposes R16/E2 "
+        f"(would leak {greedy.timing_leakage_bits():.0f} bits)..."
+    )
+    try:
+        processor.run(submission, "wordcount", greedy, the_program)
+    except LeakageLimitExceededError as error:
+        print(f"    REFUSED: {error}")
+
+    honest = LeakageParameters(lg_spaced_rates(4), paper_schedule(growth=4))
+    print(
+        f"3b. Server proposes R4/E4 "
+        f"(leaks <= {honest.timing_leakage_bits():.0f} bits)..."
+    )
+    receipt = processor.run(submission, "wordcount", honest, the_program)
+    answer = processor._require_register().unseal(receipt.sealed_result)
+    print(f"    ACCEPTED: result = {answer.decode()} words")
+    print(
+        f"    leakage this run: {receipt.timing_leakage_bits:.0f} (ORAM timing) "
+        f"+ {receipt.termination_leakage_bits:.0f} (termination) bits"
+    )
+
+    processor.close_session()
+    print("\n4. Session closed; processor forgot K.")
+    try:
+        processor.run(submission, "wordcount", honest, the_program)
+    except SessionTerminatedError:
+        print("   Server replay attempt: FAILED (run-once, Section 8).")
+
+    unprotected = replay_campaign(32.0, attempts=8, run_once_protection=False)
+    protected = replay_campaign(32.0, attempts=8, run_once_protection=True)
+    print(
+        f"\n   Accounting over 8 attempted replays: "
+        f"{unprotected.total_bits_learned:.0f} bits without run-once vs "
+        f"{protected.total_bits_learned:.0f} bits with it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: choosing leakage parameters under a user-specified budget.
+
+The paper's central trade-off (Sections 2, 9.5): a larger |R| or more
+frequent epochs buy efficiency but leak more bits.  This explorer sweeps
+(|R|, epoch growth) configurations, computes each one's provable leakage
+bound, measures average performance/power over a benchmark mix, and
+reports which configurations fit a given bit budget — the decision a user
+setting L per session (Section 10) actually faces.
+
+Usage::
+
+    python examples/leakage_budget_explorer.py [budget_bits]
+"""
+
+import sys
+from statistics import mean
+
+from repro import SecureProcessorSim, SimConfig, dynamic
+from repro.core.epochs import paper_schedule
+from repro.core.leakage import report_for_dynamic
+from repro.core.scheme import BaseDramScheme, BaseOramScheme
+from repro.sim.result import performance_overhead
+
+BENCHMARKS = ["mcf", "gobmk", "h264ref"]
+
+
+def main() -> None:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 32.0
+    print(f"=== Dynamic configurations under a {budget:.0f}-bit ORAM-timing budget ===\n")
+
+    sim = SecureProcessorSim(SimConfig(n_instructions=400_000))
+    baselines = {
+        name: sim.run(name, BaseDramScheme(), record_requests=False)
+        for name in BENCHMARKS
+    }
+    oracle = mean(
+        performance_overhead(sim.run(name, BaseOramScheme(), record_requests=False),
+                             baselines[name])
+        for name in BENCHMARKS
+    )
+    print(f"(base_oram oracle: {oracle:.2f}x base_dram, unbounded leakage)\n")
+
+    header = f"{'config':>16} {'leak bits':>10} {'perf (x)':>9} {'power (W)':>10}  fits?"
+    print(header)
+    print("-" * len(header))
+
+    for n_rates in (2, 4, 8, 16):
+        for growth in (2, 4, 16):
+            scheme = dynamic(n_rates, growth)
+            # Leakage is computed at *paper scale* - it depends only on
+            # |R| and |E|, never on the simulation.
+            bits = report_for_dynamic(
+                paper_schedule(growth=growth), n_rates
+            ).oram_timing_bits
+            perf = mean(
+                performance_overhead(
+                    sim.run(name, scheme, record_requests=False), baselines[name]
+                )
+                for name in BENCHMARKS
+            )
+            power = mean(
+                sim.run(name, scheme, record_requests=False).power_watts
+                for name in BENCHMARKS
+            )
+            verdict = "yes" if bits <= budget else "no"
+            print(
+                f"{scheme.name:>16} {bits:>10.0f} {perf:>9.2f} {power:>10.3f}  {verdict}"
+            )
+
+    print(
+        "\nReading the table: moving down within a |R| block (sparser epochs)"
+        "\ncuts leakage at a small performance cost (Fig 8b); shrinking |R|"
+        "\ncuts leakage but strands workloads between candidate rates (Fig 8a)."
+    )
+
+
+if __name__ == "__main__":
+    main()

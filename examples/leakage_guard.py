@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario: enforcing the leakage limit in hardware (Section 2.1).
+
+The paper's evaluation bounds leakage *by construction* (pick E and R so
+|E|*lg|R| <= L).  Section 2.1 also sketches the enforcement alternative:
+"track the number of traces using hardware mechanisms, and shut down the
+chip if leakage exceeds L".  This example runs a bursty program under a
+monitored controller with a deliberately tiny budget and shows both
+enforcement styles:
+
+* **strict** — the guard trips and the chip halts;
+* **lenient** — the guard pins the current rate, so the program keeps
+  running but all later epoch decisions repeat (repeating is free only
+  because no *new* decision is revealed — the monitor still refuses to
+  authorize changes).
+
+Usage::
+
+    python examples/leakage_guard.py
+"""
+
+from repro.core.controller import TimingProtectedController
+from repro.core.epochs import EpochSchedule
+from repro.core.learner import AveragingLearner
+from repro.core.monitor import (
+    LeakageBudgetExceededError,
+    LeakageMonitor,
+    MonitoredLearner,
+)
+from repro.core.rates import PAPER_RATES
+
+
+def drive(controller: TimingProtectedController, horizon: float) -> None:
+    """A program alternating memory-bound bursts and quiet stretches."""
+    time = 0.0
+    toggle = True
+    while time < horizon:
+        gap = 300.0 if toggle else 20_000.0
+        for _ in range(20):
+            time = controller.serve(time + gap)
+        toggle = not toggle
+    controller.finalize(horizon)
+
+
+def build(strict: bool):
+    monitor = LeakageMonitor(limit_bits=6.0, n_rates=len(PAPER_RATES), strict=strict)
+    learner = MonitoredLearner(AveragingLearner(PAPER_RATES), monitor, 10_000)
+    controller = TimingProtectedController(
+        oram_latency=1488,
+        initial_rate=10_000,
+        schedule=EpochSchedule(first_epoch_cycles=1 << 14, growth=2,
+                               tmax_cycles=1 << 40),
+        learner=learner,
+    )
+    return monitor, controller
+
+
+def main() -> None:
+    print("=== Hardware leakage guard (budget: 6 bits, lg|R| = 2) ===\n")
+
+    print("--- strict mode: shut down on overrun ---")
+    monitor, controller = build(strict=True)
+    try:
+        drive(controller, horizon=5_000_000.0)
+        print("  program finished within budget")
+    except LeakageBudgetExceededError as error:
+        print(f"  CHIP HALTED after {monitor.epochs_authorized} rate decisions: {error}")
+
+    print("\n--- lenient mode: pin the rate, keep running ---")
+    monitor, controller = build(strict=False)
+    drive(controller, horizon=5_000_000.0)
+    rates = [record.rate for record in controller.epochs]
+    print(f"  rate decisions charged: {monitor.epochs_authorized} "
+          f"({monitor.consumed_bits:.0f} of {monitor.limit_bits:.0f} bits)")
+    print(f"  rate trajectory: {rates}")
+    print(f"  epochs after the budget ran out reuse one pinned rate: "
+          f"{len(set(rates[monitor.epochs_authorized + 1:])) <= 1}")
+
+
+if __name__ == "__main__":
+    main()

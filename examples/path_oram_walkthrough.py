@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Scenario: the Path ORAM substrate, inside out.
+
+A guided tour of the machinery underneath the timing scheme (Section 3):
+
+* a functional Path ORAM serving reads/writes with path accesses,
+* the invariant (every block on its mapped path or in the stash),
+* stash occupancy behaviour,
+* recursive position maps and their access-pattern cost,
+* Merkle integrity verification catching DRAM tampering,
+* the derived cost constants (1488 cycles / 24.2 KB / 984 nJ per access).
+
+Usage::
+
+    python examples/path_oram_walkthrough.py
+"""
+
+from repro.oram.config import ORAMConfig, PAPER_ORAM_CONFIG, TreeGeometry
+from repro.oram.integrity import TamperDetectedError, VerifiedPathORAM
+from repro.oram.path_oram import PathORAM
+from repro.oram.recursion import RecursivePathORAM
+from repro.oram.timing import PAPER_ORAM_TIMING, derive_timing
+from repro.util.units import KB
+
+
+def functional_tour() -> None:
+    print("--- Functional Path ORAM ---")
+    geometry = TreeGeometry(levels=7, blocks_per_bucket=4, block_bytes=64)
+    oram = PathORAM(geometry, n_blocks=128, seed=42)
+    print(f"  tree: {geometry.describe()}")
+
+    for address in range(64):
+        oram.write(address, f"block-{address}".encode())
+    assert oram.read(17)[:8] == b"block-17"
+    oram.check_invariant()
+    print(
+        f"  wrote+read 64 blocks; invariant holds; "
+        f"stash peak = {oram.stats.stash_peak} blocks; "
+        f"buckets touched = {oram.stats.buckets_touched}"
+    )
+    leaf_before = oram.position_map.lookup(17)
+    oram.read(17)
+    leaf_after = oram.position_map.lookup(17)
+    print(
+        f"  block 17 remapped on access: leaf {leaf_before} -> {leaf_after} "
+        f"(the critical security step)\n"
+    )
+
+
+def recursion_tour() -> None:
+    print("--- Recursive position maps ---")
+    config = ORAMConfig(
+        capacity_bytes=64 * KB, blocks_per_bucket=4,
+        recursion_levels=2, recursive_block_bytes=32,
+    )
+    oram = RecursivePathORAM(config, n_blocks=64, seed=3)
+    oram.write(5, b"hello recursion")
+    assert oram.read(5)[:15] == b"hello recursion"
+    print(
+        f"  {oram.levels} ORAM trees (data + 2 posmaps); each logical access "
+        f"touches {oram.stats.paths_per_access:.0f} physical paths\n"
+    )
+
+
+def integrity_tour() -> None:
+    print("--- Integrity verification (Merkle extension) ---")
+    geometry = TreeGeometry(levels=5, blocks_per_bucket=4, block_bytes=64)
+    oram = VerifiedPathORAM(PathORAM(geometry, n_blocks=16, seed=9))
+    oram.write(3, b"important data")
+    raw = bytearray(oram.oram.memory.raw_read(0))
+    raw[8] ^= 0x01  # adversary flips one ciphertext bit in the root
+    oram.oram.memory.write(0, bytes(raw))
+    try:
+        oram.read(3)
+        print("  !! tamper went undetected")
+    except TamperDetectedError as error:
+        print(f"  DRAM tamper detected on next access: {error}\n")
+
+
+def cost_tour() -> None:
+    print("--- Derived access costs (paper configuration) ---")
+    print(f"  {PAPER_ORAM_CONFIG.describe()}")
+    derived = derive_timing(PAPER_ORAM_CONFIG)
+    print(f"  derived : {derived.describe()}")
+    print(f"  paper   : {PAPER_ORAM_TIMING.describe()}")
+
+
+def main() -> None:
+    print("=== Path ORAM walkthrough ===\n")
+    functional_tour()
+    recursion_tour()
+    integrity_tour()
+    cost_tour()
+
+
+if __name__ == "__main__":
+    main()

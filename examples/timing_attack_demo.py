@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Scenario: the ORAM timing channel, attacked and then suppressed.
+
+Three acts, following Sections 1.1 and 3.2 of the paper:
+
+1. **The probe primitive** — an adversary sharing the DRAM DIMM polls the
+   Path ORAM root bucket's ciphertext and detects every access (the
+   Section 3.2 measurement that makes the timing channel software-visible).
+2. **The leak** — the malicious program P1 (Figure 1a) modulates *when*
+   it misses the LLC to exfiltrate the user's secret; under base_oram the
+   adversary decodes the secret from access timing alone.
+3. **The fix** — under a slot-enforced scheme the observable trace is a
+   strictly periodic lattice of (real or dummy) accesses, independent of
+   the secret; the decoder collapses to chance.
+
+Usage::
+
+    python examples/timing_attack_demo.py
+"""
+
+from repro.core.scheme import BaseOramScheme, StaticScheme
+from repro.oram.config import TreeGeometry
+from repro.oram.path_oram import PathORAM
+from repro.security.attacks import run_p1_attack, run_probe_attack
+from repro.util.rng import make_rng
+
+
+def act_one_probe() -> None:
+    print("--- Act 1: measuring ORAM timing via the root bucket (S3.2) ---")
+    geometry = TreeGeometry(levels=6, blocks_per_bucket=4, block_bytes=64)
+    oram = PathORAM(geometry, n_blocks=32, seed=7)
+    schedule = [float(500 * (k + 1)) for k in range(20)]  # accesses every 500
+    outcome = run_probe_attack(oram, schedule, poll_interval=250.0)
+    print(
+        f"  ORAM made {outcome.accesses_made} accesses; the polling adversary "
+        f"detected {outcome.accesses_detected} "
+        f"({outcome.detection_rate:.0%}) and estimates one access every "
+        f"{outcome.estimated_interval:.0f} time units.\n"
+    )
+
+
+def act_two_leak() -> None:
+    print("--- Act 2: P1 leaks the secret through base_oram (Fig 1a) ---")
+    rng = make_rng(2024, "demo-secret")
+    secret = [int(b) for b in rng.integers(0, 2, size=32)]
+    result = run_p1_attack(secret, BaseOramScheme())
+    print(f"  secret    : {''.join(map(str, result.secret_bits))}")
+    print(f"  recovered : {''.join(map(str, result.recovered_bits))}")
+    print(
+        f"  adversary recovered {result.recovered_fraction:.0%} of "
+        f"{result.n_bits} bits - T bits in T time.\n"
+    )
+
+
+def act_three_fix() -> None:
+    print("--- Act 3: a slot-enforced rate suppresses the channel ---")
+    rng = make_rng(2024, "demo-secret")
+    secret = [int(b) for b in rng.integers(0, 2, size=32)]
+    result = run_p1_attack(secret, StaticScheme(300))
+    agreement = result.recovered_fraction
+    print(
+        f"  observable trace strictly periodic: {result.observable_periodic}"
+    )
+    print(
+        f"  decoder agreement: {agreement:.0%} (chance-level; the trace "
+        f"carries 0 bits about the input)"
+    )
+    print(
+        "  The dynamic scheme generalizes this: up to |R|^|E| periodic\n"
+        "  traces instead of one, leaking at most |E|*lg|R| bits while\n"
+        "  recovering most of base_oram's performance."
+    )
+
+
+def main() -> None:
+    print("=== The ORAM timing channel: attack and suppression ===\n")
+    act_one_probe()
+    act_two_leak()
+    act_three_fix()
+
+
+if __name__ == "__main__":
+    main()

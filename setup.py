@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""repro: reproduction of "Suppressing the Oblivious RAM Timing Channel
+While Making Information Leakage and Program Efficiency Trade-offs"
+(Fletcher, Ren, Yu, van Dijk, Khan, Devadas — HPCA 2014).
+
+The package implements the paper's leakage-aware secure processor — a
+Path-ORAM-backed memory system whose timing channel is bounded to
+``|E| * lg |R|`` bits by restricting rate changes to epoch transitions —
+together with every substrate the evaluation depends on: the Path ORAM
+protocol, cache hierarchy, in-order core timing, DDR3-lite DRAM model,
+Table 2 power model, SPEC-like workloads, and the user/server security
+protocols.
+
+Quickstart::
+
+    from repro import SecureProcessorSim, SimConfig, dynamic, BaseOramScheme
+
+    sim = SecureProcessorSim(SimConfig(n_instructions=500_000))
+    result = sim.run("mcf", dynamic(n_rates=4, growth=4))
+    print(result.describe())
+    print(dynamic(4, 4).leakage())   # 32 ORAM-timing bits + 62 termination
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    AveragingLearner,
+    BaseDramScheme,
+    BaseOramScheme,
+    DynamicScheme,
+    EpochSchedule,
+    LeakageBudgetExceededError,
+    LeakageMonitor,
+    MonitoredLearner,
+    ObliviousDramScheme,
+    PAPER_RATES,
+    PerfCounters,
+    RateSet,
+    StaticScheme,
+    ThresholdLearner,
+    TimingProtectedController,
+    dynamic,
+    dynamic_timing_leakage_bits,
+    lg_spaced_rates,
+    paper_baselines,
+    paper_schedule,
+    sim_schedule,
+    termination_leakage_bits,
+    total_leakage_bits,
+)
+from repro.oram import (
+    ORAMConfig,
+    PAPER_ORAM_CONFIG,
+    PAPER_ORAM_TIMING,
+    PathORAM,
+    RecursivePathORAM,
+    VerifiedPathORAM,
+    derive_timing,
+    make_path_oram,
+)
+from repro.sim import (
+    SecureProcessorSim,
+    SimConfig,
+    SimResult,
+    ipc_windows,
+    performance_overhead,
+    power_overhead,
+    run_timing,
+)
+from repro.workloads import build_trace, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AveragingLearner",
+    "BaseDramScheme",
+    "BaseOramScheme",
+    "DynamicScheme",
+    "EpochSchedule",
+    "LeakageBudgetExceededError",
+    "LeakageMonitor",
+    "MonitoredLearner",
+    "ObliviousDramScheme",
+    "PAPER_RATES",
+    "PerfCounters",
+    "RateSet",
+    "StaticScheme",
+    "ThresholdLearner",
+    "TimingProtectedController",
+    "dynamic",
+    "dynamic_timing_leakage_bits",
+    "lg_spaced_rates",
+    "paper_baselines",
+    "paper_schedule",
+    "sim_schedule",
+    "termination_leakage_bits",
+    "total_leakage_bits",
+    "ORAMConfig",
+    "PAPER_ORAM_CONFIG",
+    "PAPER_ORAM_TIMING",
+    "PathORAM",
+    "RecursivePathORAM",
+    "VerifiedPathORAM",
+    "derive_timing",
+    "make_path_oram",
+    "SecureProcessorSim",
+    "SimConfig",
+    "SimResult",
+    "ipc_windows",
+    "performance_overhead",
+    "power_overhead",
+    "run_timing",
+    "build_trace",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Analysis: overhead normalization, tables, experiment registry, calibration."""
+
+from repro.analysis.calibration import CalibrationResult, run_calibration
+from repro.analysis.experiments import (
+    FIG6_BENCHMARKS,
+    Figure2Result,
+    Figure5Result,
+    Figure6Result,
+    Figure7Result,
+    Figure8Result,
+    LeakageTableResult,
+    default_sim,
+    run_figure2,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8a,
+    run_figure8b,
+    run_leakage_table,
+)
+from repro.analysis.export import (
+    export_figure2,
+    export_figure5,
+    export_figure6,
+    export_figure7,
+    export_figure8,
+)
+from repro.analysis.overhead import BenchmarkRow, SchemeComparison, relative_change
+from repro.analysis.report import FullReport, full_report
+from repro.analysis.seeds import SeededStat, replicate_headline
+from repro.analysis.tables import Table, format_value
+
+__all__ = [
+    "CalibrationResult",
+    "run_calibration",
+    "FIG6_BENCHMARKS",
+    "Figure2Result",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "Figure8Result",
+    "LeakageTableResult",
+    "default_sim",
+    "run_figure2",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8a",
+    "run_figure8b",
+    "run_leakage_table",
+    "BenchmarkRow",
+    "SchemeComparison",
+    "relative_change",
+    "FullReport",
+    "full_report",
+    "SeededStat",
+    "replicate_headline",
+    "export_figure2",
+    "export_figure5",
+    "export_figure6",
+    "export_figure7",
+    "export_figure8",
+    "Table",
+    "format_value",
+]

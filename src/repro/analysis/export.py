@@ -1,0 +1,88 @@
+"""CSV export of experiment series for external plotting.
+
+The benchmark harness prints text tables; this module writes the same
+series as CSV so the figures can be re-plotted with any tool.  No plotting
+dependency is assumed (the reproduction environment is offline).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    Figure2Result,
+    Figure5Result,
+    Figure6Result,
+    Figure7Result,
+    Figure8Result,
+)
+
+
+def export_figure2(result: Figure2Result, path: str | Path) -> None:
+    """Columns: window index, then one column per benchmark/input run."""
+    keys = list(result.series)
+    rows = zip(*(result.series[key] for key in keys))
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["window"] + keys)
+        for index, values in enumerate(rows):
+            writer.writerow([index] + [f"{value:.2f}" for value in values])
+
+
+def export_figure5(result: Figure5Result, path: str | Path) -> None:
+    """Columns: rate, then perf/power overhead per benchmark."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["rate", "mcf_perf", "mcf_power", "h264ref_perf", "h264ref_power"]
+        )
+        for index, rate in enumerate(result.rates):
+            writer.writerow([
+                rate,
+                f"{result.perf_overhead['mcf'][index]:.4f}",
+                f"{result.power_overhead['mcf'][index]:.4f}",
+                f"{result.perf_overhead['h264ref'][index]:.4f}",
+                f"{result.power_overhead['h264ref'][index]:.4f}",
+            ])
+
+
+def export_figure6(result: Figure6Result, path: str | Path) -> None:
+    """Rows: benchmark x scheme with perf overhead and power."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "scheme", "perf_overhead", "power_watts",
+                         "memory_power_watts", "dummy_fraction"])
+        for scheme_name, comparison in result.comparisons.items():
+            for row in comparison.rows:
+                writer.writerow([
+                    row.benchmark, scheme_name,
+                    f"{row.perf_overhead:.4f}", f"{row.power_watts:.4f}",
+                    f"{row.memory_power_watts:.4f}", f"{row.dummy_fraction:.4f}",
+                ])
+
+
+def export_figure7(result: Figure7Result, path: str | Path) -> None:
+    """Rows: benchmark x scheme x window with IPC."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "scheme", "window", "ipc"])
+        for benchmark, by_scheme in result.series.items():
+            for scheme, values in by_scheme.items():
+                for index, value in enumerate(values):
+                    writer.writerow([benchmark, scheme, index, f"{value:.5f}"])
+
+
+def export_figure8(result: Figure8Result, path: str | Path) -> None:
+    """Rows: configuration with averages and the leakage bound."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["config", "avg_perf_overhead", "avg_power_watts",
+                         "oram_timing_leakage_bits"])
+        for name in result.configs:
+            writer.writerow([
+                name,
+                f"{result.avg_perf_overhead[name]:.4f}",
+                f"{result.avg_power_watts[name]:.4f}",
+                f"{result.leakage_bits[name]:.1f}",
+            ])

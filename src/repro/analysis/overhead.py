@@ -1,0 +1,67 @@
+"""Overhead normalization helpers (Section 9.3 reporting conventions).
+
+Performance results in the paper are normalized to ``base_dram``; power is
+reported in absolute Watts.  ``SchemeComparison`` aggregates both across a
+benchmark suite the way Figure 6's "Avg" columns do (arithmetic mean of
+per-benchmark overheads / powers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.sim.result import SimResult, performance_overhead
+
+
+@dataclass
+class BenchmarkRow:
+    """Per-benchmark overheads of one scheme vs base_dram."""
+
+    benchmark: str
+    perf_overhead: float
+    power_watts: float
+    memory_power_watts: float
+    dummy_fraction: float
+
+
+@dataclass
+class SchemeComparison:
+    """All benchmarks' results for one scheme, plus suite averages."""
+
+    scheme_name: str
+    rows: list[BenchmarkRow] = field(default_factory=list)
+
+    def add(self, result: SimResult, baseline: SimResult) -> None:
+        """Add one benchmark's result normalized against its baseline."""
+        self.rows.append(
+            BenchmarkRow(
+                benchmark=result.benchmark,
+                perf_overhead=performance_overhead(result, baseline),
+                power_watts=result.power_watts,
+                memory_power_watts=result.memory_power_watts,
+                dummy_fraction=result.dummy_fraction,
+            )
+        )
+
+    @property
+    def avg_perf_overhead(self) -> float:
+        """Suite-average runtime multiplier vs base_dram."""
+        return mean(row.perf_overhead for row in self.rows)
+
+    @property
+    def avg_power_watts(self) -> float:
+        """Suite-average power."""
+        return mean(row.power_watts for row in self.rows)
+
+    @property
+    def avg_dummy_fraction(self) -> float:
+        """Suite-average fraction of ORAM accesses that were dummies."""
+        return mean(row.dummy_fraction for row in self.rows)
+
+
+def relative_change(a: float, b: float) -> float:
+    """Fractional change of ``a`` relative to ``b`` (positive = a larger)."""
+    if b == 0:
+        raise ValueError("cannot compute relative change against zero")
+    return a / b - 1.0

@@ -1,0 +1,47 @@
+"""Paper-style table formatting for experiment output.
+
+Benchmark harnesses print their results as aligned text tables so the
+regenerated rows/series can be compared against the paper's figures
+side-by-side in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Table:
+    """A simple aligned text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]]
+
+    def render(self) -> str:
+        """Render with padded columns and a title rule."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(col.rjust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def format_value(value, digits: int = 2) -> str:
+    """Format a number for table cells (None -> '-')."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def series_to_rows(xs, ys, x_label: str = "x", y_label: str = "y", digits: int = 2):
+    """Convert a series into table rows."""
+    return [[format_value(x, digits), format_value(y, digits)] for x, y in zip(xs, ys)]

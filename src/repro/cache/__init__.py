@@ -1,0 +1,27 @@
+"""Cache substrate: set-associative caches, inclusive hierarchy, write buffer."""
+
+from repro.cache.cache import CacheStats, EvictedLine, SetAssociativeCache
+from repro.cache.hierarchy import HierarchyConfig, PAPER_HIERARCHY, simulate_hierarchy
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    POLICIES,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.cache.write_buffer import WriteBuffer
+
+__all__ = [
+    "CacheStats",
+    "EvictedLine",
+    "SetAssociativeCache",
+    "HierarchyConfig",
+    "PAPER_HIERARCHY",
+    "simulate_hierarchy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "POLICIES",
+    "TreePLRUPolicy",
+    "make_policy",
+    "WriteBuffer",
+]

@@ -1,0 +1,168 @@
+"""Set-associative write-back/write-allocate cache model.
+
+This is the functional building block for the paper's hierarchy (Table 1:
+32 KB 4-way L1 I/D, 1 MB 16-way unified inclusive L2, 64-byte lines).  The
+model tracks hits, misses, and dirty evictions; timing is handled by the
+separate event-driven simulator, which only needs the *sequence* of LLC
+misses this model produces.
+
+The implementation exploits dict insertion order for LRU: a hit reinserts
+the tag, so the first key in each set dict is always the LRU way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bitops import floor_lg, is_power_of_two
+from repro.util.validation import check_positive, check_power_of_two
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    dirty_evictions: int = 0
+    clean_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0.0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """An evicted line: its full line address and dirtiness."""
+
+    line_address: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by 64-byte-line addresses.
+
+    Args:
+        capacity_bytes: Total data capacity.
+        associativity: Ways per set.
+        line_bytes: Cache line size (power of two).
+        name: Label used in error messages and reports.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        associativity: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        check_positive(capacity_bytes, "capacity_bytes")
+        check_positive(associativity, "associativity")
+        check_power_of_two(line_bytes, "line_bytes")
+        n_lines = capacity_bytes // line_bytes
+        if n_lines % associativity:
+            raise ValueError(
+                f"{name}: {n_lines} lines not divisible by associativity {associativity}"
+            )
+        n_sets = n_lines // associativity
+        if not is_power_of_two(n_sets):
+            raise ValueError(f"{name}: set count {n_sets} must be a power of two")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        self._set_bits = floor_lg(n_sets)
+        # Each set maps tag -> dirty flag; dict order encodes LRU (first=LRU).
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(n_sets)]
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.n_sets * self.associativity * self.line_bytes
+
+    def line_address(self, byte_address: int) -> int:
+        """Convert a byte address to its line address."""
+        return byte_address // self.line_bytes
+
+    def access(self, line_address: int, is_write: bool) -> bool:
+        """Look up a line; returns True on hit (updating LRU/dirty state).
+
+        Misses do *not* allocate — call :meth:`fill` after fetching the
+        line, mirroring how the hierarchy wires allocation to the response.
+        """
+        target_set = self._sets[line_address & self._set_mask]
+        tag = line_address >> self._set_bits
+        if tag in target_set:
+            dirty = target_set.pop(tag)
+            target_set[tag] = dirty or is_write
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line_address: int, dirty: bool = False) -> EvictedLine | None:
+        """Allocate a line, returning the evicted victim (if the set was full)."""
+        target_set = self._sets[line_address & self._set_mask]
+        tag = line_address >> self._set_bits
+        victim: EvictedLine | None = None
+        if tag in target_set:
+            # Refill of a resident line just merges dirtiness.
+            target_set[tag] = target_set.pop(tag) or dirty
+            return None
+        if len(target_set) >= self.associativity:
+            victim_tag, victim_dirty = next(iter(target_set.items()))
+            del target_set[victim_tag]
+            victim = EvictedLine(
+                line_address=(victim_tag << self._set_bits)
+                | (line_address & self._set_mask),
+                dirty=victim_dirty,
+            )
+            if victim_dirty:
+                self.stats.dirty_evictions += 1
+            else:
+                self.stats.clean_evictions += 1
+        target_set[tag] = dirty
+        return victim
+
+    def contains(self, line_address: int) -> bool:
+        """Presence check with no LRU side effects."""
+        target_set = self._sets[line_address & self._set_mask]
+        return (line_address >> self._set_bits) in target_set
+
+    def mark_dirty(self, line_address: int) -> bool:
+        """Set a resident line's dirty bit *without* touching LRU order.
+
+        This is the operation an inner cache's dirty-victim writeback
+        performs on its inclusive outer level: the outer line absorbs the
+        data but the writeback is not a demand access, so it must not
+        refresh recency.  Returns False if the line is not resident.
+        """
+        target_set = self._sets[line_address & self._set_mask]
+        tag = line_address >> self._set_bits
+        if tag not in target_set:
+            return False
+        target_set[tag] = True  # assignment to an existing key keeps order
+        return True
+
+    def invalidate(self, line_address: int) -> bool | None:
+        """Remove a line (back-invalidation); returns its dirty flag or None."""
+        target_set = self._sets[line_address & self._set_mask]
+        tag = line_address >> self._set_bits
+        if tag in target_set:
+            return target_set.pop(tag)
+        return None
+
+    def resident_lines(self) -> int:
+        """Number of currently valid lines."""
+        return sum(len(target_set) for target_set in self._sets)

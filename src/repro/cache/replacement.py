@@ -1,0 +1,136 @@
+"""Replacement policies for set-associative caches.
+
+The paper's configuration (Table 1) uses LRU; FIFO and a tree-based
+pseudo-LRU are provided for ablation and to exercise the cache model more
+broadly.  A policy instance manages a single set of ``associativity`` ways.
+"""
+
+from __future__ import annotations
+
+
+class LRUPolicy:
+    """Least-recently-used: evict the way untouched the longest."""
+
+    def __init__(self, associativity: int) -> None:
+        if associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {associativity}")
+        self.associativity = associativity
+        self._order: list[int] = []
+
+    def touch(self, way: int) -> None:
+        """Record a hit/fill on ``way``."""
+        if way in self._order:
+            self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        """Way to evict next."""
+        if len(self._order) < self.associativity:
+            # Prefer an unused way.
+            used = set(self._order)
+            for way in range(self.associativity):
+                if way not in used:
+                    return way
+        return self._order[0]
+
+    def invalidate(self, way: int) -> None:
+        """Forget ``way`` (back-invalidation)."""
+        if way in self._order:
+            self._order.remove(way)
+
+
+class FIFOPolicy:
+    """First-in-first-out: evict in fill order, ignoring hits."""
+
+    def __init__(self, associativity: int) -> None:
+        if associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {associativity}")
+        self.associativity = associativity
+        self._queue: list[int] = []
+
+    def touch(self, way: int) -> None:
+        """Record a fill on ``way`` (hits do not reorder)."""
+        if way not in self._queue:
+            self._queue.append(way)
+
+    def victim(self) -> int:
+        """Way to evict next."""
+        if len(self._queue) < self.associativity:
+            used = set(self._queue)
+            for way in range(self.associativity):
+                if way not in used:
+                    return way
+        return self._queue.pop(0)
+
+    def invalidate(self, way: int) -> None:
+        """Forget ``way``."""
+        if way in self._queue:
+            self._queue.remove(way)
+
+
+class TreePLRUPolicy:
+    """Tree-based pseudo-LRU over a power-of-two number of ways."""
+
+    def __init__(self, associativity: int) -> None:
+        if associativity <= 0 or associativity & (associativity - 1):
+            raise ValueError(
+                f"TreePLRU requires a power-of-two associativity, got {associativity}"
+            )
+        self.associativity = associativity
+        self._bits = [0] * max(1, associativity - 1)
+
+    def touch(self, way: int) -> None:
+        """Flip tree bits away from ``way`` on every access."""
+        node = 0
+        span = self.associativity
+        while span > 1:
+            half = span // 2
+            go_right = way >= half
+            self._bits[node] = 0 if go_right else 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                way -= half
+            span = half
+
+    def victim(self) -> int:
+        """Follow the tree bits to the pseudo-least-recent way."""
+        node = 0
+        way = 0
+        span = self.associativity
+        while span > 1:
+            half = span // 2
+            go_right = self._bits[node] == 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                way += half
+            span = half
+        return way
+
+    def invalidate(self, way: int) -> None:
+        """Point the tree at ``way`` so it is the next victim."""
+        node = 0
+        span = self.associativity
+        while span > 1:
+            half = span // 2
+            go_right = way >= half
+            self._bits[node] = 1 if go_right else 0
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                way -= half
+            span = half
+
+
+POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "plru": TreePLRUPolicy,
+}
+
+
+def make_policy(name: str, associativity: int):
+    """Construct a replacement policy by name ('lru', 'fifo', 'plru')."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; options: {sorted(POLICIES)}")
+    return factory(associativity)

@@ -1,0 +1,60 @@
+"""Non-blocking write buffer model (Table 1: 8 entries).
+
+The paper notes (Section 9.1.2) that despite the simple in-order core, the
+simulator "models a non-blocking write buffer which can generate multiple,
+concurrent outstanding LLC misses (like Req 3 in Section 7.1.1)".  This
+class tracks the completion times of in-flight non-blocking requests so
+the timing simulator can decide when the core must stall (buffer full).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class WriteBuffer:
+    """FIFO of in-flight non-blocking request completion times."""
+
+    def __init__(self, entries: int = 8) -> None:
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        self.entries = entries
+        self._completions: deque[float] = deque()
+        self.full_stalls = 0
+        self.total_stall_cycles = 0.0
+
+    def __len__(self) -> int:
+        return len(self._completions)
+
+    def drain_until(self, now: float) -> None:
+        """Retire all requests that completed at or before ``now``."""
+        completions = self._completions
+        while completions and completions[0] <= now:
+            completions.popleft()
+
+    def admit(self, now: float, completion_time: float) -> float:
+        """Admit a request; return the time the core may proceed.
+
+        If the buffer is full at ``now``, the core stalls until the oldest
+        in-flight request completes, freeing an entry.
+        """
+        self.drain_until(now)
+        proceed_at = now
+        while len(self._completions) >= self.entries:
+            oldest = self._completions.popleft()
+            if oldest > proceed_at:
+                self.full_stalls += 1
+                self.total_stall_cycles += oldest - proceed_at
+                proceed_at = oldest
+        self._completions.append(completion_time)
+        return proceed_at
+
+    def drain_all(self) -> float:
+        """Return the completion time of the last in-flight request (or 0)."""
+        return self._completions[-1] if self._completions else 0.0
+
+    def reset(self) -> None:
+        """Clear all state."""
+        self._completions.clear()
+        self.full_stalls = 0
+        self.total_stall_cycles = 0.0

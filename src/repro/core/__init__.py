@@ -1,0 +1,103 @@
+"""The paper's contribution: leakage-bounded dynamic ORAM rate control.
+
+Submodules: candidate rate sets (R), epoch schedules (E), ORAM-queue
+performance counters, rate learners, the slot-enforcing controller, and
+the bit-leakage accounting that ties |R| and |E| to a provable bound.
+"""
+
+from repro.core.controller import (
+    ControllerStats,
+    EpochRecord,
+    FlatDramController,
+    TimingProtectedController,
+    UnprotectedController,
+)
+from repro.core.counters import PerfCounters
+from repro.core.epochs import (
+    EpochSchedule,
+    PAPER_FIRST_EPOCH_LG,
+    PAPER_TMAX,
+    PAPER_TMAX_LG,
+    SIM_FIRST_EPOCH_LG,
+    paper_schedule,
+    sim_schedule,
+)
+from repro.core.leakage import (
+    ChannelTraceCount,
+    LeakageReport,
+    compose_channels,
+    dynamic_timing_leakage_bits,
+    probabilistic_overleak,
+    replayed_leakage_bits,
+    report_for_dynamic,
+    report_for_static,
+    static_timing_leakage_bits,
+    termination_leakage_bits,
+    total_leakage_bits,
+    unprotected_leakage_bits,
+    unprotected_leakage_bits_estimate,
+    unprotected_trace_count,
+)
+from repro.core.learner import AveragingLearner, RateDecision, ThresholdLearner
+from repro.core.monitor import (
+    LeakageBudgetExceededError,
+    LeakageMonitor,
+    MonitoredLearner,
+)
+from repro.core.rates import INITIAL_RATE, PAPER_RATES, RateSet, lg_spaced_rates
+from repro.core.scheme import (
+    BaseDramScheme,
+    BaseOramScheme,
+    DynamicScheme,
+    ObliviousDramScheme,
+    StaticScheme,
+    dynamic,
+    paper_baselines,
+)
+
+__all__ = [
+    "ControllerStats",
+    "EpochRecord",
+    "FlatDramController",
+    "TimingProtectedController",
+    "UnprotectedController",
+    "PerfCounters",
+    "EpochSchedule",
+    "PAPER_FIRST_EPOCH_LG",
+    "PAPER_TMAX",
+    "PAPER_TMAX_LG",
+    "SIM_FIRST_EPOCH_LG",
+    "paper_schedule",
+    "sim_schedule",
+    "ChannelTraceCount",
+    "LeakageReport",
+    "compose_channels",
+    "dynamic_timing_leakage_bits",
+    "probabilistic_overleak",
+    "replayed_leakage_bits",
+    "report_for_dynamic",
+    "report_for_static",
+    "static_timing_leakage_bits",
+    "termination_leakage_bits",
+    "total_leakage_bits",
+    "unprotected_leakage_bits",
+    "unprotected_leakage_bits_estimate",
+    "unprotected_trace_count",
+    "AveragingLearner",
+    "RateDecision",
+    "ThresholdLearner",
+    "INITIAL_RATE",
+    "PAPER_RATES",
+    "RateSet",
+    "lg_spaced_rates",
+    "LeakageBudgetExceededError",
+    "LeakageMonitor",
+    "MonitoredLearner",
+    "BaseDramScheme",
+    "BaseOramScheme",
+    "DynamicScheme",
+    "ObliviousDramScheme",
+    "StaticScheme",
+    "dynamic",
+    "paper_baselines",
+]

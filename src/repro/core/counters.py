@@ -1,0 +1,57 @@
+"""Performance counters at the ORAM controller (Section 7.1.1).
+
+Three counters, reset at every epoch transition, observe the LLC-to-ORAM
+queue:
+
+* ``access_count`` — real (non-dummy) ORAM requests this epoch.
+* ``oram_cycles`` — cycles each real request was in service, summed
+  (supports variable-latency ORAMs; with a fixed-latency ORAM it is
+  ``access_count * latency``).
+* ``waste`` — cycles lost to the *current rate*: waiting for the next
+  slot when work is pending (overset, Req 1), riding out an in-flight
+  dummy (underset, Req 2), and one rate-quantum per extra queued request
+  (multiple outstanding, Req 3).
+
+The learner's prediction (Equation 1) derives the offered load from these
+three plus the epoch length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PerfCounters:
+    """The three Section 7.1.1 counters plus bookkeeping totals."""
+
+    access_count: int = 0
+    oram_cycles: float = 0.0
+    waste: float = 0.0
+
+    def reset(self) -> None:
+        """Clear all counters (epoch transition)."""
+        self.access_count = 0
+        self.oram_cycles = 0.0
+        self.waste = 0.0
+
+    def record_real_access(self, service_cycles: float) -> None:
+        """Account one real ORAM access of ``service_cycles`` duration."""
+        if service_cycles < 0:
+            raise ValueError(f"service_cycles must be >= 0, got {service_cycles}")
+        self.access_count += 1
+        self.oram_cycles += service_cycles
+
+    def record_waste(self, cycles: float) -> None:
+        """Add rate-attributable lost cycles."""
+        if cycles < 0:
+            raise ValueError(f"waste cycles must be >= 0, got {cycles}")
+        self.waste += cycles
+
+    def snapshot(self) -> "PerfCounters":
+        """Copy for post-mortem inspection before a reset."""
+        return PerfCounters(
+            access_count=self.access_count,
+            oram_cycles=self.oram_cycles,
+            waste=self.waste,
+        )

@@ -1,0 +1,152 @@
+"""Online leakage monitoring and enforcement (Section 2.1).
+
+The paper notes two ways to use the trace-counting leakage measure: the
+one the evaluation focuses on (engineer the schedule so leakage
+*approaches* L asymptotically) and a guard mechanism — "track the number
+of traces using hardware mechanisms, and (for example) shut down the chip
+if leakage exceeds L before the program terminates."  This module
+implements that guard.
+
+``LeakageMonitor`` tracks the realized upper bound on lg(trace count) as
+the run unfolds: each epoch transition multiplies the possible-trace count
+by |R| (lg-add of lg|R|), and termination contributes the configured
+termination-channel bits.  ``authorize_epoch`` must be consulted *before*
+entering a new epoch; if doing so would push the bound past L the monitor
+trips and the processor must halt (or refuse the transition and pin the
+current rate, the conservative alternative also provided).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+class LeakageBudgetExceededError(RuntimeError):
+    """The chip tripped its leakage guard (Section 2.1 shutdown)."""
+
+
+@dataclass
+class LeakageMonitor:
+    """Hardware-style accumulator of the realized leakage bound.
+
+    Args:
+        limit_bits: The user's L.
+        n_rates: |R| — each authorized epoch adds lg|R| bits.
+        termination_bits: Bits reserved for the early-termination channel
+            (lg Tmax, or less if termination is discretized); charged up
+            front because any run may terminate at any time.
+        strict: If True, :meth:`authorize_epoch` raises on overrun
+            (shutdown semantics).  If False it returns False and the
+            caller must pin the current rate (refuse-transition
+            semantics), which keeps the program running with no further
+            timing leakage.
+    """
+
+    limit_bits: float
+    n_rates: int
+    termination_bits: float = 0.0
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.limit_bits < 0:
+            raise ValueError(f"limit_bits must be >= 0, got {self.limit_bits}")
+        check_positive(self.n_rates, "n_rates")
+        if self.termination_bits < 0:
+            raise ValueError(
+                f"termination_bits must be >= 0, got {self.termination_bits}"
+            )
+        if self.termination_bits > self.limit_bits:
+            raise LeakageBudgetExceededError(
+                "termination channel alone exceeds the leakage limit"
+            )
+        self._epochs_authorized = 0
+
+    @property
+    def bits_per_epoch(self) -> float:
+        """lg |R| — the cost of one more rate decision."""
+        return math.log2(self.n_rates)
+
+    @property
+    def consumed_bits(self) -> float:
+        """Realized bound so far (termination + authorized epochs)."""
+        return self.termination_bits + self._epochs_authorized * self.bits_per_epoch
+
+    @property
+    def remaining_bits(self) -> float:
+        """Budget headroom."""
+        return self.limit_bits - self.consumed_bits
+
+    @property
+    def epochs_authorized(self) -> int:
+        """Rate decisions granted so far."""
+        return self._epochs_authorized
+
+    def max_epochs(self) -> int:
+        """How many epoch transitions the budget admits in total."""
+        if self.bits_per_epoch == 0:
+            return 2**63  # |R| = 1 never leaks
+        return int((self.limit_bits - self.termination_bits) / self.bits_per_epoch)
+
+    def authorize_epoch(self) -> bool:
+        """Request one more rate decision; charge lg|R| bits if granted.
+
+        Returns True when granted.  When the budget is exhausted: raises
+        :class:`LeakageBudgetExceededError` in strict mode, else returns
+        False (the controller must keep its current rate forever after).
+        """
+        if self.consumed_bits + self.bits_per_epoch > self.limit_bits + 1e-9:
+            if self.strict:
+                raise LeakageBudgetExceededError(
+                    f"authorizing another epoch would consume "
+                    f"{self.consumed_bits + self.bits_per_epoch:.1f} bits, "
+                    f"limit is {self.limit_bits:.1f}"
+                )
+            return False
+        self._epochs_authorized += 1
+        return True
+
+
+class MonitoredLearner:
+    """Wraps a rate learner with a :class:`LeakageMonitor`.
+
+    Drop-in for the controller's ``learner``: every epoch decision first
+    asks the monitor for budget.  When the budget runs out in non-strict
+    mode, the wrapper pins the rate *currently in effect* (the last
+    authorized choice, or the initial rate if none was ever authorized) —
+    repeating a rate is free, only changing it leaks.
+    """
+
+    def __init__(self, learner, monitor: LeakageMonitor, initial_rate: int) -> None:
+        if initial_rate <= 0:
+            raise ValueError(f"initial_rate must be positive, got {initial_rate}")
+        self.learner = learner
+        self.monitor = monitor
+        self._current_rate = initial_rate
+        self._pinned = False
+
+    @property
+    def pinned(self) -> bool:
+        """True once the budget ran out and the rate froze."""
+        return self._pinned
+
+    def decide(self, counters, epoch_cycles: float):
+        from repro.core.learner import RateDecision
+
+        if self._pinned:
+            return RateDecision(raw_estimate=float("nan"),
+                                chosen_rate=self._current_rate)
+        decision = self.learner.decide(counters, epoch_cycles)
+        # Every decision point is charged lg|R|, even when the chosen rate
+        # happens to equal the current one: the |R|^|E| trace-count bound
+        # counts schedules, and "unchanged" is itself one of the |R|
+        # options the trace reveals.  (Charging only on change would admit
+        # sum_j C(E,j)(|R|-1)^j traces, which can exceed the budget.)
+        if self.monitor.authorize_epoch():
+            self._current_rate = decision.chosen_rate
+            return decision
+        self._pinned = True
+        return RateDecision(raw_estimate=decision.raw_estimate,
+                            chosen_rate=self._current_rate)

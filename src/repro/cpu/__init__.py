@@ -1,0 +1,26 @@
+"""In-order core model: ISA latencies, CPI, and trace containers."""
+
+from repro.cpu.core import CoreModel, DEFAULT_CORE
+from repro.cpu.isa import (
+    CacheLatencies,
+    DEFAULT_CACHE_LATENCIES,
+    DEFAULT_LATENCIES,
+    DEFAULT_MIX,
+    InstructionLatencies,
+    InstructionMix,
+)
+from repro.cpu.trace import EnergyEvents, MemoryTrace, MissTrace
+
+__all__ = [
+    "CoreModel",
+    "DEFAULT_CORE",
+    "CacheLatencies",
+    "DEFAULT_CACHE_LATENCIES",
+    "DEFAULT_LATENCIES",
+    "DEFAULT_MIX",
+    "InstructionLatencies",
+    "InstructionMix",
+    "EnergyEvents",
+    "MemoryTrace",
+    "MissTrace",
+]

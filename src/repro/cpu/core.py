@@ -1,0 +1,66 @@
+"""In-order core CPI model.
+
+The core is single-issue and in-order (Table 1), so its timing between LLC
+misses is fully determined by the instruction stream and cache hit
+latencies — this is what lets the functional pass precompute compute-cycle
+gaps that every timing configuration then replays.  The only concurrency
+in the machine is the 8-entry non-blocking write buffer, which the timing
+simulator models explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.isa import (
+    CacheLatencies,
+    DEFAULT_CACHE_LATENCIES,
+    DEFAULT_LATENCIES,
+    InstructionLatencies,
+    InstructionMix,
+)
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Derived per-event cycle costs for one core configuration."""
+
+    latencies: InstructionLatencies = DEFAULT_LATENCIES
+    cache_latencies: CacheLatencies = DEFAULT_CACHE_LATENCIES
+    #: Issue cost of a store into the write buffer (it drains off the
+    #: critical path unless the buffer is full).
+    store_issue_cycles: int = 1
+
+    def nonmem_cpi(self, mix: InstructionMix) -> float:
+        """Average cycles per non-memory instruction for ``mix``."""
+        return mix.base_cpi(self.latencies)
+
+    def load_hit_cycles(self, level: int) -> int:
+        """Cycles for a load that hits at cache ``level`` (1 or 2)."""
+        if level == 1:
+            return self.cache_latencies.load_l1_hit
+        if level == 2:
+            return self.cache_latencies.load_l2_hit
+        raise ValueError(f"level must be 1 or 2, got {level}")
+
+    def load_miss_onchip_cycles(self) -> int:
+        """On-chip cycles for a load missing all caches (memory time excluded)."""
+        return self.cache_latencies.load_llc_miss_onchip
+
+    def ideal_ipc(self, mix: InstructionMix, memory_fraction: float) -> float:
+        """IPC with a perfect memory system (every access an L1 hit).
+
+        Useful for sanity checks: the paper's base_dram IPCs land between
+        0.15 and 0.36 for SPEC-like mixes once realistic miss rates apply.
+        """
+        if not 0.0 <= memory_fraction < 1.0:
+            raise ValueError(f"memory_fraction must be in [0,1), got {memory_fraction}")
+        cpi = (
+            (1.0 - memory_fraction) * self.nonmem_cpi(mix)
+            + memory_fraction * self.cache_latencies.load_l1_hit
+        )
+        return 1.0 / cpi
+
+
+#: Shared default core model (Table 1 parameters).
+DEFAULT_CORE = CoreModel()

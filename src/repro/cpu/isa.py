@@ -1,0 +1,112 @@
+"""Instruction classes and latencies for the in-order core (Table 1).
+
+The paper models an in-order, single-issue MIPS core: 1/4/12 pipeline
+stages per integer arith/mult/div instruction, 2/4/10 for floating point,
+L1 I hit+miss latency 1+0, L1 D 2+1, L2 10+4.  We treat "pipeline stages
+per instruction" as the per-instruction issue cost of a single-issue
+machine, which is how SESC's simple core model behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class InstructionLatencies:
+    """Issue cost (cycles) per instruction class."""
+
+    int_arith: int = 1
+    int_mult: int = 4
+    int_div: int = 12
+    fp_arith: int = 2
+    fp_mult: int = 4
+    fp_div: int = 10
+    branch: int = 1
+    #: Issue cost of a load/store; the cache-hit latency is added separately.
+    memory_issue: int = 1
+
+
+@dataclass(frozen=True)
+class CacheLatencies:
+    """Hit and miss-detection latencies per cache level (Table 1)."""
+
+    l1i_hit: int = 1
+    l1i_miss_penalty: int = 0
+    l1d_hit: int = 2
+    l1d_miss_penalty: int = 1
+    l2_hit: int = 10
+    l2_miss_penalty: int = 4
+
+    @property
+    def load_l1_hit(self) -> int:
+        """Total latency of a load that hits L1 D."""
+        return self.l1d_hit
+
+    @property
+    def load_l2_hit(self) -> int:
+        """Total latency of a load that misses L1 D and hits L2."""
+        return self.l1d_hit + self.l1d_miss_penalty + self.l2_hit
+
+    @property
+    def load_llc_miss_onchip(self) -> int:
+        """On-chip portion of a load that misses everywhere.
+
+        The off-chip (DRAM/ORAM) service time is added by the timing
+        simulator; this is just the lookup/miss-detection pipeline cost.
+        """
+        return (
+            self.l1d_hit
+            + self.l1d_miss_penalty
+            + self.l2_hit
+            + self.l2_miss_penalty
+        )
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractional instruction mix of the *non-memory* instructions.
+
+    Memory operations are described separately by the workload trace; the
+    mix determines the core's base CPI between memory references and the
+    ALU/FPU/register-file energy per instruction.
+    """
+
+    int_arith: float = 0.70
+    int_mult: float = 0.05
+    int_div: float = 0.01
+    fp_arith: float = 0.04
+    fp_mult: float = 0.03
+    fp_div: float = 0.01
+    branch: float = 0.16
+
+    def __post_init__(self) -> None:
+        total = sum(getattr(self, field.name) for field in fields(self))
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"instruction mix must sum to 1.0, got {total}")
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of non-memory instructions that are floating point."""
+        return self.fp_arith + self.fp_mult + self.fp_div
+
+    def base_cpi(self, latencies: InstructionLatencies | None = None) -> float:
+        """Average cycles per non-memory instruction under this mix."""
+        if latencies is None:
+            latencies = InstructionLatencies()
+        return (
+            self.int_arith * latencies.int_arith
+            + self.int_mult * latencies.int_mult
+            + self.int_div * latencies.int_div
+            + self.fp_arith * latencies.fp_arith
+            + self.fp_mult * latencies.fp_mult
+            + self.fp_div * latencies.fp_div
+            + self.branch * latencies.branch
+        )
+
+
+#: Default latencies used everywhere (Table 1 values).
+DEFAULT_LATENCIES = InstructionLatencies()
+DEFAULT_CACHE_LATENCIES = CacheLatencies()
+#: A generic SPEC-int-flavored mix (mostly integer with light FP).
+DEFAULT_MIX = InstructionMix()

@@ -1,0 +1,146 @@
+"""Trace containers exchanged between workloads, caches, and the simulator.
+
+``MemoryTrace`` is what a workload generator produces: the sequence of data
+memory references (byte address, load/store) with the number of non-memory
+instructions executed between consecutive references, plus the instruction
+mix that determines CPI and energy.  ``MissTrace`` is what the functional
+cache hierarchy reduces it to: the sequence of LLC-level memory requests
+with the compute-cycle gaps between them — the only thing the event-driven
+timing simulator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.isa import DEFAULT_MIX, InstructionMix
+
+
+@dataclass
+class MemoryTrace:
+    """Data-reference trace of one benchmark run.
+
+    Attributes:
+        name: Benchmark name (e.g. ``"mcf"``).
+        input_name: Workload input label (e.g. ``"rivers"``), for
+            multi-input benchmarks like Figure 2's perlbench/astar.
+        addresses: Byte address of each data reference (uint64).
+        is_store: True where the reference is a store.
+        gap_instructions: Non-memory instructions retired since the
+            previous reference (int32, first entry counts from t=0).
+        mix: Non-memory instruction mix for CPI/energy.
+        local_ref_fraction: Fraction of *gap* instructions that are
+            stack/local memory references guaranteed to hit L1 D.  These
+            are folded into the CPI and L1 energy statistically instead of
+            being emitted individually, which keeps traces ~5-10x smaller
+            without changing LLC behaviour (they can never reach the LLC).
+        icache_footprint_bytes: Approximate hot code footprint; used to
+            model L1 I refill energy at phase transitions.
+        n_phases: Number of program phases (each phase re-touches the
+            instruction footprint once).
+    """
+
+    name: str
+    input_name: str
+    addresses: np.ndarray
+    is_store: np.ndarray
+    gap_instructions: np.ndarray
+    mix: InstructionMix = field(default_factory=lambda: DEFAULT_MIX)
+    local_ref_fraction: float = 0.20
+    icache_footprint_bytes: int = 64 * 1024
+    n_phases: int = 1
+
+    def __post_init__(self) -> None:
+        n = len(self.addresses)
+        if len(self.is_store) != n or len(self.gap_instructions) != n:
+            raise ValueError(
+                "addresses, is_store, gap_instructions must have equal length "
+                f"(got {n}, {len(self.is_store)}, {len(self.gap_instructions)})"
+            )
+
+    @property
+    def n_references(self) -> int:
+        """Number of data memory references."""
+        return len(self.addresses)
+
+    @property
+    def n_instructions(self) -> int:
+        """Total instructions: memory references plus the gaps between them."""
+        return int(self.gap_instructions.sum()) + self.n_references
+
+    def describe(self) -> str:
+        """One-line trace summary."""
+        refs = self.n_references
+        instrs = self.n_instructions
+        mem_fraction = refs / max(1, instrs)
+        return (
+            f"{self.name}/{self.input_name}: {instrs} instructions, "
+            f"{refs} refs ({mem_fraction:.1%} memory)"
+        )
+
+
+@dataclass
+class MissTrace:
+    """LLC-level request stream distilled from a :class:`MemoryTrace`.
+
+    Attributes:
+        gap_cycles: Compute cycles (instruction issue + cache hit
+            latencies) between the completion of the previous request and
+            the issue of this one (float64).
+        is_blocking: True where the core must stall for the response (load
+            misses); False for store-miss fills and dirty writebacks, which
+            drain through the non-blocking write buffer.
+        instruction_index: Cumulative retired-instruction count at each
+            request issue (int64) — used for IPC windows and Figure 2.
+        total_compute_cycles: Compute cycles after the last request (tail).
+        n_instructions: Total instructions in the run.
+        energy: Event counts for the power model.
+        source: The originating memory trace (for labels).
+    """
+
+    gap_cycles: np.ndarray
+    is_blocking: np.ndarray
+    instruction_index: np.ndarray
+    total_compute_cycles: float
+    n_instructions: int
+    energy: "EnergyEvents"
+    source_name: str = ""
+    source_input: str = ""
+
+    @property
+    def n_requests(self) -> int:
+        """Number of LLC-level memory requests (misses + writebacks)."""
+        return len(self.gap_cycles)
+
+    @property
+    def n_blocking(self) -> int:
+        """Number of blocking (load-miss) requests."""
+        return int(self.is_blocking.sum())
+
+    def mean_instructions_per_request(self) -> float:
+        """Average instructions between LLC requests (cf. Figure 2's y-axis)."""
+        if self.n_requests == 0:
+            return float(self.n_instructions)
+        return self.n_instructions / self.n_requests
+
+
+@dataclass
+class EnergyEvents:
+    """Counts of energy-bearing microarchitectural events (Table 2 rows)."""
+
+    n_instructions: int = 0
+    n_memory_refs: int = 0
+    alu_fpu_ops: int = 0
+    regfile_int_ops: int = 0
+    regfile_fp_ops: int = 0
+    fetch_buffer_accesses: int = 0
+    l1i_hits: int = 0
+    l1i_refills: int = 0
+    l1d_hits: int = 0
+    l1d_refills: int = 0
+    l2_hits: int = 0
+    l2_refills: int = 0
+    llc_misses: int = 0
+    writebacks: int = 0

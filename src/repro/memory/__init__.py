@@ -1,0 +1,17 @@
+"""Main-memory substrates: flat insecure DRAM and DDR3-lite timing."""
+
+from repro.memory.dram import (
+    DDR3Config,
+    DDR3Memory,
+    DDR3Stats,
+    average_bucket_overhead_cycles,
+)
+from repro.memory.flat import FlatMemory
+
+__all__ = [
+    "DDR3Config",
+    "DDR3Memory",
+    "DDR3Stats",
+    "average_bucket_overhead_cycles",
+    "FlatMemory",
+]

@@ -1,0 +1,24 @@
+"""Flat-latency main memory model for insecure baselines.
+
+The paper models main memory latency for insecure systems (``base_dram``)
+with a flat 40 cycles (Section 9.1.2).  Bandwidth is effectively
+unconstrained at the request rates an in-order single-issue core can
+generate, so each request completes a fixed latency after issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FlatMemory:
+    """Fixed-latency memory: every request completes ``latency_cycles`` later."""
+
+    latency_cycles: int = 40
+    requests: int = 0
+
+    def service(self, issue_time: float) -> float:
+        """Return the completion time of a request issued at ``issue_time``."""
+        self.requests += 1
+        return issue_time + self.latency_cycles

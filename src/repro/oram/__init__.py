@@ -1,0 +1,56 @@
+"""Path ORAM substrate: functional controller, recursion, integrity, timing.
+
+This package implements the ORAM machinery the paper builds on (Section 3):
+the binary-tree Path ORAM protocol with stash and position map, recursive
+position maps, probabilistic bucket encryption, the untrusted-memory view
+an adversary probes, Merkle integrity as an extension, and the derivation
+of the per-access latency/bandwidth/energy constants the evaluation uses.
+"""
+
+from repro.oram.backend import UntrustedMemory
+from repro.oram.background_eviction import BackgroundEvictingORAM, EvictionStats
+from repro.oram.block import Block, DUMMY_ADDRESS
+from repro.oram.config import ORAMConfig, PAPER_ORAM_CONFIG, TEST_ORAM_CONFIG, TreeGeometry
+from repro.oram.encryption import CHUNK_BYTES, ProbabilisticCipher, chunk_count
+from repro.oram.integrity import MerkleTree, TamperDetectedError, VerifiedPathORAM
+from repro.oram.path_oram import AccessStats, PathORAM, make_path_oram
+from repro.oram.position_map import FlatPositionMap
+from repro.oram.recursion import RecursivePathORAM
+from repro.oram.stash import Stash, StashOverflowError
+from repro.oram.timing import (
+    DramLinkParameters,
+    ORAMTiming,
+    PAPER_ORAM_TIMING,
+    derive_timing,
+    paper_timing,
+)
+
+__all__ = [
+    "UntrustedMemory",
+    "BackgroundEvictingORAM",
+    "EvictionStats",
+    "Block",
+    "DUMMY_ADDRESS",
+    "ORAMConfig",
+    "PAPER_ORAM_CONFIG",
+    "TEST_ORAM_CONFIG",
+    "TreeGeometry",
+    "CHUNK_BYTES",
+    "ProbabilisticCipher",
+    "chunk_count",
+    "MerkleTree",
+    "TamperDetectedError",
+    "VerifiedPathORAM",
+    "AccessStats",
+    "PathORAM",
+    "make_path_oram",
+    "FlatPositionMap",
+    "RecursivePathORAM",
+    "Stash",
+    "StashOverflowError",
+    "DramLinkParameters",
+    "ORAMTiming",
+    "PAPER_ORAM_TIMING",
+    "derive_timing",
+    "paper_timing",
+]

@@ -1,0 +1,59 @@
+"""Untrusted external memory holding the encrypted ORAM tree.
+
+This models the DRAM DIMM the secure processor shares with the rest of the
+platform.  Buckets are stored at fixed locations (heap index), which is
+exactly what the Section 3.2 probe attack relies on: an adversary who can
+read physical memory learns when an ORAM access happened by watching the
+root bucket's ciphertext change.  :meth:`UntrustedMemory.raw_read` exposes
+that adversarial view; the honest controller only uses read/write.
+"""
+
+from __future__ import annotations
+
+
+class UntrustedMemory:
+    """Bucket-indexed ciphertext store with adversarial observation hooks."""
+
+    def __init__(self, n_buckets: int) -> None:
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be positive, got {n_buckets}")
+        self._buckets: list[bytes | None] = [None] * n_buckets
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def read(self, bucket_index: int) -> bytes | None:
+        """Honest-controller read of one encrypted bucket."""
+        self._check(bucket_index)
+        ciphertext = self._buckets[bucket_index]
+        self.reads += 1
+        if ciphertext is not None:
+            self.bytes_read += len(ciphertext)
+        return ciphertext
+
+    def write(self, bucket_index: int, ciphertext: bytes) -> None:
+        """Honest-controller write of one encrypted bucket."""
+        self._check(bucket_index)
+        self._buckets[bucket_index] = bytes(ciphertext)
+        self.writes += 1
+        self.bytes_written += len(ciphertext)
+
+    def raw_read(self, bucket_index: int) -> bytes | None:
+        """Adversarial read: does not perturb controller statistics.
+
+        Models a malicious co-tenant issuing DMA/software reads to the
+        shared DIMM (Section 3.2).  Returns the current ciphertext bytes.
+        """
+        self._check(bucket_index)
+        ciphertext = self._buckets[bucket_index]
+        return None if ciphertext is None else bytes(ciphertext)
+
+    def _check(self, bucket_index: int) -> None:
+        if not 0 <= bucket_index < len(self._buckets):
+            raise IndexError(
+                f"bucket {bucket_index} outside [0, {len(self._buckets)})"
+            )

@@ -1,0 +1,87 @@
+"""Block and bucket plaintext structures for the functional Path ORAM.
+
+A block is the unit the processor reads/writes (one cache line).  Buckets
+hold up to Z blocks and are padded with dummy blocks to a fixed size so all
+buckets are indistinguishable once encrypted (paper Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Address value reserved for dummy (padding) blocks.
+DUMMY_ADDRESS = -1
+
+
+@dataclass(frozen=True)
+class Block:
+    """One ORAM block: logical address, current leaf label, payload."""
+
+    address: int
+    leaf: int
+    data: bytes
+
+    @property
+    def is_dummy(self) -> bool:
+        """True for padding blocks that carry no program data."""
+        return self.address == DUMMY_ADDRESS
+
+    @staticmethod
+    def dummy(block_bytes: int) -> "Block":
+        """A padding block of ``block_bytes`` zero bytes."""
+        return Block(address=DUMMY_ADDRESS, leaf=0, data=bytes(block_bytes))
+
+
+_ADDRESS_BYTES = 8
+_LEAF_BYTES = 8
+
+
+def serialize_block(block: Block, block_bytes: int) -> bytes:
+    """Fixed-size wire format: address, leaf, then padded payload."""
+    if len(block.data) > block_bytes:
+        raise ValueError(
+            f"block payload is {len(block.data)} bytes, exceeds block size {block_bytes}"
+        )
+    address_field = (block.address & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(_ADDRESS_BYTES, "little")
+    leaf_field = block.leaf.to_bytes(_LEAF_BYTES, "little")
+    payload = block.data.ljust(block_bytes, b"\x00")
+    return address_field + leaf_field + payload
+
+
+def deserialize_block(raw: bytes, block_bytes: int) -> Block:
+    """Invert :func:`serialize_block`."""
+    expected = serialized_block_bytes(block_bytes)
+    if len(raw) != expected:
+        raise ValueError(f"expected {expected} serialized bytes, got {len(raw)}")
+    address = int.from_bytes(raw[:_ADDRESS_BYTES], "little")
+    if address >= 1 << 63:
+        address -= 1 << 64
+    leaf = int.from_bytes(raw[_ADDRESS_BYTES : _ADDRESS_BYTES + _LEAF_BYTES], "little")
+    data = raw[_ADDRESS_BYTES + _LEAF_BYTES :]
+    return Block(address=address, leaf=leaf, data=data)
+
+
+def serialized_block_bytes(block_bytes: int) -> int:
+    """Size of one serialized block (payload + metadata)."""
+    return _ADDRESS_BYTES + _LEAF_BYTES + block_bytes
+
+
+def serialize_bucket(blocks: list[Block], z: int, block_bytes: int) -> bytes:
+    """Serialize up to ``z`` blocks, padding with dummies to exactly ``z``."""
+    if len(blocks) > z:
+        raise ValueError(f"bucket holds at most {z} blocks, got {len(blocks)}")
+    padded = list(blocks) + [Block.dummy(block_bytes)] * (z - len(blocks))
+    return b"".join(serialize_block(block, block_bytes) for block in padded)
+
+
+def deserialize_bucket(raw: bytes, z: int, block_bytes: int) -> list[Block]:
+    """Invert :func:`serialize_bucket`, dropping dummy padding blocks."""
+    stride = serialized_block_bytes(block_bytes)
+    if len(raw) != z * stride:
+        raise ValueError(f"expected {z * stride} bucket bytes, got {len(raw)}")
+    blocks = []
+    for slot in range(z):
+        block = deserialize_block(raw[slot * stride : (slot + 1) * stride], block_bytes)
+        if not block.is_dummy:
+            blocks.append(block)
+    return blocks

@@ -1,0 +1,73 @@
+"""Probabilistic encryption for ORAM buckets.
+
+Path ORAM requires every bucket to be re-encrypted with *probabilistic*
+encryption on every write (paper Section 3): encrypting the same plaintext
+twice must yield unrelated-looking ciphertexts.  This property is what makes
+dummy accesses indistinguishable from real ones — and, conversely, is what
+the Section 3.2 root-bucket probe attack exploits to *measure* ORAM timing
+(every access flips bits in the root bucket).
+
+We simulate an AES-CTR-style scheme with a SHA-256 keystream: each
+encryption draws a fresh 8-byte nonce, and the keystream is
+``SHA256(key || nonce || counter)``.  This is deterministic given the nonce
+(so tests are reproducible), has the ciphertext-freshness property the
+security arguments need, and is explicitly a *simulation* of the paper's
+fixed-latency AES-128 hardware, not production cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+#: AES chunk granularity used by the paper's energy model (Section 9.1.4).
+CHUNK_BYTES = 16
+
+_NONCE_BYTES = 8
+
+
+class ProbabilisticCipher:
+    """Nonce-based stream cipher with fresh randomness per encryption."""
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = bytes(key)
+        self._nonce_counter = itertools.count()
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Ciphertext expansion (the prepended nonce)."""
+        return _NONCE_BYTES
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt under a fresh nonce; same plaintext yields fresh bytes."""
+        nonce = next(self._nonce_counter).to_bytes(_NONCE_BYTES, "little")
+        return nonce + self._xor_keystream(nonce, bytes(plaintext))
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt`."""
+        if len(ciphertext) < _NONCE_BYTES:
+            raise ValueError(f"ciphertext too short: {len(ciphertext)} bytes")
+        nonce = ciphertext[:_NONCE_BYTES]
+        return self._xor_keystream(nonce, ciphertext[_NONCE_BYTES:])
+
+    def _xor_keystream(self, nonce: bytes, data: bytes) -> bytes:
+        stream = bytearray()
+        for counter in range((len(data) + 31) // 32):
+            block = hashlib.sha256(
+                self._key + nonce + counter.to_bytes(4, "little")
+            ).digest()
+            stream.extend(block)
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def chunk_count(n_bytes: int) -> int:
+    """Number of 16-byte AES chunks needed to cover ``n_bytes``.
+
+    Used by the energy model: the ORAM controller performs one AES
+    operation and one stash SRAM access per 16-byte chunk moved.
+    """
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+    return (n_bytes + CHUNK_BYTES - 1) // CHUNK_BYTES

@@ -1,0 +1,257 @@
+"""Functional Path ORAM controller (Stefanov et al., CCS 2013; paper Section 3).
+
+This is a complete, working Path ORAM: it stores encrypted buckets in
+:class:`~repro.oram.backend.UntrustedMemory`, maintains the position map
+and stash, and services reads/writes by reading a path, remapping the
+block, and greedily writing the path back.  Dummy accesses — reads/writes
+of a uniformly random path — are first-class citizens because the timing
+protection schemes in :mod:`repro.core` depend on them.
+
+The timing models elsewhere in the repository do not execute this
+controller per access (that would be needlessly slow); they use the latency
+and energy constants derived from its geometry in :mod:`repro.oram.timing`.
+This module exists to (a) demonstrate the substrate end-to-end, (b) back
+the security demos (probe adversary, malicious program), and (c) anchor the
+property tests for the Path ORAM invariant.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.oram.backend import UntrustedMemory
+from repro.oram.block import Block, deserialize_bucket, serialize_bucket
+from repro.oram.config import ORAMConfig, TreeGeometry
+from repro.oram.encryption import ProbabilisticCipher
+from repro.oram.position_map import FlatPositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import common_prefix_level, path_bucket_indices
+
+
+@dataclass
+class AccessStats:
+    """Counters accumulated by a :class:`PathORAM` instance."""
+
+    reads: int = 0
+    writes: int = 0
+    dummies: int = 0
+    buckets_touched: int = 0
+    stash_peak: int = 0
+    stash_occupancy_samples: list[int] = field(default_factory=list)
+
+    @property
+    def total_accesses(self) -> int:
+        """Real plus dummy accesses."""
+        return self.reads + self.writes + self.dummies
+
+
+class PathORAM:
+    """Single-tree Path ORAM with a flat (on-chip) position map.
+
+    Args:
+        geometry: Tree shape (levels, Z, block size).
+        n_blocks: Number of addressable program blocks; must fit the tree.
+        key: Encryption key for bucket ciphertexts (random if omitted).
+        seed: Seed for leaf remapping randomness.
+        stash_capacity: Optional hard stash bound (raises on overflow).
+    """
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        n_blocks: int,
+        key: bytes | None = None,
+        seed: int = 0,
+        stash_capacity: int | None = None,
+    ) -> None:
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        if n_blocks > geometry.n_slots:
+            raise ValueError(
+                f"{n_blocks} blocks exceed tree capacity of {geometry.n_slots} slots"
+            )
+        self.geometry = geometry
+        self.n_blocks = n_blocks
+        self._cipher = ProbabilisticCipher(key if key is not None else os.urandom(16))
+        self.position_map = FlatPositionMap(n_blocks, geometry.n_leaves, seed=seed)
+        self.stash = Stash(capacity_blocks=stash_capacity)
+        self.memory = UntrustedMemory(geometry.n_buckets)
+        self.stats = AccessStats()
+        self._initialize_tree()
+
+    # ------------------------------------------------------------------
+    # Public interface: the cache-line request/response surface exposed to
+    # the processor (paper Section 3), plus dummy accesses.
+    # ------------------------------------------------------------------
+
+    def read(self, address: int) -> bytes:
+        """Read one block; performs a full path access."""
+        block = self._access(address, new_data=None)
+        self.stats.reads += 1
+        return block
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write one block; performs a full path access."""
+        self._access(address, new_data=data)
+        self.stats.writes += 1
+
+    def update(self, address: int, mutate) -> bytes:
+        """Read-modify-write one block in a *single* path access.
+
+        ``mutate`` receives the current payload bytes and returns the new
+        payload.  This is how recursive position-map blocks are maintained:
+        the real controller updates the label in-flight between the path
+        read and the path write-back, costing one path, not two.
+        """
+        new_data = self._access(address, new_data=None, mutate=mutate)
+        self.stats.writes += 1
+        return new_data
+
+    def dummy_access(self) -> None:
+        """Indistinguishable dummy access: read+write a random path."""
+        leaf = self.position_map.random_leaf()
+        self._read_path(leaf)
+        self._write_path(leaf)
+        self.stats.dummies += 1
+        self._sample_stash()
+
+    def check_invariant(self) -> None:
+        """Verify the Path ORAM invariant for every block (test hook).
+
+        Every block must be either in the stash or in some bucket on the
+        path from the root to its mapped leaf.  O(n_blocks * levels); only
+        call on small trees.
+        """
+        located: dict[int, int] = {}
+        for bucket_index in range(self.geometry.n_buckets):
+            for block in self._load_bucket(bucket_index):
+                located[block.address] = bucket_index
+        for address in range(self.n_blocks):
+            if address in self.stash:
+                continue
+            bucket_index = located.get(address)
+            if bucket_index is None:
+                # Never-written blocks may not exist anywhere yet.
+                continue
+            leaf = self.position_map.lookup(address)
+            path = path_bucket_indices(self.geometry, leaf)
+            if bucket_index not in path:
+                raise AssertionError(
+                    f"block {address} (leaf {leaf}) found in off-path bucket "
+                    f"{bucket_index}"
+                )
+
+    # ------------------------------------------------------------------
+    # Core access algorithm (paper Section 3.1)
+    # ------------------------------------------------------------------
+
+    def _access(self, address: int, new_data: bytes | None, mutate=None) -> bytes:
+        if not 0 <= address < self.n_blocks:
+            raise KeyError(f"address {address} outside [0, {self.n_blocks})")
+        old_leaf, _new_leaf = self.position_map.remap(address)
+        self._read_path(old_leaf)
+        stashed = self.stash.get(address)
+        if stashed is None:
+            # First touch: materialize a zero block.
+            data = bytes(self.geometry.block_bytes)
+        else:
+            data = stashed.data
+        if mutate is not None:
+            new_data = mutate(data)
+        if new_data is not None:
+            if len(new_data) > self.geometry.block_bytes:
+                raise ValueError(
+                    f"payload of {len(new_data)} bytes exceeds block size "
+                    f"{self.geometry.block_bytes}"
+                )
+            data = bytes(new_data).ljust(self.geometry.block_bytes, b"\x00")
+        # Re-stash under the *new* leaf so write-back places it correctly.
+        self.stash.add(
+            Block(address=address, leaf=self.position_map.lookup(address), data=data)
+        )
+        self._write_path(old_leaf)
+        self._sample_stash()
+        return data
+
+    def _read_path(self, leaf: int) -> None:
+        for bucket_index in path_bucket_indices(self.geometry, leaf):
+            for block in self._load_bucket(bucket_index):
+                self.stash.add(block)
+            self.stats.buckets_touched += 1
+
+    def _write_path(self, leaf: int) -> None:
+        """Greedy write-back: deepest buckets grab eligible blocks first."""
+        path = path_bucket_indices(self.geometry, leaf)
+        # Group stashed blocks by the deepest level they may occupy on this
+        # path (the common-prefix level of their leaf with the access leaf).
+        eligible_by_level: dict[int, list[Block]] = {}
+        for block in self.stash.blocks():
+            depth = common_prefix_level(self.geometry, leaf, block.leaf)
+            eligible_by_level.setdefault(depth, []).append(block)
+        placed_addresses: list[int] = []
+        for level in range(self.geometry.levels - 1, -1, -1):
+            chosen: list[Block] = []
+            # A block whose deepest eligible level is >= this level fits here.
+            for depth in range(self.geometry.levels - 1, level - 1, -1):
+                candidates = eligible_by_level.get(depth)
+                while candidates and len(chosen) < self.geometry.blocks_per_bucket:
+                    chosen.append(candidates.pop())
+                if len(chosen) >= self.geometry.blocks_per_bucket:
+                    break
+            for block in chosen:
+                placed_addresses.append(block.address)
+            self._store_bucket(path[level], chosen)
+            self.stats.buckets_touched += 1
+        for address in placed_addresses:
+            self.stash.remove(address)
+
+    # ------------------------------------------------------------------
+    # Bucket (de)serialization + encryption
+    # ------------------------------------------------------------------
+
+    def _initialize_tree(self) -> None:
+        """Fill every bucket with encrypted dummy blocks (program start)."""
+        for bucket_index in range(self.geometry.n_buckets):
+            self._store_bucket(bucket_index, [])
+
+    def _load_bucket(self, bucket_index: int) -> list[Block]:
+        ciphertext = self.memory.read(bucket_index)
+        if ciphertext is None:
+            return []
+        plaintext = self._cipher.decrypt(ciphertext)
+        return deserialize_bucket(
+            plaintext, self.geometry.blocks_per_bucket, self.geometry.block_bytes
+        )
+
+    def _store_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
+        plaintext = serialize_bucket(
+            blocks, self.geometry.blocks_per_bucket, self.geometry.block_bytes
+        )
+        self.memory.write(bucket_index, self._cipher.encrypt(plaintext))
+
+    def _sample_stash(self) -> None:
+        occupancy = len(self.stash)
+        self.stats.stash_peak = max(self.stats.stash_peak, occupancy)
+        self.stats.stash_occupancy_samples.append(occupancy)
+
+
+def make_path_oram(
+    config: ORAMConfig | None = None,
+    n_blocks: int | None = None,
+    seed: int = 0,
+    stash_capacity: int | None = None,
+) -> PathORAM:
+    """Convenience constructor from an :class:`ORAMConfig`.
+
+    Uses the data-ORAM geometry with a flat position map (no recursion);
+    see :mod:`repro.oram.recursion` for the recursive composition.
+    """
+    if config is None:
+        from repro.oram.config import TEST_ORAM_CONFIG
+
+        config = TEST_ORAM_CONFIG
+    geometry = config.data_geometry()
+    if n_blocks is None:
+        n_blocks = min(config.n_blocks, geometry.n_slots // 2)
+    return PathORAM(geometry, n_blocks, seed=seed, stash_capacity=stash_capacity)

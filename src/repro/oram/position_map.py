@@ -1,0 +1,60 @@
+"""Position maps: the block-address -> leaf-label mapping.
+
+The flat map models the on-chip key-value memory inside the ORAM controller
+(paper Section 3).  For large ORAMs the paper stores the map recursively in
+smaller ORAMs; :mod:`repro.oram.recursion` composes flat maps stored inside
+:class:`~repro.oram.path_oram.PathORAM` instances for that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+class FlatPositionMap:
+    """Dense in-memory position map with random (re)mapping.
+
+    Every block starts mapped to an independently uniform leaf, and
+    :meth:`remap` assigns a fresh uniform leaf — the "critical security
+    step" of Path ORAM (Section 3.1).
+    """
+
+    def __init__(self, n_blocks: int, n_leaves: int, seed: int = 0) -> None:
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        if n_leaves <= 0:
+            raise ValueError(f"n_leaves must be positive, got {n_leaves}")
+        self._rng = make_rng(seed, "position-map")
+        self._n_leaves = n_leaves
+        self._leaves = self._rng.integers(0, n_leaves, size=n_blocks, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves blocks can map to."""
+        return self._n_leaves
+
+    def lookup(self, address: int) -> int:
+        """Current leaf label for ``address``."""
+        self._check(address)
+        return int(self._leaves[address])
+
+    def remap(self, address: int) -> tuple[int, int]:
+        """Assign a fresh uniform leaf; return ``(old_leaf, new_leaf)``."""
+        self._check(address)
+        old_leaf = int(self._leaves[address])
+        new_leaf = int(self._rng.integers(0, self._n_leaves))
+        self._leaves[address] = new_leaf
+        return old_leaf, new_leaf
+
+    def random_leaf(self) -> int:
+        """A uniform leaf label (used for dummy accesses)."""
+        return int(self._rng.integers(0, self._n_leaves))
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < len(self._leaves):
+            raise KeyError(f"address {address} outside [0, {len(self._leaves)})")

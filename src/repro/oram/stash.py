@@ -1,0 +1,63 @@
+"""The Path ORAM stash: on-chip overflow storage for in-flight blocks.
+
+Between the path read and path write-back of an access, all real blocks on
+the path live in the stash; blocks that cannot be evicted back onto the
+path (because their leaf diverges too early) remain stashed.  Path ORAM's
+security/performance argument is that with adequate Z the stash occupancy
+stays small with overwhelming probability — our property tests check this
+empirically.
+"""
+
+from __future__ import annotations
+
+from repro.oram.block import Block
+
+
+class Stash:
+    """Address-keyed block store with occupancy tracking."""
+
+    def __init__(self, capacity_blocks: int | None = None) -> None:
+        self._blocks: dict[int, Block] = {}
+        self._capacity = capacity_blocks
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._blocks
+
+    def add(self, block: Block) -> None:
+        """Insert or replace the block for ``block.address``."""
+        if block.is_dummy:
+            raise ValueError("dummy blocks are never stashed")
+        self._blocks[block.address] = block
+        self.max_occupancy = max(self.max_occupancy, len(self._blocks))
+        if self._capacity is not None and len(self._blocks) > self._capacity:
+            raise StashOverflowError(
+                f"stash exceeded capacity of {self._capacity} blocks"
+            )
+
+    def get(self, address: int) -> Block | None:
+        """Return the stashed block for ``address``, if any."""
+        return self._blocks.get(address)
+
+    def remove(self, address: int) -> Block:
+        """Remove and return the block for ``address``."""
+        return self._blocks.pop(address)
+
+    def addresses(self) -> list[int]:
+        """Snapshot of stashed addresses (stable iteration order)."""
+        return list(self._blocks)
+
+    def blocks(self) -> list[Block]:
+        """Snapshot of stashed blocks."""
+        return list(self._blocks.values())
+
+
+class StashOverflowError(RuntimeError):
+    """Raised when a capacity-bounded stash overflows.
+
+    A real ORAM controller would have to stall or violate obliviousness at
+    this point; parameterizations are chosen so this never fires.
+    """

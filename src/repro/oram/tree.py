@@ -1,0 +1,74 @@
+"""Binary-tree index arithmetic for Path ORAM.
+
+Buckets are stored in heap order: bucket 0 is the root; bucket ``i`` has
+children ``2i + 1`` (left) and ``2i + 2`` (right).  A *leaf label* is an
+integer in ``[0, n_leaves)`` selecting a root-to-leaf path; bit ``k`` of the
+label (from the most significant path bit) selects the child taken at tree
+level ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.oram.config import TreeGeometry
+
+
+def path_bucket_indices(geometry: TreeGeometry, leaf: int) -> list[int]:
+    """Heap indices of the buckets on the path from root to ``leaf``.
+
+    The returned list has ``geometry.levels`` entries ordered root-first.
+    """
+    _check_leaf(geometry, leaf)
+    indices = [0]
+    node = 0
+    for level in range(1, geometry.levels):
+        take_right = (leaf >> (geometry.levels - 1 - level)) & 1
+        node = 2 * node + 1 + take_right
+        indices.append(node)
+    return indices
+
+
+def bucket_on_path(geometry: TreeGeometry, leaf: int, level: int) -> int:
+    """Heap index of the level-``level`` bucket on the path to ``leaf``."""
+    _check_leaf(geometry, leaf)
+    if not 0 <= level < geometry.levels:
+        raise ValueError(f"level must be in [0, {geometry.levels}), got {level}")
+    node = 0
+    for depth in range(1, level + 1):
+        take_right = (leaf >> (geometry.levels - 1 - depth)) & 1
+        node = 2 * node + 1 + take_right
+    return node
+
+
+def common_prefix_level(geometry: TreeGeometry, leaf_a: int, leaf_b: int) -> int:
+    """Deepest tree level shared by the paths to ``leaf_a`` and ``leaf_b``.
+
+    Level 0 (the root) is always shared; two identical leaves share
+    ``geometry.levels - 1``.  This is the key predicate for Path ORAM write
+    back: a block mapped to ``leaf_b`` may live at level ``l`` of the path
+    to ``leaf_a`` iff ``l <= common_prefix_level(geometry, leaf_a, leaf_b)``.
+    """
+    _check_leaf(geometry, leaf_a)
+    _check_leaf(geometry, leaf_b)
+    differing = leaf_a ^ leaf_b
+    if differing == 0:
+        return geometry.levels - 1
+    # The highest set bit of the XOR marks the first level where the paths
+    # diverge (counting from the bit below the root).
+    first_divergence = geometry.levels - 1 - differing.bit_length()
+    return first_divergence
+
+
+def leaf_of_bucket(geometry: TreeGeometry, bucket: int) -> tuple[int, int]:
+    """Return ``(level, smallest leaf whose path passes through bucket)``."""
+    if not 0 <= bucket < geometry.n_buckets:
+        raise ValueError(f"bucket must be in [0, {geometry.n_buckets}), got {bucket}")
+    level = (bucket + 1).bit_length() - 1
+    first_at_level = (1 << level) - 1
+    offset = bucket - first_at_level
+    leaves_per_subtree = 1 << (geometry.levels - 1 - level)
+    return level, offset * leaves_per_subtree
+
+
+def _check_leaf(geometry: TreeGeometry, leaf: int) -> None:
+    if not 0 <= leaf < geometry.n_leaves:
+        raise ValueError(f"leaf must be in [0, {geometry.n_leaves}), got {leaf}")

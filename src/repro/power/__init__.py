@@ -1,0 +1,25 @@
+"""Power model: Table 2 coefficients and energy/power accounting."""
+
+from repro.power.coefficients import (
+    EnergyCoefficients,
+    PAPER_COEFFICIENTS,
+    PAPER_ORAM_ACCESS_NJ,
+)
+from repro.power.model import (
+    EnergyBreakdown,
+    build_breakdown,
+    dram_memory_energy_nj,
+    oram_memory_energy_nj,
+    processor_energy_nj,
+)
+
+__all__ = [
+    "EnergyCoefficients",
+    "PAPER_COEFFICIENTS",
+    "PAPER_ORAM_ACCESS_NJ",
+    "EnergyBreakdown",
+    "build_breakdown",
+    "dram_memory_energy_nj",
+    "oram_memory_energy_nj",
+    "processor_energy_nj",
+]

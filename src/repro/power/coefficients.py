@@ -1,0 +1,57 @@
+"""Energy coefficients from the paper's Table 2 (45 nm technology).
+
+Dynamic energies are per event; parasitic leakage is per cycle for the L1
+caches and per hit/refill for the L2 (that is how Table 2 states it).  The
+ORAM-access energy of 984 nJ is derived in :mod:`repro.oram.timing` from
+the AES/stash/DRAM-controller rows below and pinned here for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """All Table 2 rows, in nanojoules (nJ) per event unless noted."""
+
+    # Dynamic energy
+    alu_fpu_per_instruction: float = 0.0148
+    regfile_int_per_instruction: float = 0.0032
+    regfile_fp_per_instruction: float = 0.0048
+    fetch_buffer_access: float = 0.0003
+    l1i_hit_or_refill: float = 0.162
+    l1d_hit_64bit: float = 0.041
+    l1d_refill_line: float = 0.320
+    l2_hit_or_refill_line: float = 0.810
+    dram_controller_line: float = 0.303
+
+    # Parasitic leakage
+    l1i_leak_per_cycle: float = 0.018
+    l1d_leak_per_cycle: float = 0.019
+    l2_leak_per_hit_or_refill: float = 0.767
+
+    # On-chip ORAM controller
+    aes_per_chunk: float = 0.416
+    stash_per_chunk: float = 0.134
+    dram_ctrl_per_dram_cycle: float = 0.076
+
+    def oram_access_nj(
+        self, chunks_per_access: int = 2 * 758, dram_cycles: int = 1984
+    ) -> float:
+        """Energy of one full ORAM access (Section 9.1.4 derivation).
+
+        ``chunk_count * (AES + stash) + DRAM cycles * controller energy``
+        = 2*758*(0.416+0.134) + 1984*0.076 ≈ 984 nJ with the defaults.
+        """
+        return (
+            chunks_per_access * (self.aes_per_chunk + self.stash_per_chunk)
+            + dram_cycles * self.dram_ctrl_per_dram_cycle
+        )
+
+
+#: The Table 2 values.
+PAPER_COEFFICIENTS = EnergyCoefficients()
+
+#: Derived total for one ORAM access; the paper reports ~984 nJ.
+PAPER_ORAM_ACCESS_NJ = PAPER_COEFFICIENTS.oram_access_nj()

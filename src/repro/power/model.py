@@ -1,0 +1,118 @@
+"""Energy and power accounting (Section 9.1.3).
+
+The paper's recipe: count all accesses made to each component, multiply
+each count by its energy coefficient, sum, and divide by cycle count — at
+the 1 GHz clock this yields Watts directly (nJ per ns).  Energy is split
+into the processor-side portion (fixed for a given benchmark, because
+instructions-per-experiment is fixed) and the main-memory portion
+(DRAM/ORAM controllers — this is what differs between timing
+configurations and is shown as the colored bars in Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.trace import EnergyEvents
+from repro.power.coefficients import EnergyCoefficients, PAPER_COEFFICIENTS
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Total energy split into processor-side and memory-side portions (nJ)."""
+
+    core_nj: float
+    cache_dynamic_nj: float
+    cache_leakage_nj: float
+    memory_nj: float
+
+    @property
+    def processor_nj(self) -> float:
+        """Everything except the DRAM/ORAM controllers (Fig 6 white bars)."""
+        return self.core_nj + self.cache_dynamic_nj + self.cache_leakage_nj
+
+    @property
+    def total_nj(self) -> float:
+        """Total energy."""
+        return self.processor_nj + self.memory_nj
+
+    def power_watts(self, cycles: float, clock_hz: float = 1e9) -> float:
+        """Average power over ``cycles`` at ``clock_hz`` (W)."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        seconds = cycles / clock_hz
+        return self.total_nj * 1e-9 / seconds
+
+    def memory_power_watts(self, cycles: float, clock_hz: float = 1e9) -> float:
+        """Memory-controller portion of power (Fig 6 colored bars)."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        seconds = cycles / clock_hz
+        return self.memory_nj * 1e-9 / seconds
+
+
+def processor_energy_nj(
+    events: EnergyEvents,
+    cycles: float,
+    coefficients: EnergyCoefficients | None = None,
+) -> tuple[float, float, float]:
+    """Processor-side energy: (core, cache dynamic, cache leakage) in nJ.
+
+    ``cycles`` scales the per-cycle L1 leakage terms — the one
+    processor-side term that grows when timing protection slows a program
+    down.
+    """
+    c = coefficients or PAPER_COEFFICIENTS
+    core = (
+        events.alu_fpu_ops * c.alu_fpu_per_instruction
+        + events.regfile_int_ops * c.regfile_int_per_instruction
+        + events.regfile_fp_ops * c.regfile_fp_per_instruction
+        + events.fetch_buffer_accesses * c.fetch_buffer_access
+    )
+    cache_dynamic = (
+        (events.l1i_hits + events.l1i_refills) * c.l1i_hit_or_refill
+        + events.l1d_hits * c.l1d_hit_64bit
+        + events.l1d_refills * c.l1d_refill_line
+        + (events.l2_hits + events.l2_refills) * c.l2_hit_or_refill_line
+    )
+    cache_leakage = (
+        cycles * (c.l1i_leak_per_cycle + c.l1d_leak_per_cycle)
+        + (events.l2_hits + events.l2_refills) * c.l2_leak_per_hit_or_refill
+    )
+    return core, cache_dynamic, cache_leakage
+
+
+def dram_memory_energy_nj(
+    n_line_transfers: int,
+    coefficients: EnergyCoefficients | None = None,
+) -> float:
+    """Memory-side energy of ``base_dram``: per-cache-line controller energy."""
+    c = coefficients or PAPER_COEFFICIENTS
+    return n_line_transfers * c.dram_controller_line
+
+
+def oram_memory_energy_nj(
+    n_accesses: int,
+    nj_per_access: float | None = None,
+    coefficients: EnergyCoefficients | None = None,
+) -> float:
+    """Memory-side energy of an ORAM system (real + dummy accesses)."""
+    c = coefficients or PAPER_COEFFICIENTS
+    per_access = nj_per_access if nj_per_access is not None else c.oram_access_nj()
+    return n_accesses * per_access
+
+
+def build_breakdown(
+    events: EnergyEvents,
+    cycles: float,
+    memory_nj: float,
+    coefficients: EnergyCoefficients | None = None,
+) -> EnergyBreakdown:
+    """Assemble the full energy breakdown for one simulated run."""
+    core, cache_dynamic, cache_leakage = processor_energy_nj(events, cycles, coefficients)
+    return EnergyBreakdown(
+        core_nj=core,
+        cache_dynamic_nj=cache_dynamic,
+        cache_leakage_nj=cache_leakage,
+        memory_nj=memory_nj,
+    )

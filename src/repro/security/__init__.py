@@ -1,0 +1,65 @@
+"""Security machinery: protocols, sessions, adversaries, attack demos."""
+
+from repro.security.adversary import (
+    ProbeAdversary,
+    ProbeSample,
+    TimingTraceObserver,
+)
+from repro.security.attacks import (
+    P1AttackResult,
+    ProbeAttackResult,
+    run_p1_attack,
+    run_probe_attack,
+)
+from repro.security.protocol import (
+    BindingError,
+    ExecutionReceipt,
+    LeakageLimitExceededError,
+    LeakageParameters,
+    SecureProcessorProtocol,
+    UserSubmission,
+    bind_submission,
+    program_hash,
+)
+from repro.security.replay import (
+    DeterministicReplayDefense,
+    ReplayOutcome,
+    demonstrate_run_once,
+    replay_campaign,
+)
+from repro.security.session import (
+    ProcessorIdentity,
+    ProcessorKeyRegister,
+    SealedBlob,
+    SessionKeys,
+    SessionTerminatedError,
+    negotiate_session,
+)
+
+__all__ = [
+    "ProbeAdversary",
+    "ProbeSample",
+    "TimingTraceObserver",
+    "P1AttackResult",
+    "ProbeAttackResult",
+    "run_p1_attack",
+    "run_probe_attack",
+    "BindingError",
+    "ExecutionReceipt",
+    "LeakageLimitExceededError",
+    "LeakageParameters",
+    "SecureProcessorProtocol",
+    "UserSubmission",
+    "bind_submission",
+    "program_hash",
+    "DeterministicReplayDefense",
+    "ReplayOutcome",
+    "demonstrate_run_once",
+    "replay_campaign",
+    "ProcessorIdentity",
+    "ProcessorKeyRegister",
+    "SealedBlob",
+    "SessionKeys",
+    "SessionTerminatedError",
+    "negotiate_session",
+]

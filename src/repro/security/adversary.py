@@ -1,0 +1,115 @@
+"""The probe adversary of Section 3.2.
+
+An adversary sharing the DRAM DIMM can tell when a Path ORAM access
+happened without any timing side channel on the bus: every access rewrites
+a full tree path with probabilistic encryption, every path contains the
+root bucket, and buckets sit at fixed addresses — so two reads of the root
+bucket differ exactly when at least one access occurred in between.
+
+``ProbeAdversary`` polls a :class:`~repro.oram.backend.UntrustedMemory`
+root bucket via ``raw_read`` and reconstructs (a) the binary
+access-happened signal per polling interval and (b) an estimate of the
+access rate.  Paired with the malicious program P1 it recovers user
+secrets through an unprotected controller; against a slot-enforced
+controller it sees only the periodic cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProbeSample:
+    """One poll of the root bucket: time and whether it changed."""
+
+    time: float
+    changed: bool
+
+
+class ProbeAdversary:
+    """Root-bucket polling adversary (software-only, shared-DIMM).
+
+    Args:
+        memory: The untrusted memory to probe (adversarial view).
+        bucket_index: Which bucket to poll; the root (0) is on every path,
+            so it flips on every access.
+    """
+
+    def __init__(self, memory, bucket_index: int = 0) -> None:
+        self.memory = memory
+        self.bucket_index = bucket_index
+        self._last: bytes | None = None
+        self.samples: list[ProbeSample] = []
+
+    def poll(self, time: float) -> bool:
+        """Read the probed bucket; return True if it changed since last poll."""
+        current = self.memory.raw_read(self.bucket_index)
+        changed = self._last is not None and current != self._last
+        self._last = current
+        self.samples.append(ProbeSample(time=time, changed=changed))
+        return changed
+
+    def observed_access_intervals(self) -> list[float]:
+        """Times between consecutive change observations."""
+        change_times = [s.time for s in self.samples if s.changed]
+        return [b - a for a, b in zip(change_times, change_times[1:])]
+
+    def estimated_rate(self) -> float | None:
+        """Mean interval between observed accesses (None if < 2 events)."""
+        intervals = self.observed_access_intervals()
+        if not intervals:
+            return None
+        return sum(intervals) / len(intervals)
+
+
+@dataclass
+class TimingTraceObserver:
+    """Idealized adversary that records exact ORAM access start times.
+
+    Models the Section 4.2 capability "when each memory access is made"
+    directly; used to feed the P1 decoder and to verify that protected
+    schemes emit strictly periodic (input-independent) traces.
+    """
+
+    access_times: list[float] = field(default_factory=list)
+
+    def record(self, start_time: float) -> None:
+        """Log one observable ORAM access start."""
+        self.access_times.append(start_time)
+
+    def intervals(self) -> list[float]:
+        """Inter-access intervals."""
+        return [
+            b - a for a, b in zip(self.access_times, self.access_times[1:])
+        ]
+
+    def is_strictly_periodic(self, tolerance: float = 1e-6) -> bool:
+        """True if every interval matches the first (one distinct trace)."""
+        intervals = self.intervals()
+        if len(intervals) < 2:
+            return True
+        first = intervals[0]
+        return all(abs(interval - first) <= tolerance for interval in intervals)
+
+    def distinct_interval_count(self, tolerance: float = 1e-6) -> int:
+        """Number of distinct interval values (coarse trace diversity)."""
+        distinct: list[float] = []
+        for interval in self.intervals():
+            if not any(abs(interval - seen) <= tolerance for seen in distinct):
+                distinct.append(interval)
+        return len(distinct)
+
+
+def observe_controller_slots(controller_cls, rate: int, latency: int, horizon: float):
+    """Enumerate the slot start times a rate-enforcing controller emits.
+
+    Pure arithmetic helper for tests: with rate ``r`` and latency ``OLAT``
+    the k-th access starts at ``k*r + (k-1)*OLAT``.
+    """
+    times = []
+    t = rate
+    while t <= horizon:
+        times.append(float(t))
+        t += latency + rate
+    return times

@@ -1,0 +1,24 @@
+"""Event-driven secure-processor simulation and result analysis."""
+
+from repro.sim.result import SimResult, performance_overhead, power_overhead
+from repro.sim.simulator import SecureProcessorSim, SimConfig
+from repro.sim.timing import run_timing
+from repro.sim.windows import (
+    WindowSeries,
+    epoch_transition_instructions,
+    instructions_per_access_windows,
+    ipc_windows,
+)
+
+__all__ = [
+    "SimResult",
+    "performance_overhead",
+    "power_overhead",
+    "SecureProcessorSim",
+    "SimConfig",
+    "run_timing",
+    "WindowSeries",
+    "epoch_transition_instructions",
+    "instructions_per_access_windows",
+    "ipc_windows",
+]

@@ -1,0 +1,91 @@
+"""Simulation result containers and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import ControllerStats, EpochRecord
+from repro.cpu.trace import EnergyEvents
+from repro.power.model import EnergyBreakdown
+
+
+@dataclass
+class SimResult:
+    """Outcome of one (benchmark, scheme) timing simulation.
+
+    Attributes:
+        scheme_name: Label of the memory scheme simulated.
+        benchmark: Benchmark label ("name/input").
+        cycles: Total runtime in processor cycles.
+        n_instructions: Instructions retired.
+        controller: Access counters from the memory controller.
+        epochs: Epochs as executed (empty for non-epoch schemes).
+        energy: Microarchitectural event counts (from the functional pass).
+        breakdown: Energy breakdown; ``power_watts`` derives from it.
+        request_completion_times: Completion time of each LLC request.
+        request_instruction_index: Instruction index at each LLC request.
+        blocking_mask: Which LLC requests were blocking loads.
+    """
+
+    scheme_name: str
+    benchmark: str
+    cycles: float
+    n_instructions: int
+    controller: ControllerStats
+    epochs: list[EpochRecord]
+    energy: EnergyEvents
+    breakdown: EnergyBreakdown
+    request_completion_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    request_instruction_index: np.ndarray = field(default_factory=lambda: np.empty(0))
+    blocking_mask: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    #: Start time of every access (real + dummy) when the run was made with
+    #: ``record_observable_trace=True`` — the adversary's view.
+    observable_access_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the whole run."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.n_instructions / self.cycles
+
+    @property
+    def power_watts(self) -> float:
+        """Average power (W) at the 1 GHz clock."""
+        return self.breakdown.power_watts(self.cycles)
+
+    @property
+    def memory_power_watts(self) -> float:
+        """DRAM/ORAM controller portion of power (Fig 6 colored bars)."""
+        return self.breakdown.memory_power_watts(self.cycles)
+
+    @property
+    def dummy_fraction(self) -> float:
+        """Fraction of ORAM accesses that were dummies."""
+        return self.controller.dummy_fraction
+
+    def describe(self) -> str:
+        """One-line result summary."""
+        return (
+            f"{self.benchmark:>22} {self.scheme_name:>16}: "
+            f"IPC={self.ipc:.4f}, power={self.power_watts:.3f} W, "
+            f"accesses={self.controller.total_accesses} "
+            f"({self.dummy_fraction:.0%} dummy)"
+        )
+
+
+def performance_overhead(result: SimResult, baseline: SimResult) -> float:
+    """Runtime multiplier vs a baseline run of the same benchmark."""
+    if result.n_instructions != baseline.n_instructions:
+        raise ValueError(
+            "overhead comparison requires identical instruction counts "
+            f"({result.n_instructions} vs {baseline.n_instructions})"
+        )
+    return result.cycles / baseline.cycles
+
+
+def power_overhead(result: SimResult, baseline: SimResult) -> float:
+    """Power multiplier vs a baseline run of the same benchmark."""
+    return result.power_watts / baseline.power_watts

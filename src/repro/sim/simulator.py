@@ -1,0 +1,116 @@
+"""Top-level secure-processor simulation: workload -> caches -> timing.
+
+``SecureProcessorSim`` wires the substrates together and caches the
+expensive functional cache pass per benchmark, so sweeping many schemes
+over the same workload (Figures 5, 6, 8) costs one cache simulation plus
+one cheap timing replay per scheme — the two-phase structure described in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import HierarchyConfig, PAPER_HIERARCHY, simulate_hierarchy
+from repro.cpu.core import CoreModel, DEFAULT_CORE
+from repro.cpu.trace import MemoryTrace, MissTrace
+from repro.sim.result import SimResult
+from repro.sim.timing import run_timing
+from repro.workloads.registry import build_trace
+
+
+@dataclass
+class SimConfig:
+    """Scaled simulation parameters shared by the experiment harness.
+
+    ``warmup_fraction`` mirrors the paper's fast-forwarding: that fraction
+    of extra instructions is prepended to each run to warm the caches and
+    is excluded from all timing/energy accounting.
+    """
+
+    n_instructions: int = 1_000_000
+    seed: int = 0
+    hierarchy: HierarchyConfig = field(default_factory=lambda: PAPER_HIERARCHY)
+    core: CoreModel = field(default_factory=lambda: DEFAULT_CORE)
+    write_buffer_entries: int = 8
+    warmup_fraction: float = 0.30
+
+
+class SecureProcessorSim:
+    """Simulator facade with per-benchmark miss-trace caching."""
+
+    def __init__(self, config: SimConfig | None = None) -> None:
+        self.config = config or SimConfig()
+        self._miss_traces: dict[tuple, MissTrace] = {}
+
+    def miss_trace(
+        self, benchmark: str, input_name: str | None = None
+    ) -> MissTrace:
+        """Functional cache pass for one benchmark (cached)."""
+        key = (benchmark, input_name, self.config.n_instructions, self.config.seed)
+        if key not in self._miss_traces:
+            warmup = int(self.config.n_instructions * self.config.warmup_fraction)
+            trace = build_trace(
+                benchmark,
+                seed=self.config.seed,
+                n_instructions=self.config.n_instructions + warmup,
+                input_name=input_name,
+            )
+            self._miss_traces[key] = simulate_hierarchy(
+                trace,
+                self.config.hierarchy,
+                self.config.core,
+                warmup_instructions=warmup,
+            )
+        return self._miss_traces[key]
+
+    def miss_trace_for(self, trace: MemoryTrace) -> MissTrace:
+        """Functional cache pass for an externally built trace (cached).
+
+        External traces are replayed verbatim (no warmup prefix is added);
+        use :meth:`miss_trace` for registry benchmarks.
+        """
+        key = ("__external__", trace.name, trace.input_name, trace.n_references)
+        if key not in self._miss_traces:
+            self._miss_traces[key] = simulate_hierarchy(
+                trace, self.config.hierarchy, self.config.core
+            )
+        return self._miss_traces[key]
+
+    def run(
+        self,
+        benchmark: str,
+        scheme,
+        input_name: str | None = None,
+        record_requests: bool = True,
+    ) -> SimResult:
+        """Simulate one benchmark under one scheme."""
+        miss_trace = self.miss_trace(benchmark, input_name)
+        return run_timing(
+            miss_trace,
+            scheme,
+            write_buffer_entries=self.config.write_buffer_entries,
+            record_requests=record_requests,
+        )
+
+    def run_trace(self, trace: MemoryTrace, scheme, record_requests: bool = True) -> SimResult:
+        """Simulate an externally built memory trace under one scheme."""
+        miss_trace = self.miss_trace_for(trace)
+        return run_timing(
+            miss_trace,
+            scheme,
+            write_buffer_entries=self.config.write_buffer_entries,
+            record_requests=record_requests,
+        )
+
+    def sweep(
+        self,
+        benchmark: str,
+        schemes: list,
+        input_name: str | None = None,
+    ) -> dict[str, SimResult]:
+        """Run several schemes over one benchmark (shared functional pass)."""
+        return {
+            scheme.name: self.run(benchmark, scheme, input_name=input_name)
+            for scheme in schemes
+        }

@@ -1,0 +1,116 @@
+"""Event-driven timing simulation of one benchmark under one scheme.
+
+Replays a :class:`~repro.cpu.trace.MissTrace` (produced once per benchmark
+by the functional cache pass) against a memory controller built by a
+scheme.  The machine model:
+
+* the in-order core executes compute between LLC requests (the precomputed
+  ``gap_cycles``), so the core timeline only interacts with memory at
+  request points;
+* **blocking** requests (load misses) stall the core until the response;
+* **non-blocking** requests (store-miss fills, dirty writebacks) enter the
+  8-entry write buffer and drain in the background; the core stalls only
+  when the buffer is full (Table 1, Section 9.1.2 — this is what creates
+  the Req 3 multiple-outstanding pattern of Figure 4);
+* the memory controller is one of
+  :class:`~repro.core.controller.FlatDramController` (base_dram),
+  :class:`~repro.core.controller.UnprotectedController` (base_oram), or
+  :class:`~repro.core.controller.TimingProtectedController`
+  (static/dynamic) — the latter inserts dummy accesses and rate waits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.write_buffer import WriteBuffer
+from repro.cpu.trace import MissTrace
+from repro.power.coefficients import PAPER_COEFFICIENTS
+from repro.power.model import (
+    build_breakdown,
+    dram_memory_energy_nj,
+    oram_memory_energy_nj,
+)
+from repro.sim.result import SimResult
+
+
+def run_timing(
+    miss_trace: MissTrace,
+    scheme,
+    write_buffer_entries: int = 8,
+    record_requests: bool = True,
+    record_observable_trace: bool = False,
+) -> SimResult:
+    """Replay ``miss_trace`` under ``scheme``; return the full result.
+
+    ``scheme`` is any object from :mod:`repro.core.scheme` exposing
+    ``build_controller()``, ``name`` and ``is_oram``.
+
+    With ``record_observable_trace``, the result carries the start time of
+    every memory access an adversary can observe — including dummies for
+    slot-enforced schemes (the Section 4.2 capability).
+    """
+    controller = scheme.build_controller()
+    controller.record_trace = record_observable_trace
+    buffer = WriteBuffer(entries=write_buffer_entries)
+
+    gaps = miss_trace.gap_cycles
+    blocking = miss_trace.is_blocking
+    n_requests = len(gaps)
+
+    completions = np.zeros(n_requests, dtype=np.float64) if record_requests else None
+
+    core_time = 0.0
+    serve = controller.serve
+    admit = buffer.admit
+
+    for index in range(n_requests):
+        issue = core_time + gaps[index]
+        completion = serve(issue)
+        if blocking[index]:
+            core_time = completion
+        else:
+            core_time = admit(issue, completion)
+        if completions is not None:
+            completions[index] = completion
+
+    # Tail: the core's final compute and any still-draining stores.
+    end_time = core_time + miss_trace.total_compute_cycles
+    end_time = max(end_time, buffer.drain_all())
+    controller.finalize(end_time)
+
+    cycles = max(end_time, 1.0)
+    if scheme.is_oram:
+        memory_nj = oram_memory_energy_nj(
+            controller.stats.total_accesses, coefficients=PAPER_COEFFICIENTS
+        )
+    else:
+        memory_nj = dram_memory_energy_nj(
+            controller.stats.total_accesses, coefficients=PAPER_COEFFICIENTS
+        )
+    breakdown = build_breakdown(miss_trace.energy, cycles, memory_nj)
+
+    return SimResult(
+        scheme_name=scheme.name,
+        benchmark=f"{miss_trace.source_name}/{miss_trace.source_input}",
+        cycles=cycles,
+        n_instructions=miss_trace.n_instructions,
+        controller=controller.stats,
+        epochs=controller.rate_history,
+        energy=miss_trace.energy,
+        breakdown=breakdown,
+        request_completion_times=(
+            completions if completions is not None else np.empty(0)
+        ),
+        request_instruction_index=(
+            miss_trace.instruction_index if record_requests else np.empty(0, dtype=np.int64)
+        ),
+        blocking_mask=(
+            miss_trace.is_blocking if record_requests else np.empty(0, dtype=bool)
+        ),
+        observable_access_times=(
+            np.asarray(controller.trace, dtype=np.float64)
+            if record_observable_trace
+            else np.empty(0)
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Shared low-level utilities: bit math, deterministic RNG, units, validation."""
+
+from repro.util.bitops import (
+    bit_length,
+    ceil_div,
+    ceil_lg,
+    floor_lg,
+    is_power_of_two,
+    next_power_of_two,
+    strict_next_power_of_two,
+)
+from repro.util.rng import derive_seed, make_rng
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    cycles_to_seconds,
+    nj_per_cycle_to_watts,
+    pretty_bytes,
+    pretty_cycles,
+)
+from repro.util.validation import check_in_range, check_positive, check_power_of_two
+
+__all__ = [
+    "bit_length",
+    "ceil_div",
+    "ceil_lg",
+    "floor_lg",
+    "is_power_of_two",
+    "next_power_of_two",
+    "strict_next_power_of_two",
+    "derive_seed",
+    "make_rng",
+    "KB",
+    "MB",
+    "GB",
+    "cycles_to_seconds",
+    "nj_per_cycle_to_watts",
+    "pretty_bytes",
+    "pretty_cycles",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+]

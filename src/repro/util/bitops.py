@@ -1,0 +1,64 @@
+"""Integer bit arithmetic used throughout the ORAM and leakage machinery.
+
+All functions operate on plain Python integers (arbitrary precision), which
+matters for leakage computations where trace counts routinely exceed 2**64.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def floor_lg(value: int) -> int:
+    """Return ``floor(log2(value))`` for a positive integer."""
+    if value <= 0:
+        raise ValueError(f"floor_lg requires a positive integer, got {value}")
+    return value.bit_length() - 1
+
+
+def ceil_lg(value: int) -> int:
+    """Return ``ceil(log2(value))`` for a positive integer."""
+    if value <= 0:
+        raise ValueError(f"ceil_lg requires a positive integer, got {value}")
+    return (value - 1).bit_length() if value > 1 else 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Round ``value`` up to the nearest power of two (identity on powers of two)."""
+    if value <= 0:
+        raise ValueError(f"next_power_of_two requires a positive integer, got {value}")
+    return 1 << ceil_lg(value)
+
+
+def strict_next_power_of_two(value: int) -> int:
+    """Round ``value`` up to the next power of two, *strictly* increasing.
+
+    This is the rounding used by the paper's Algorithm 1 rate predictor
+    (Section 7.2): ``AccessCount`` is rounded up to the next power of two
+    "including the case when AccessCount is already a power of 2", i.e.
+    ``8 -> 16``.  The strict rounding biases the predicted rate underset by
+    at most a factor of two, which the paper argues compensates for bursty
+    access patterns.
+    """
+    if value <= 0:
+        raise ValueError(f"strict_next_power_of_two requires a positive integer, got {value}")
+    if is_power_of_two(value):
+        return value << 1
+    return next_power_of_two(value)
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer division rounding up."""
+    if denominator <= 0:
+        raise ValueError(f"ceil_div requires a positive denominator, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to represent ``value`` (0 needs 1 bit)."""
+    if value < 0:
+        raise ValueError(f"bit_length requires a non-negative integer, got {value}")
+    return max(1, value.bit_length())

@@ -1,0 +1,50 @@
+"""Unit constants and conversions (bytes, cycles, power).
+
+The paper's processor clock is 1 GHz, so 1 cycle == 1 ns and an energy rate
+of 1 nJ/cycle is exactly 1 Watt.  Helpers here keep that arithmetic in one
+place and make call sites read like the paper's prose.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Processor clock frequency assumed by the paper's timing model (Table 1).
+CPU_CLOCK_HZ = 1_000_000_000
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float = CPU_CLOCK_HZ) -> float:
+    """Convert a cycle count at ``clock_hz`` to seconds."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def nj_per_cycle_to_watts(nj_per_cycle: float, clock_hz: float = CPU_CLOCK_HZ) -> float:
+    """Convert energy-per-cycle (nJ) into Watts at ``clock_hz``.
+
+    At 1 GHz this is the identity, matching the paper's Section 9.1.3
+    "sum all products and divide by cycle count" power recipe.
+    """
+    return nj_per_cycle * 1e-9 * clock_hz
+
+
+def pretty_bytes(n_bytes: float) -> str:
+    """Human-readable byte count, e.g. ``24.2 KB``."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024 or unit == "TB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def pretty_cycles(cycles: float) -> str:
+    """Human-readable cycle count, e.g. ``1.5M cycles``."""
+    value = float(cycles)
+    for suffix, scale in (("B", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f}{suffix} cycles"
+    return f"{value:.0f} cycles"

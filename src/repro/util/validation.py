@@ -1,0 +1,23 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from repro.util.bitops import is_power_of_two
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise ValueError unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Raise ValueError unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_power_of_two(value: int, name: str) -> None:
+    """Raise ValueError unless ``value`` is a positive power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a power of two, got {value}")

@@ -1,0 +1,46 @@
+"""Workload substrate: pattern primitives, SPEC-like models, malicious P1."""
+
+from repro.workloads.base import TraceBuilder, WorkloadSpec, scale_refs
+from repro.workloads.malicious import (
+    TOUCH_INSTRUCTIONS,
+    WAIT_INSTRUCTIONS,
+    build_p1_trace,
+    decode_p1_timing,
+)
+from repro.workloads.patterns import (
+    Segment,
+    concat,
+    interleave,
+    pointer_chase,
+    stack_distance_refs,
+    stream,
+    strided_sweep,
+    uniform_working_set,
+    zipf_working_set,
+)
+from repro.workloads.registry import build_trace, get_workload, registry, workload_names
+from repro.workloads.spec import specint_workloads
+
+__all__ = [
+    "TraceBuilder",
+    "WorkloadSpec",
+    "scale_refs",
+    "TOUCH_INSTRUCTIONS",
+    "WAIT_INSTRUCTIONS",
+    "build_p1_trace",
+    "decode_p1_timing",
+    "Segment",
+    "concat",
+    "interleave",
+    "pointer_chase",
+    "stack_distance_refs",
+    "stream",
+    "strided_sweep",
+    "uniform_working_set",
+    "zipf_working_set",
+    "build_trace",
+    "get_workload",
+    "registry",
+    "workload_names",
+    "specint_workloads",
+]

@@ -1,0 +1,114 @@
+"""The malicious program P1 from Figure 1(a).
+
+P1 iterates over the secret bits of the user's data.  For each bit it
+either *waits* (burns compute instructions, bit = 1) or *touches memory*
+at a cold address guaranteed to miss the LLC (bit = 0).  Without timing
+protection, an adversary watching when ORAM accesses occur reads the
+secret back bit-for-bit — T bits in T time — which is the paper's
+motivating worst case.
+
+``build_p1_trace`` emits this behaviour as a :class:`MemoryTrace` so the
+malicious program runs through exactly the same pipeline as the SPEC-like
+models; :mod:`repro.security.attacks` pairs it with the probe adversary to
+demonstrate (and then suppress) the leak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.isa import InstructionMix
+from repro.cpu.trace import MemoryTrace
+from repro.util.units import MB
+
+
+#: Instructions P1 burns per secret bit in the "wait" arm.
+WAIT_INSTRUCTIONS = 2_000
+#: Instructions in the "touch memory" arm before the miss lands.
+TOUCH_INSTRUCTIONS = 40
+
+
+def build_p1_trace(secret_bits: list[int], seed: int = 0) -> MemoryTrace:
+    """Compile the secret into P1's memory trace.
+
+    Each 0-bit issues one load to a never-before-seen line of a huge cold
+    region (a guaranteed LLC miss); each 1-bit burns ``WAIT_INSTRUCTIONS``
+    of pure compute.  A trailing sentinel access marks termination.
+    """
+    if not secret_bits:
+        raise ValueError("secret_bits must be non-empty")
+    if any(bit not in (0, 1) for bit in secret_bits):
+        raise ValueError("secret_bits must contain only 0/1")
+
+    addresses: list[int] = []
+    gaps: list[int] = []
+    cold_base = 0x4000_0000
+    cold_line = 0
+    pending_gap = 0
+    for bit in secret_bits:
+        if bit:
+            pending_gap += WAIT_INSTRUCTIONS
+        else:
+            addresses.append(cold_base + cold_line * 64)
+            # Stride across sets/pages so no reuse or spatial locality.
+            cold_line += 1 + (cold_line % 7) * 1024
+            gaps.append(pending_gap + TOUCH_INSTRUCTIONS)
+            pending_gap = 0
+    # Sentinel access so trailing 1-bits still shape the final gap.
+    addresses.append(cold_base + 512 * MB)
+    gaps.append(pending_gap + TOUCH_INSTRUCTIONS)
+
+    return MemoryTrace(
+        name="p1-malicious",
+        input_name="secret",
+        addresses=np.asarray(addresses, dtype=np.uint64),
+        is_store=np.zeros(len(addresses), dtype=bool),
+        gap_instructions=np.asarray(gaps, dtype=np.int64),
+        mix=InstructionMix(),
+        local_ref_fraction=0.0,
+    )
+
+
+def decode_p1_timing(
+    access_times: list[float],
+    wait_cycles: float,
+    n_bits: int,
+    access_latency: float = 0.0,
+    touch_cycles: float | None = None,
+) -> list[int]:
+    """Adversary's decoder: recover secret bits from ORAM access times.
+
+    ``access_times`` are observed access *start* times.  The compute gap
+    between consecutive accesses is ``start[i+1] - start[i] -
+    access_latency`` (the previous access occupies the memory for
+    ``access_latency`` cycles).  Gaps of roughly ``touch_cycles`` encode a
+    0-bit; each additional ``wait_cycles`` encodes a preceding 1-bit.
+    This inverts :func:`build_p1_trace` for an unprotected
+    (base_oram-style) memory system.  Under a strictly periodic (static)
+    rate every separation is identical and the decoder learns nothing.
+    """
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    if touch_cycles is None:
+        touch_cycles = float(TOUCH_INSTRUCTIONS)
+    bits: list[int] = []
+    # The program-load instant (Section 4.2 capability (a)) anchors the
+    # first gap, so leading 1-bits before the first access are decodable.
+    # No access occupies the memory before t=0, hence no latency term.
+    gaps = []
+    if access_times:
+        gaps.append(access_times[0])
+        gaps.extend(
+            later - earlier - access_latency
+            for earlier, later in zip(access_times, access_times[1:])
+        )
+    for gap in gaps:
+        n_waits = int(round(max(0.0, gap - touch_cycles) / wait_cycles))
+        bits.extend([1] * n_waits)
+        bits.append(0)
+        if len(bits) >= n_bits:
+            break
+    bits = bits[:n_bits]
+    # Trailing 1-bits ride on the sentinel gap; pad conservatively.
+    bits.extend([1] * (n_bits - len(bits)))
+    return bits

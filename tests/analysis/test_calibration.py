@@ -1,0 +1,28 @@
+"""Tests for the calibration harness (Tables 1-2 derivations)."""
+
+from repro.analysis.calibration import CalibrationRow, run_calibration
+
+
+class TestCalibrationRows:
+    def test_relative_error(self):
+        row = CalibrationRow("x", derived=110.0, paper=100.0)
+        assert row.relative_error == 0.1
+
+    def test_zero_reference(self):
+        row = CalibrationRow("x", derived=0.5, paper=0.0)
+        assert row.relative_error == 0.5
+
+
+class TestRunCalibration:
+    def test_all_constants_within_tolerance(self):
+        """The whole derivation chain lands within 8% of the paper."""
+        result = run_calibration()
+        assert result.all_within_tolerance(), result.render()
+
+    def test_render_mentions_quantities(self):
+        text = run_calibration().render()
+        assert "ORAM latency" in text
+        assert "energy per access" in text
+
+    def test_has_the_five_pinned_rows(self):
+        assert len(run_calibration().rows) == 5

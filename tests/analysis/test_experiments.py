@@ -1,0 +1,74 @@
+"""Tests for the experiment registry (small-scale smoke runs).
+
+Full-scale shape checks live in ``tests/integration``; these validate the
+runner plumbing and result structures quickly.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    FIG6_BENCHMARKS,
+    run_figure2,
+    run_figure5,
+    run_leakage_table,
+)
+from repro.sim.simulator import SecureProcessorSim, SimConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_sim() -> SecureProcessorSim:
+    return SecureProcessorSim(SimConfig(n_instructions=80_000, seed=1))
+
+
+class TestRegistry:
+    def test_fig6_suite_has_eleven(self):
+        assert len(FIG6_BENCHMARKS) == 11
+
+
+class TestFigure2:
+    def test_series_structure(self, tiny_sim):
+        result = run_figure2(tiny_sim, n_windows=8)
+        assert set(result.series) == {
+            "perlbench/diffmail", "perlbench/splitmail",
+            "astar/rivers", "astar/biglakes",
+        }
+        assert all(len(values) == 8 for values in result.series.values())
+
+    def test_perlbench_sensitivity(self, tiny_sim):
+        result = run_figure2(tiny_sim, n_windows=8)
+        assert result.input_sensitivity("perlbench") > 5
+
+    def test_render(self, tiny_sim):
+        text = run_figure2(tiny_sim, n_windows=8).render()
+        assert "Figure 2" in text
+
+
+class TestFigure5:
+    def test_sweep_structure(self, tiny_sim):
+        result = run_figure5(tiny_sim, rates=[256, 32768])
+        assert result.rates == [256, 32768]
+        assert len(result.perf_overhead["mcf"]) == 2
+
+    def test_mcf_prefers_fast_rates(self, tiny_sim):
+        result = run_figure5(tiny_sim, rates=[256, 32768])
+        assert result.perf_overhead["mcf"][0] < result.perf_overhead["mcf"][1]
+
+    def test_h264_power_drops_at_slow_rates(self, tiny_sim):
+        result = run_figure5(tiny_sim, rates=[256, 65536])
+        assert result.power_overhead["h264ref"][1] < result.power_overhead["h264ref"][0]
+
+    def test_render(self, tiny_sim):
+        assert "Figure 5" in run_figure5(tiny_sim, rates=[256]).render()
+
+
+class TestLeakageTable:
+    def test_headline_values(self):
+        table = run_leakage_table().as_dict()
+        assert table["termination (lg Tmax, Tmax=2^62)"] == 62.0
+        assert table["dynamic R4 E4 ORAM timing (SS9.3: 32)"] == 32.0
+        assert table["dynamic R4 E4 total (SS9.3: 94)"] == 94.0
+        assert table["dynamic R4 E16 ORAM timing (SS9.5: 16)"] == 16.0
+        assert table["dynamic R4 E2 total (Ex 6.1: 126)"] == 126.0
+
+    def test_render(self):
+        assert "Leakage accounting" in run_leakage_table().render()

@@ -1,0 +1,40 @@
+"""Tests for overhead aggregation."""
+
+import pytest
+
+from repro.analysis.overhead import SchemeComparison, relative_change
+from repro.core.scheme import BaseDramScheme, BaseOramScheme
+
+
+class TestRelativeChange:
+    def test_increase(self):
+        assert relative_change(1.5, 1.0) == pytest.approx(0.5)
+
+    def test_decrease(self):
+        assert relative_change(0.5, 1.0) == pytest.approx(-0.5)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            relative_change(1.0, 0.0)
+
+
+class TestSchemeComparison:
+    def test_aggregates_across_benchmarks(self, shared_sim):
+        comparison = SchemeComparison("base_oram")
+        for benchmark in ("mcf", "sjeng"):
+            baseline = shared_sim.run(benchmark, BaseDramScheme(), record_requests=False)
+            result = shared_sim.run(benchmark, BaseOramScheme(), record_requests=False)
+            comparison.add(result, baseline)
+        assert len(comparison.rows) == 2
+        assert comparison.avg_perf_overhead > 1.0
+        assert comparison.avg_power_watts > 0
+
+    def test_per_row_fields(self, shared_sim):
+        comparison = SchemeComparison("base_oram")
+        baseline = shared_sim.run("mcf", BaseDramScheme(), record_requests=False)
+        result = shared_sim.run("mcf", BaseOramScheme(), record_requests=False)
+        comparison.add(result, baseline)
+        row = comparison.rows[0]
+        assert row.benchmark == "mcf/inp"
+        assert row.perf_overhead > 5
+        assert 0 <= row.dummy_fraction <= 1

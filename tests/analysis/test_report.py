@@ -1,0 +1,33 @@
+"""Tests for the consolidated report builder."""
+
+import pytest
+
+from repro.analysis.report import full_report
+from repro.sim.simulator import SecureProcessorSim, SimConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_sim():
+    return SecureProcessorSim(SimConfig(n_instructions=60_000, seed=2))
+
+
+class TestFullReport:
+    def test_selected_sections_render(self, tiny_sim):
+        report = full_report(tiny_sim, include=("calibration", "leakage"))
+        text = report.render()
+        assert "Tables 1-2" in text
+        assert "Leakage accounting" in text
+
+    def test_figure_section(self, tiny_sim):
+        report = full_report(tiny_sim, include=("fig2",))
+        assert "Figure 2" in report.render()
+
+    def test_unknown_section_rejected(self, tiny_sim):
+        with pytest.raises(ValueError):
+            full_report(tiny_sim, include=("fig99",))
+
+    def test_save(self, tiny_sim, tmp_path):
+        report = full_report(tiny_sim, include=("leakage",))
+        target = tmp_path / "report.txt"
+        report.save(str(target))
+        assert "Leakage" in target.read_text()

@@ -1,0 +1,43 @@
+"""Tests for the multi-seed replication harness."""
+
+import pytest
+
+from repro.analysis.seeds import SeededStat, replicate_headline
+
+
+class TestSeededStat:
+    def test_mean(self):
+        stat = SeededStat("x", (0.1, 0.2, 0.3))
+        assert stat.mean == pytest.approx(0.2)
+
+    def test_interval_brackets_mean(self):
+        stat = SeededStat("x", (0.1, 0.2, 0.3))
+        low, high = stat.confidence_interval()
+        assert low < stat.mean < high
+
+    def test_single_value_degenerates(self):
+        stat = SeededStat("x", (0.5,))
+        assert stat.confidence_interval() == (0.5, 0.5)
+
+    def test_describe(self):
+        text = SeededStat("dyn_vs_oram_perf", (0.2, 0.25)).describe()
+        assert "dyn_vs_oram_perf" in text
+        assert "%" in text
+
+
+class TestReplication:
+    @pytest.mark.slow
+    def test_headline_deltas_stable_across_seeds(self):
+        stats = replicate_headline(seeds=(0, 1), n_instructions=150_000)
+        assert set(stats) == {
+            "dyn_vs_oram_perf", "dyn_vs_oram_power",
+            "s300_vs_dyn_power", "s1300_vs_dyn_perf",
+        }
+        # The directional claims hold for every seed, not just the mean.
+        assert all(v > 0 for v in stats["dyn_vs_oram_perf"].values)
+        assert all(v > 0 for v in stats["s300_vs_dyn_power"].values)
+        assert all(v > 0 for v in stats["s1300_vs_dyn_perf"].values)
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            replicate_headline(seeds=())

@@ -1,0 +1,35 @@
+"""Tests for table formatting."""
+
+from repro.analysis.tables import Table, format_value, series_to_rows
+
+
+class TestTable:
+    def test_render_contains_all_cells(self):
+        table = Table("Title", ["a", "bb"], [["1", "2"], ["33", "4"]])
+        text = table.render()
+        assert "Title" in text
+        for cell in ("1", "2", "33", "4", "a", "bb"):
+            assert cell in text
+
+    def test_columns_aligned(self):
+        table = Table("T", ["col"], [["x"], ["longer"]])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all data/header rows equal width
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_float_digits(self):
+        assert format_value(3.14159, 3) == "3.142"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+
+class TestSeries:
+    def test_rows(self):
+        rows = series_to_rows([1, 2], [0.5, 0.25])
+        assert rows == [["1", "0.50"], ["2", "0.25"]]

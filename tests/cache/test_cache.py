@@ -1,0 +1,136 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+
+
+def small_cache(ways: int = 2, sets: int = 4) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        capacity_bytes=ways * sets * 64, associativity=ways, line_bytes=64
+    )
+
+
+class TestConstruction:
+    def test_paper_l2_shape(self):
+        l2 = SetAssociativeCache(1 << 20, associativity=16)
+        assert l2.n_sets == 1024
+        assert l2.capacity_bytes == 1 << 20
+
+    def test_paper_l1_shape(self):
+        l1 = SetAssociativeCache(32 * 1024, associativity=4)
+        assert l1.n_sets == 128
+
+    def test_rejects_nonpow2_sets(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(3 * 64 * 5, associativity=5, line_bytes=64)
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, associativity=2, line_bytes=48)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0, is_write=False)
+        cache.fill(0)
+        assert cache.access(0, is_write=False)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_line_granularity(self):
+        cache = small_cache()
+        assert cache.line_address(0) == cache.line_address(63)
+        assert cache.line_address(63) != cache.line_address(64)
+
+    def test_miss_does_not_allocate(self):
+        cache = small_cache()
+        cache.access(5, is_write=False)
+        assert not cache.contains(5)
+
+
+class TestLRUEviction:
+    def test_lru_victim(self):
+        cache = small_cache(ways=2)
+        # Same set: line addresses congruent mod n_sets (4).
+        cache.fill(0)
+        cache.fill(4)
+        cache.access(0, is_write=False)  # 0 becomes MRU
+        victim = cache.fill(8)
+        assert victim is not None
+        assert victim.line_address == 4
+
+    def test_eviction_reports_dirty(self):
+        cache = small_cache(ways=1)
+        cache.fill(0)
+        cache.access(0, is_write=True)
+        victim = cache.fill(4)
+        assert victim.dirty
+        assert cache.stats.dirty_evictions == 1
+
+    def test_clean_eviction(self):
+        cache = small_cache(ways=1)
+        cache.fill(0)
+        victim = cache.fill(4)
+        assert not victim.dirty
+        assert cache.stats.clean_evictions == 1
+
+    def test_refill_resident_merges_dirty(self):
+        cache = small_cache()
+        cache.fill(0, dirty=True)
+        assert cache.fill(0, dirty=False) is None
+        victim = None
+        for line in (4, 8):
+            victim = cache.fill(line) or victim
+        assert victim is not None and victim.dirty
+
+
+class TestInvalidate:
+    def test_invalidate_returns_dirty_state(self):
+        cache = small_cache()
+        cache.fill(0, dirty=True)
+        assert cache.invalidate(0) is True
+        assert cache.invalidate(0) is None
+        assert not cache.contains(0)
+
+
+class TestMarkDirty:
+    def test_sets_dirty_without_lru_refresh(self):
+        cache = small_cache(ways=2)
+        cache.fill(0)
+        cache.fill(4)  # LRU order: 0 (oldest), 4
+        assert cache.mark_dirty(0)
+        victim = cache.fill(8)
+        # 0 stayed LRU despite the writeback, and left dirty.
+        assert victim.line_address == 0
+        assert victim.dirty
+
+    def test_missing_line_returns_false(self):
+        cache = small_cache()
+        assert not cache.mark_dirty(42)
+
+
+class TestCapacityProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300))
+    def test_resident_lines_never_exceed_capacity(self, lines):
+        cache = small_cache(ways=2, sets=4)
+        for line in lines:
+            if not cache.access(line, is_write=False):
+                cache.fill(line)
+        assert cache.resident_lines() <= 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=64))
+    def test_working_set_within_capacity_never_misses_twice(self, lines):
+        """Once a small working set is resident, it never misses again."""
+        cache = small_cache(ways=2, sets=4)
+        for line in range(8):
+            cache.fill(line)
+        misses_before = cache.stats.misses
+        for line in lines:
+            assert cache.access(line, is_write=False)
+        assert cache.stats.misses == misses_before

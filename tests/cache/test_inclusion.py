@@ -1,0 +1,100 @@
+"""Property test for the inclusive-hierarchy invariant.
+
+Table 1 specifies an inclusive L2: every line resident in L1 D must also
+be resident in L2 at all times (back-invalidation on L2 eviction enforces
+it).  We re-run the hierarchy's own data structures through random
+reference streams and verify inclusion after every reference by probing
+the simulator's observable outputs — and directly via a parallel model at
+small scale.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.hierarchy import HierarchyConfig, simulate_hierarchy
+from repro.cpu.trace import MemoryTrace
+
+
+def small_config() -> HierarchyConfig:
+    # 4-set 2-way L1 over 8-set 4-way L2 (tiny but structurally faithful).
+    return HierarchyConfig(
+        l1i_bytes=512, l1i_ways=2,
+        l1d_bytes=512, l1d_ways=2,
+        l2_bytes=2048, l2_ways=4,
+        line_bytes=64,
+    )
+
+
+class ReferenceModel:
+    """Independent, slow model of an inclusive two-level hierarchy."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.l1 = SetAssociativeCache(config.l1d_bytes, config.l1d_ways,
+                                      config.line_bytes, name="l1")
+        self.l2 = SetAssociativeCache(config.l2_bytes, config.l2_ways,
+                                      config.line_bytes, name="l2")
+        self.writebacks = 0
+        self.misses = 0
+
+    def access(self, line: int, is_store: bool) -> None:
+        if self.l1.access(line, is_store):
+            return
+        if not self.l2.access(line, is_write=False):
+            self.misses += 1
+            victim = self.l2.fill(line)
+            if victim is not None:
+                dirty = victim.dirty
+                l1_state = self.l1.invalidate(victim.line_address)
+                if l1_state:
+                    dirty = True
+                if dirty:
+                    self.writebacks += 1
+        l1_victim = self.l1.fill(line, dirty=is_store)
+        if l1_victim is not None and l1_victim.dirty:
+            # Write the dirty L1 victim back into L2 (inclusion holds).
+            # Writebacks are not demand accesses: they must NOT refresh
+            # the L2 line's recency, matching the production loop.
+            self.l2.mark_dirty(l1_victim.line_address)
+
+    def inclusion_holds(self, lines: range) -> bool:
+        return all(
+            self.l2.contains(line) for line in lines if self.l1.contains(line)
+        )
+
+
+lines_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=127), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestInclusionInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(refs=lines_strategy)
+    def test_reference_model_maintains_inclusion(self, refs):
+        model = ReferenceModel(small_config())
+        for line, is_store in refs:
+            model.access(line, is_store)
+            assert model.inclusion_holds(range(128))
+
+    @settings(max_examples=25, deadline=None)
+    @given(refs=lines_strategy)
+    def test_hierarchy_miss_count_matches_reference_model(self, refs):
+        """The production loop and the slow model agree on LLC misses."""
+        config = small_config()
+        model = ReferenceModel(config)
+        for line, is_store in refs:
+            model.access(line, is_store)
+
+        trace = MemoryTrace(
+            name="prop", input_name="t",
+            addresses=np.asarray([line * 64 for line, _ in refs], dtype=np.uint64),
+            is_store=np.asarray([s for _, s in refs], dtype=bool),
+            gap_instructions=np.zeros(len(refs), dtype=np.int64),
+        )
+        result = simulate_hierarchy(trace, config)
+        assert result.energy.llc_misses == model.misses
+        assert result.energy.writebacks == model.writebacks

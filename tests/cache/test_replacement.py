@@ -1,0 +1,87 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_prefers_unused_ways(self):
+        policy = LRUPolicy(4)
+        policy.touch(0)
+        assert policy.victim() in {1, 2, 3}
+
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_invalidate_forgets(self):
+        policy = LRUPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.invalidate(0)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+
+class TestFIFO:
+    def test_ignores_hits(self):
+        policy = FIFOPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.touch(0)  # hit: no reorder
+        assert policy.victim() == 0
+
+    def test_round_robin_order(self):
+        policy = FIFOPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        assert policy.victim() == 0
+        policy.touch(0)
+        assert policy.victim() == 1
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(3)
+
+    def test_victim_avoids_recent(self):
+        policy = TreePLRUPolicy(4)
+        policy.touch(2)
+        assert policy.victim() != 2
+
+    def test_cycling_touches_all_ways(self):
+        policy = TreePLRUPolicy(4)
+        victims = set()
+        for _ in range(8):
+            victim = policy.victim()
+            victims.add(victim)
+            policy.touch(victim)
+        assert victims == {0, 1, 2, 3}
+
+    def test_invalidate_makes_next_victim(self):
+        policy = TreePLRUPolicy(4)
+        for way in range(4):
+            policy.touch(way)
+        policy.invalidate(1)
+        assert policy.victim() == 1
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru", 4), LRUPolicy)
+        assert isinstance(make_policy("fifo", 4), FIFOPolicy)
+        assert isinstance(make_policy("plru", 4), TreePLRUPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("random", 4)

@@ -1,0 +1,55 @@
+"""Tests for the non-blocking write buffer."""
+
+import pytest
+
+from repro.cache.write_buffer import WriteBuffer
+
+
+class TestAdmission:
+    def test_empty_buffer_admits_immediately(self):
+        buffer = WriteBuffer(entries=2)
+        assert buffer.admit(now=10.0, completion_time=50.0) == 10.0
+        assert len(buffer) == 1
+
+    def test_full_buffer_stalls_until_oldest_drains(self):
+        buffer = WriteBuffer(entries=2)
+        buffer.admit(0.0, 100.0)
+        buffer.admit(0.0, 200.0)
+        proceed = buffer.admit(10.0, 300.0)
+        assert proceed == 100.0
+        assert buffer.full_stalls == 1
+        assert buffer.total_stall_cycles == 90.0
+
+    def test_drained_entries_free_slots(self):
+        buffer = WriteBuffer(entries=1)
+        buffer.admit(0.0, 5.0)
+        proceed = buffer.admit(10.0, 20.0)  # first already completed
+        assert proceed == 10.0
+        assert buffer.full_stalls == 0
+
+    def test_paper_depth_is_eight(self):
+        buffer = WriteBuffer()
+        assert buffer.entries == 8
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(entries=0)
+
+
+class TestDrain:
+    def test_drain_all_returns_last_completion(self):
+        buffer = WriteBuffer(entries=4)
+        buffer.admit(0.0, 30.0)
+        buffer.admit(0.0, 70.0)
+        assert buffer.drain_all() == 70.0
+
+    def test_drain_all_empty(self):
+        assert WriteBuffer().drain_all() == 0.0
+
+    def test_reset(self):
+        buffer = WriteBuffer(entries=1)
+        buffer.admit(0.0, 100.0)
+        buffer.admit(0.0, 200.0)
+        buffer.reset()
+        assert len(buffer) == 0
+        assert buffer.full_stalls == 0

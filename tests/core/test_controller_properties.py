@@ -1,0 +1,101 @@
+"""Property tests for the controller's security invariant.
+
+The whole scheme rests on one microarchitectural fact: for a fixed rate
+``r``, the k-th observable access starts at exactly ``k*r + (k-1)*OLAT``
+no matter what the program does — real requests fill slots, dummies fill
+the rest, and nothing about arrival times perturbs the lattice.  These
+hypothesis tests drive arbitrary arrival processes at a static controller
+and check the observable trace is that exact lattice.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import TimingProtectedController
+
+OLAT = 1488
+RATE = 700
+
+
+def expected_lattice(n_accesses: int) -> list[float]:
+    return [RATE * (k + 1) + OLAT * k for k in range(n_accesses)]
+
+
+def run_arrivals(arrivals: list[float], horizon: float) -> TimingProtectedController:
+    controller = TimingProtectedController(oram_latency=OLAT, initial_rate=RATE)
+    controller.record_trace = True
+    for arrival in arrivals:
+        controller.serve(arrival)
+    controller.finalize(horizon)
+    return controller
+
+
+# Sorted, bounded arrival processes of varying burstiness.
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=80_000.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=0,
+    max_size=40,
+).map(sorted)
+
+
+class TestObservableLattice:
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals=arrival_lists)
+    def test_trace_is_exact_lattice(self, arrivals):
+        """The observable trace never depends on the arrival process."""
+        controller = run_arrivals(arrivals, horizon=100_000.0)
+        trace = controller.trace
+        assert trace == expected_lattice(len(trace))
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals=arrival_lists)
+    def test_access_count_depends_only_on_time(self, arrivals):
+        """Up to a fixed horizon, total accesses are arrival-independent
+        (up to the final in-flight slot)."""
+        busy = run_arrivals(arrivals, horizon=100_000.0)
+        idle = run_arrivals([], horizon=100_000.0)
+        # The last request may extend the timeline past the horizon by at
+        # most one slot.
+        assert abs(busy.stats.total_accesses - idle.stats.total_accesses) <= (
+            1 + int(max(arrivals, default=0.0) // (RATE + OLAT))
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrivals=arrival_lists)
+    def test_waste_nonnegative_and_bounded(self, arrivals):
+        """Per-request waste is at least 0 and at most one dummy ride-out
+        plus one slot gap (the Req 2 worst case)."""
+        controller = run_arrivals(arrivals, horizon=100_000.0)
+        n = controller.stats.real_accesses
+        assert controller.stats.total_waste >= 0.0
+        assert controller.stats.total_waste <= n * (OLAT + 2 * RATE) + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrivals=arrival_lists)
+    def test_every_request_served_after_arrival(self, arrivals):
+        controller = TimingProtectedController(oram_latency=OLAT, initial_rate=RATE)
+        for arrival in arrivals:
+            completion = controller.serve(arrival)
+            assert completion >= arrival + OLAT
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrivals=arrival_lists)
+    def test_real_plus_dummy_partition_slots(self, arrivals):
+        controller = run_arrivals(arrivals, horizon=60_000.0)
+        stats = controller.stats
+        assert stats.real_accesses == len(arrivals)
+        assert stats.total_accesses == len(controller.trace)
+
+
+class TestTwoSecretsOneTrace:
+    """Direct statement of the 0-bit property: any two arrival processes
+    produce byte-identical observable traces over a common horizon."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=arrival_lists, b=arrival_lists)
+    def test_traces_equal_on_common_prefix(self, a, b):
+        trace_a = run_arrivals(a, horizon=100_000.0).trace
+        trace_b = run_arrivals(b, horizon=100_000.0).trace
+        common = min(len(trace_a), len(trace_b))
+        assert trace_a[:common] == trace_b[:common]

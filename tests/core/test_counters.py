@@ -1,0 +1,57 @@
+"""Tests for the Section 7.1.1 performance counters."""
+
+import pytest
+
+from repro.core.counters import PerfCounters
+
+
+class TestPerfCounters:
+    def test_initial_state(self):
+        counters = PerfCounters()
+        assert counters.access_count == 0
+        assert counters.oram_cycles == 0.0
+        assert counters.waste == 0.0
+
+    def test_record_real_access(self):
+        counters = PerfCounters()
+        counters.record_real_access(1488)
+        counters.record_real_access(1488)
+        assert counters.access_count == 2
+        assert counters.oram_cycles == 2976
+
+    def test_variable_latency_supported(self):
+        """Equation 1 does not assume fixed ORAM latency (Section 7.1.2)."""
+        counters = PerfCounters()
+        counters.record_real_access(1000)
+        counters.record_real_access(2000)
+        assert counters.oram_cycles == 3000
+
+    def test_record_waste(self):
+        counters = PerfCounters()
+        counters.record_waste(100.0)
+        counters.record_waste(50.0)
+        assert counters.waste == 150.0
+
+    def test_reset_clears_all(self):
+        counters = PerfCounters()
+        counters.record_real_access(10)
+        counters.record_waste(5)
+        counters.reset()
+        assert counters.access_count == 0
+        assert counters.oram_cycles == 0
+        assert counters.waste == 0
+
+    def test_snapshot_is_independent(self):
+        counters = PerfCounters()
+        counters.record_real_access(10)
+        snapshot = counters.snapshot()
+        counters.reset()
+        assert snapshot.access_count == 1
+        assert counters.access_count == 0
+
+    def test_rejects_negative(self):
+        counters = PerfCounters()
+        with pytest.raises(ValueError):
+            counters.record_real_access(-1)
+        with pytest.raises(ValueError):
+            counters.record_waste(-1)

@@ -1,0 +1,148 @@
+"""Tests for the rate learners (Section 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.counters import PerfCounters
+from repro.core.learner import AveragingLearner, ThresholdLearner
+from repro.core.rates import PAPER_RATES
+
+
+def counters(access_count: int, oram_cycles: float, waste: float) -> PerfCounters:
+    c = PerfCounters()
+    for _ in range(access_count):
+        c.record_real_access(oram_cycles / max(1, access_count))
+    c.record_waste(waste)
+    return c
+
+
+class TestEquationOne:
+    def test_raw_estimate_exact_division(self):
+        """NewIntRaw = (EpochCycles - Waste - ORAMCycles) / AccessCount."""
+        learner = AveragingLearner(PAPER_RATES, exact_divide=True)
+        c = counters(access_count=10, oram_cycles=14880, waste=2000)
+        decision = learner.decide(c, epoch_cycles=50_000)
+        assert decision.raw_estimate == pytest.approx((50_000 - 2000 - 14880) / 10)
+
+    def test_negative_numerator_clamps_to_zero(self):
+        learner = AveragingLearner(PAPER_RATES, exact_divide=True)
+        c = counters(access_count=10, oram_cycles=60_000, waste=0)
+        decision = learner.decide(c, epoch_cycles=50_000)
+        assert decision.raw_estimate == 0.0
+        assert decision.chosen_rate == PAPER_RATES.fastest
+
+    def test_zero_accesses_chooses_slowest(self):
+        """With no offered load the program is not using ORAM."""
+        learner = AveragingLearner(PAPER_RATES)
+        decision = learner.decide(PerfCounters(), epoch_cycles=50_000)
+        assert decision.chosen_rate == PAPER_RATES.slowest
+
+    def test_rejects_bad_epoch_cycles(self):
+        learner = AveragingLearner(PAPER_RATES)
+        with pytest.raises(ValueError):
+            learner.decide(PerfCounters(), epoch_cycles=0)
+
+
+class TestAlgorithmOneShiftDivider:
+    def test_power_of_two_count_doubles(self):
+        """Algorithm 1 rounds strictly up: AC=8 divides by 16."""
+        assert AveragingLearner._shift_divide(1600, 8) == 100.0
+
+    def test_non_power_rounds_up(self):
+        assert AveragingLearner._shift_divide(1600, 9) == 100.0  # /16
+
+    def test_single_access(self):
+        assert AveragingLearner._shift_divide(1000, 1) == 500.0  # /2
+
+    @given(
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_underset_bias_bounded_by_two(self, numerator, access_count):
+        """Section 7.2: the shifter undersets by at most a factor of two."""
+        shifted = AveragingLearner._shift_divide(numerator, access_count)
+        exact = numerator / access_count
+        assert shifted <= exact + 1
+        assert shifted >= exact / 2 - 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            AveragingLearner._shift_divide(-1, 2)
+        with pytest.raises(ValueError):
+            AveragingLearner._shift_divide(1, 0)
+
+
+class TestDiscretizationModes:
+    def test_log_default_picks_mid_rate_for_mid_gap(self):
+        learner = AveragingLearner(PAPER_RATES, exact_divide=True, log_discretize=True)
+        c = counters(access_count=16, oram_cycles=16 * 1488, waste=0)
+        # Offered gap of ~1000 cycles/access.
+        decision = learner.decide(c, epoch_cycles=16 * 1488 + 16_000)
+        assert decision.chosen_rate == 1290
+
+    def test_linear_favours_faster_rate(self):
+        linear = AveragingLearner(PAPER_RATES, exact_divide=True, log_discretize=False)
+        c = counters(access_count=16, oram_cycles=16 * 1488, waste=0)
+        decision = linear.decide(c, epoch_cycles=16 * 1488 + 16 * 700)
+        assert decision.chosen_rate == 256
+
+
+class TestDecisionsTrackOfferedLoad:
+    @pytest.mark.parametrize(
+        "gap_cycles,expected",
+        [(80, 256), (1200, 1290), (6000, 6501), (40_000, 32768)],
+    )
+    def test_matched_gap_selects_matching_rate(self, gap_cycles, expected):
+        """In steady state the learner tracks the offered gap (log scale)."""
+        learner = AveragingLearner(PAPER_RATES, exact_divide=True)
+        n = 32
+        c = counters(access_count=n, oram_cycles=n * 1488, waste=0)
+        epoch_cycles = n * (1488 + gap_cycles)
+        assert learner.decide(c, epoch_cycles).chosen_rate == expected
+
+
+class TestThresholdLearner:
+    def test_zero_accesses_chooses_slowest(self):
+        learner = ThresholdLearner(PAPER_RATES, oram_latency_cycles=1488)
+        assert (
+            learner.decide(PerfCounters(), epoch_cycles=1000).chosen_rate
+            == PAPER_RATES.slowest
+        )
+
+    def test_memory_bound_load_picks_fast_rate(self):
+        learner = ThresholdLearner(PAPER_RATES, oram_latency_cycles=1488,
+                                   sharpness=0.05)
+        n = 64
+        c = counters(access_count=n, oram_cycles=n * 1488, waste=0)
+        decision = learner.decide(c, epoch_cycles=n * (1488 + 100))
+        assert decision.chosen_rate == 256
+
+    def test_sharpness_trades_power_for_performance(self):
+        """A looser threshold picks slower (power-saving) rates."""
+        n = 64
+        c = counters(access_count=n, oram_cycles=n * 1488, waste=0)
+        epoch_cycles = n * (1488 + 1000)
+        tight = ThresholdLearner(PAPER_RATES, 1488, sharpness=0.01)
+        loose = ThresholdLearner(PAPER_RATES, 1488, sharpness=0.8)
+        assert loose.decide(c, epoch_cycles).chosen_rate >= tight.decide(
+            c, epoch_cycles
+        ).chosen_rate
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ThresholdLearner(PAPER_RATES, oram_latency_cycles=0)
+        with pytest.raises(ValueError):
+            ThresholdLearner(PAPER_RATES, 1488, sharpness=-1)
+
+
+class TestLeakageIndependence:
+    """Section 2.2.2: which rate is chosen never affects the leakage bound."""
+
+    def test_all_decisions_land_in_r(self):
+        learner = AveragingLearner(PAPER_RATES)
+        for gap in (0, 10, 100, 1000, 10_000, 100_000):
+            n = 8
+            c = counters(access_count=n, oram_cycles=n * 1488, waste=0)
+            decision = learner.decide(c, epoch_cycles=n * (1488 + gap) + 1)
+            assert decision.chosen_rate in set(PAPER_RATES)

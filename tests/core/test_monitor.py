@@ -1,0 +1,124 @@
+"""Tests for the Section 2.1 online leakage monitor."""
+
+import pytest
+
+from repro.core.counters import PerfCounters
+from repro.core.learner import AveragingLearner
+from repro.core.monitor import (
+    LeakageBudgetExceededError,
+    LeakageMonitor,
+    MonitoredLearner,
+)
+from repro.core.rates import PAPER_RATES
+
+
+def saturated_counters(n: int = 16, gap: float = 100.0) -> PerfCounters:
+    counters = PerfCounters()
+    for _ in range(n):
+        counters.record_real_access(1488)
+    return counters
+
+
+class TestLeakageMonitor:
+    def test_budget_arithmetic(self):
+        monitor = LeakageMonitor(limit_bits=32.0, n_rates=4)
+        assert monitor.bits_per_epoch == 2.0
+        assert monitor.max_epochs() == 16
+        assert monitor.remaining_bits == 32.0
+
+    def test_authorize_consumes(self):
+        monitor = LeakageMonitor(limit_bits=8.0, n_rates=4)
+        for _ in range(4):
+            assert monitor.authorize_epoch()
+        assert monitor.consumed_bits == 8.0
+        assert monitor.remaining_bits == 0.0
+
+    def test_strict_mode_raises_on_overrun(self):
+        monitor = LeakageMonitor(limit_bits=4.0, n_rates=4, strict=True)
+        monitor.authorize_epoch()
+        monitor.authorize_epoch()
+        with pytest.raises(LeakageBudgetExceededError):
+            monitor.authorize_epoch()
+
+    def test_lenient_mode_returns_false(self):
+        monitor = LeakageMonitor(limit_bits=2.0, n_rates=4, strict=False)
+        assert monitor.authorize_epoch()
+        assert not monitor.authorize_epoch()
+        assert monitor.epochs_authorized == 1
+
+    def test_termination_charged_up_front(self):
+        monitor = LeakageMonitor(limit_bits=64.0, n_rates=4, termination_bits=62.0)
+        assert monitor.max_epochs() == 1
+
+    def test_termination_exceeding_limit_rejected(self):
+        with pytest.raises(LeakageBudgetExceededError):
+            LeakageMonitor(limit_bits=30.0, n_rates=4, termination_bits=62.0)
+
+    def test_single_rate_never_leaks(self):
+        monitor = LeakageMonitor(limit_bits=0.0, n_rates=1)
+        for _ in range(100):
+            assert monitor.authorize_epoch()
+        assert monitor.consumed_bits == 0.0
+
+
+class TestMonitoredLearner:
+    def test_decisions_flow_within_budget(self):
+        monitor = LeakageMonitor(limit_bits=32.0, n_rates=4, strict=False)
+        learner = MonitoredLearner(AveragingLearner(PAPER_RATES), monitor, 10_000)
+        decision = learner.decide(saturated_counters(), epoch_cycles=16 * 1600)
+        assert decision.chosen_rate in set(PAPER_RATES)
+        assert monitor.epochs_authorized == 1
+
+    def test_rate_pins_when_budget_exhausted(self):
+        monitor = LeakageMonitor(limit_bits=2.0, n_rates=4, strict=False)
+        learner = MonitoredLearner(AveragingLearner(PAPER_RATES), monitor, 10_000)
+        first = learner.decide(saturated_counters(), epoch_cycles=16 * 1600)
+        # Budget (1 epoch) is gone; further decisions repeat first's rate.
+        second = learner.decide(PerfCounters(), epoch_cycles=1000)
+        third = learner.decide(saturated_counters(), epoch_cycles=16 * 1_000_000)
+        assert learner.pinned
+        assert second.chosen_rate == first.chosen_rate
+        assert third.chosen_rate == first.chosen_rate
+
+    def test_every_decision_charged(self):
+        """Repeating a rate still costs lg|R| (the bound counts schedules)."""
+        monitor = LeakageMonitor(limit_bits=8.0, n_rates=4, strict=False)
+        learner = MonitoredLearner(AveragingLearner(PAPER_RATES), monitor, 10_000)
+        for _ in range(4):
+            learner.decide(saturated_counters(), epoch_cycles=16 * 1600)
+        assert monitor.remaining_bits == 0.0
+
+    def test_strict_monitor_shuts_down_through_wrapper(self):
+        monitor = LeakageMonitor(limit_bits=2.0, n_rates=4, strict=True)
+        learner = MonitoredLearner(AveragingLearner(PAPER_RATES), monitor, 10_000)
+        learner.decide(saturated_counters(), epoch_cycles=16 * 1600)
+        with pytest.raises(LeakageBudgetExceededError):
+            learner.decide(saturated_counters(), epoch_cycles=16 * 1600)
+
+    def test_rejects_bad_initial_rate(self):
+        monitor = LeakageMonitor(limit_bits=4.0, n_rates=4)
+        with pytest.raises(ValueError):
+            MonitoredLearner(AveragingLearner(PAPER_RATES), monitor, 0)
+
+
+class TestMonitoredControllerIntegration:
+    def test_controller_respects_budget_end_to_end(self):
+        """A controller driving a monitored learner freezes its rate once
+        the budget is spent, and total realized decisions stay bounded."""
+        from repro.core.controller import TimingProtectedController
+        from repro.core.epochs import EpochSchedule
+
+        monitor = LeakageMonitor(limit_bits=4.0, n_rates=4, strict=False)
+        learner = MonitoredLearner(AveragingLearner(PAPER_RATES), monitor, 10_000)
+        controller = TimingProtectedController(
+            oram_latency=1488,
+            initial_rate=10_000,
+            schedule=EpochSchedule(first_epoch_cycles=10_000, growth=2,
+                                   tmax_cycles=1 << 40),
+            learner=learner,
+        )
+        controller.finalize(2_000_000.0)
+        assert monitor.epochs_authorized <= 2
+        # After pinning, all later epochs reuse one rate.
+        late_rates = {record.rate for record in controller.epochs[3:]}
+        assert len(late_rates) <= 1

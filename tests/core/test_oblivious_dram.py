@@ -1,0 +1,56 @@
+"""Tests for the Section 10 without-ORAM extension scheme."""
+
+import pytest
+
+from repro.core.scheme import BaseDramScheme, ObliviousDramScheme, dynamic
+from repro.sim.timing import run_timing
+
+
+class TestObliviousDramScheme:
+    def test_name_and_kind(self):
+        scheme = ObliviousDramScheme()
+        assert scheme.name.startswith("oblivious_dram")
+        assert not scheme.is_oram
+
+    def test_leakage_bound_substrate_agnostic(self):
+        """|E| * lg |R| does not care what the memory is."""
+        assert ObliviousDramScheme().leakage().oram_timing_bits == (
+            dynamic(4, 4).leakage().oram_timing_bits
+        )
+
+    def test_controller_uses_dram_latency(self):
+        controller = ObliviousDramScheme().build_controller()
+        assert controller.latency == 40
+
+    def test_much_cheaper_than_oram_dynamic(self, shared_sim):
+        """The whole point: same timing protection, a fraction of the cost
+        (at the price of unprotected address patterns)."""
+        miss = shared_sim.miss_trace("mcf")
+        dram_version = run_timing(miss, ObliviousDramScheme(), record_requests=False)
+        oram_version = run_timing(miss, dynamic(4, 4), record_requests=False)
+        assert dram_version.cycles < oram_version.cycles / 3
+        assert dram_version.power_watts < oram_version.power_watts
+
+    def test_still_slower_than_raw_dram(self, shared_sim):
+        """Slot alignment and dummies are not free."""
+        miss = shared_sim.miss_trace("mcf")
+        protected = run_timing(miss, ObliviousDramScheme(), record_requests=False)
+        raw = run_timing(miss, BaseDramScheme(), record_requests=False)
+        assert protected.cycles > raw.cycles
+
+    def test_dummies_cost_dram_energy_only(self, shared_sim):
+        """Dummy accesses are priced as DRAM line transfers, not ORAM paths."""
+        miss = shared_sim.miss_trace("h264ref")
+        result = run_timing(miss, ObliviousDramScheme(), record_requests=False)
+        per_access_nj = result.breakdown.memory_nj / max(
+            1, result.controller.total_accesses
+        )
+        assert per_access_nj == pytest.approx(0.303, rel=0.01)
+
+    def test_learner_adapts_on_dram_rates(self, shared_sim):
+        miss = shared_sim.miss_trace("mcf")
+        result = run_timing(miss, ObliviousDramScheme(), record_requests=False)
+        assert len(result.epochs) > 1
+        scheme = ObliviousDramScheme()
+        for record in result.epochs[1:]:
+            assert record.rate in set(scheme.rates)

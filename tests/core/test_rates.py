@@ -1,0 +1,91 @@
+"""Tests for candidate rate sets (Section 9.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rates import INITIAL_RATE, PAPER_RATES, RateSet, lg_spaced_rates
+
+
+class TestPaperRates:
+    def test_paper_r4_values(self):
+        """Section 9.2: with |R| = 4, R = {256, 1290, 6501, 32768}."""
+        assert list(PAPER_RATES) == [256, 1290, 6501, 32768]
+
+    def test_initial_rate_is_10000(self):
+        assert INITIAL_RATE == 10_000
+
+    def test_bounds_from_section_92(self):
+        assert PAPER_RATES.fastest == 256
+        assert PAPER_RATES.slowest == 32768
+
+
+class TestLgSpacing:
+    def test_r2_is_extremes_only(self):
+        assert list(lg_spaced_rates(2)) == [256, 32768]
+
+    def test_r8_has_eight(self):
+        rates = lg_spaced_rates(8)
+        assert len(rates) == 8
+        assert rates.fastest == 256 and rates.slowest == 32768
+
+    def test_single_rate(self):
+        assert list(lg_spaced_rates(1)) == [256]
+
+    def test_geometric_ratio_roughly_constant(self):
+        rates = list(lg_spaced_rates(5))
+        ratios = [b / a for a, b in zip(rates, rates[1:])]
+        assert max(ratios) / min(ratios) < 1.2
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            lg_spaced_rates(4, fastest=1000, slowest=100)
+
+
+class TestRateSetValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RateSet(())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            RateSet((100, 50))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            RateSet((100, 100))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RateSet((0, 100))
+
+
+class TestDiscretization:
+    def test_nearest_exact_match(self):
+        assert PAPER_RATES.nearest(1290) == 1290
+
+    def test_nearest_linear_boundary(self):
+        # Linear midpoint between 256 and 1290 is 773.
+        assert PAPER_RATES.nearest(770) == 256
+        assert PAPER_RATES.nearest(780) == 1290
+
+    def test_nearest_log_boundary(self):
+        # Log midpoint between 256 and 1290 is ~575.
+        assert PAPER_RATES.nearest_log(560) == 256
+        assert PAPER_RATES.nearest_log(600) == 1290
+
+    def test_extremes_clamp(self):
+        assert PAPER_RATES.nearest(1) == 256
+        assert PAPER_RATES.nearest(10**9) == 32768
+        assert PAPER_RATES.nearest_log(1) == 256
+        assert PAPER_RATES.nearest_log(10**9) == 32768
+
+    @given(st.floats(min_value=1.0, max_value=1e8, allow_nan=False))
+    def test_nearest_always_in_set(self, raw):
+        assert PAPER_RATES.nearest(raw) in set(PAPER_RATES)
+        assert PAPER_RATES.nearest_log(raw) in set(PAPER_RATES)
+
+    @given(st.floats(min_value=1.0, max_value=1e8, allow_nan=False))
+    def test_nearest_is_argmin(self, raw):
+        chosen = PAPER_RATES.nearest(raw)
+        assert all(abs(raw - chosen) <= abs(raw - r) for r in PAPER_RATES)

@@ -1,0 +1,51 @@
+"""Tests for ISA latencies and instruction mixes (Table 1)."""
+
+import pytest
+
+from repro.cpu.isa import (
+    CacheLatencies,
+    DEFAULT_MIX,
+    InstructionLatencies,
+    InstructionMix,
+)
+
+
+class TestLatencies:
+    def test_table1_integer_latencies(self):
+        latencies = InstructionLatencies()
+        assert (latencies.int_arith, latencies.int_mult, latencies.int_div) == (1, 4, 12)
+
+    def test_table1_fp_latencies(self):
+        latencies = InstructionLatencies()
+        assert (latencies.fp_arith, latencies.fp_mult, latencies.fp_div) == (2, 4, 10)
+
+
+class TestCacheLatencies:
+    def test_table1_hit_miss(self):
+        cache = CacheLatencies()
+        assert cache.load_l1_hit == 2
+        assert cache.load_l2_hit == 2 + 1 + 10
+        assert cache.load_llc_miss_onchip == 2 + 1 + 10 + 4
+
+
+class TestInstructionMix:
+    def test_default_sums_to_one(self):
+        assert DEFAULT_MIX.base_cpi() > 0
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            InstructionMix(int_arith=0.9, int_mult=0.9, int_div=0.0,
+                           fp_arith=0.0, fp_mult=0.0, fp_div=0.0, branch=0.0)
+
+    def test_base_cpi_weighted_average(self):
+        mix = InstructionMix(int_arith=1.0, int_mult=0.0, int_div=0.0,
+                             fp_arith=0.0, fp_mult=0.0, fp_div=0.0, branch=0.0)
+        assert mix.base_cpi() == 1.0
+
+    def test_div_heavy_mix_slower(self):
+        heavy = InstructionMix(int_arith=0.5, int_mult=0.2, int_div=0.1,
+                               fp_arith=0.05, fp_mult=0.05, fp_div=0.02, branch=0.08)
+        assert heavy.base_cpi() > DEFAULT_MIX.base_cpi()
+
+    def test_fp_fraction(self):
+        assert DEFAULT_MIX.fp_fraction == pytest.approx(0.08)

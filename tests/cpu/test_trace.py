@@ -1,0 +1,60 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import EnergyEvents, MemoryTrace, MissTrace
+
+
+def simple_trace(n: int = 4) -> MemoryTrace:
+    return MemoryTrace(
+        name="bench",
+        input_name="ref",
+        addresses=np.arange(n, dtype=np.uint64) * 64,
+        is_store=np.zeros(n, dtype=bool),
+        gap_instructions=np.full(n, 9, dtype=np.int64),
+    )
+
+
+class TestMemoryTrace:
+    def test_counts(self):
+        trace = simple_trace(4)
+        assert trace.n_references == 4
+        assert trace.n_instructions == 4 * 9 + 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTrace(
+                name="x", input_name="y",
+                addresses=np.zeros(3, dtype=np.uint64),
+                is_store=np.zeros(2, dtype=bool),
+                gap_instructions=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_describe(self):
+        assert "bench/ref" in simple_trace().describe()
+
+
+class TestMissTrace:
+    def test_mean_instructions_per_request(self):
+        miss = MissTrace(
+            gap_cycles=np.array([10.0, 10.0]),
+            is_blocking=np.array([True, False]),
+            instruction_index=np.array([50, 100]),
+            total_compute_cycles=5.0,
+            n_instructions=100,
+            energy=EnergyEvents(),
+        )
+        assert miss.mean_instructions_per_request() == 50.0
+        assert miss.n_blocking == 1
+
+    def test_empty_request_stream(self):
+        miss = MissTrace(
+            gap_cycles=np.empty(0),
+            is_blocking=np.empty(0, dtype=bool),
+            instruction_index=np.empty(0, dtype=np.int64),
+            total_compute_cycles=100.0,
+            n_instructions=1000,
+            energy=EnergyEvents(),
+        )
+        assert miss.mean_instructions_per_request() == 1000

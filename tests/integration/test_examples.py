@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Examples are part of the public API surface; these tests execute each one
+in-process (cheapest) with stdout captured, asserting exit behaviour and a
+couple of landmark output lines so drift gets caught.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    """Execute an example as __main__ and return its stdout."""
+    script = EXAMPLES_DIR / name
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "base_dram" in out
+        assert "dynamic_R4_E4" in out
+        assert "learned rates" in out
+
+    def test_quickstart_other_benchmark(self, capsys):
+        out = run_example("quickstart.py", capsys, argv=["sjeng"])
+        assert "sjeng" in out
+
+    def test_cloud_outsourcing(self, capsys):
+        out = run_example("cloud_outsourcing.py", capsys)
+        assert "REFUSED" in out
+        assert "ACCEPTED" in out
+        assert "FAILED (run-once" in out
+
+    def test_timing_attack_demo(self, capsys):
+        out = run_example("timing_attack_demo.py", capsys)
+        assert "recovered 100%" in out or "recovered 9" in out
+        assert "strictly periodic: True" in out
+
+    def test_leakage_budget_explorer(self, capsys):
+        out = run_example("leakage_budget_explorer.py", capsys, argv=["32"])
+        assert "dynamic_R4_E4" in out
+        assert "yes" in out and "no" in out
+
+    def test_path_oram_walkthrough(self, capsys):
+        out = run_example("path_oram_walkthrough.py", capsys)
+        assert "invariant holds" in out
+        assert "tamper detected" in out.lower()
+        assert "1488" in out
+
+    def test_leakage_guard(self, capsys):
+        out = run_example("leakage_guard.py", capsys)
+        assert "CHIP HALTED" in out
+        assert "pinned rate" in out

@@ -1,0 +1,101 @@
+"""Integration test for Section 10's multi-channel leakage composition.
+
+"Bit leakage across different channels is additive": if channel i can
+generate |T_i| traces in isolation, the processor generates prod |T_i|
+combinations, i.e. sum of lg|T_i| bits.  We compose the three channels the
+paper names — ORAM timing, early termination, and a cache-timing channel
+in the style of [14] — and check the protocol layer can vet the composite
+against a per-session L.
+"""
+
+import math
+
+import pytest
+
+from repro.core.epochs import paper_schedule
+from repro.core.leakage import (
+    ChannelTraceCount,
+    compose_channels,
+    report_for_dynamic,
+    termination_leakage_bits,
+)
+
+
+def oram_channel(n_rates: int = 4, growth: int = 4) -> ChannelTraceCount:
+    bits = report_for_dynamic(paper_schedule(growth=growth), n_rates).oram_timing_bits
+    return ChannelTraceCount("oram-timing", bits)
+
+
+def termination_channel(discretize_lg: int = 0) -> ChannelTraceCount:
+    bits = termination_leakage_bits(1 << 62, 1 << discretize_lg)
+    return ChannelTraceCount("termination", bits)
+
+
+def cache_channel(n_partitions: int, n_reconfigurations: int) -> ChannelTraceCount:
+    """A [14]-style cache channel: the processor may repartition its cache
+    among ``n_partitions`` configurations at ``n_reconfigurations`` fixed
+    points — same trace-counting recipe, different resource."""
+    traces = n_partitions**n_reconfigurations
+    return ChannelTraceCount.from_count("cache-partitioning", traces)
+
+
+class TestComposition:
+    def test_paper_composite_94_bits(self):
+        """ORAM timing (32) + termination (62) = 94 bits (Section 9.3)."""
+        total = compose_channels([oram_channel(), termination_channel()])
+        assert total == 94.0
+
+    def test_adding_cache_channel_is_additive(self):
+        channels = [
+            oram_channel(),
+            termination_channel(),
+            cache_channel(n_partitions=8, n_reconfigurations=4),
+        ]
+        assert compose_channels(channels) == 94.0 + 4 * 3
+
+    def test_discretized_termination_reduces_composite(self):
+        """Section 6: rounding termination to 2^30 cycles -> 32+32 = 64."""
+        total = compose_channels(
+            [oram_channel(), termination_channel(discretize_lg=30)]
+        )
+        assert total == 64.0
+
+    def test_composition_order_irrelevant(self):
+        channels = [
+            oram_channel(),
+            termination_channel(),
+            cache_channel(4, 8),
+        ]
+        assert compose_channels(channels) == compose_channels(channels[::-1])
+
+
+class TestProtocolVetsComposite:
+    def test_session_limit_covers_all_channels(self):
+        """A user L must be compared against the *composite*, not just the
+        ORAM channel — the protocol exposes the pieces to do that."""
+        composite = compose_channels(
+            [
+                oram_channel(4, 16),  # 16 bits (Section 9.5)
+                termination_channel(discretize_lg=30),  # 32 bits
+                cache_channel(2, 8),  # 8 bits
+            ]
+        )
+        assert composite == 56.0
+        user_limit = 64.0
+        assert composite <= user_limit
+        tighter_limit = 48.0
+        assert composite > tighter_limit  # would be refused
+
+    def test_composite_matches_product_of_counts(self):
+        """lg(prod counts) == sum(lg counts) with exact big-int counts."""
+        counts = [4**16, 2**62, 8**4]
+        channels = [
+            ChannelTraceCount.from_count(f"c{i}", count)
+            for i, count in enumerate(counts)
+        ]
+        product = 1
+        for count in counts:
+            product *= count
+        assert compose_channels(channels) == pytest.approx(
+            math.log2(product), rel=1e-12
+        )

@@ -1,0 +1,79 @@
+"""Tests for the DDR3-lite DRAM model."""
+
+import pytest
+
+from repro.memory.dram import (
+    DDR3Config,
+    DDR3Memory,
+    average_bucket_overhead_cycles,
+)
+
+
+class TestConfig:
+    def test_row_miss_penalty(self):
+        config = DDR3Config()
+        assert config.row_miss_penalty == config.t_rp + config.t_rcd
+
+    def test_burst_cycles(self):
+        assert DDR3Config().burst_cycles == 4  # 64 B / 16 B per cycle
+
+
+class TestRowBuffer:
+    def test_first_access_misses_row(self):
+        memory = DDR3Memory()
+        memory.access_cycles(0, 64)
+        assert memory.stats.row_misses == 1
+        assert memory.stats.row_hits == 0
+
+    def test_same_row_hits(self):
+        memory = DDR3Memory()
+        memory.access_cycles(0, 64)
+        memory.access_cycles(64, 64)  # same 8 KB row
+        assert memory.stats.row_hits == 1
+
+    def test_row_hit_is_faster(self):
+        memory = DDR3Memory()
+        miss_cycles = memory.access_cycles(0, 64)
+        hit_cycles = memory.access_cycles(64, 64)
+        assert hit_cycles < miss_cycles
+
+    def test_close_all_rows_forces_misses(self):
+        """The Section 10 'public state' mitigation: every access misses."""
+        memory = DDR3Memory()
+        memory.access_cycles(0, 64)
+        memory.close_all_rows()
+        memory.access_cycles(64, 64)
+        assert memory.stats.row_hits == 0
+        assert memory.stats.row_misses == 2
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValueError):
+            DDR3Memory().access_cycles(0, 0)
+
+
+class TestStreaming:
+    def test_stream_crosses_rows(self):
+        memory = DDR3Memory()
+        cycles = memory.stream_region_cycles(0, 3 * 8192)
+        assert memory.stats.requests >= 3
+        assert cycles > 3 * 8192 // 16
+
+    def test_transfer_dominates_long_streams(self):
+        memory = DDR3Memory()
+        n_bytes = 64 * 8192
+        cycles = memory.stream_region_cycles(0, n_bytes)
+        transfer = n_bytes // 16
+        assert cycles < 1.2 * transfer
+
+
+class TestBucketOverhead:
+    def test_paper_scale_overhead(self):
+        """~2.5 residual DRAM cycles per bucket reproduces the paper's
+        1984-cycle access total (see repro.oram.timing)."""
+        overhead = average_bucket_overhead_cycles(208)
+        assert 1.0 < overhead < 4.0
+
+    def test_deterministic(self):
+        assert average_bucket_overhead_cycles(208, seed=1) == pytest.approx(
+            average_bucket_overhead_cycles(208, seed=1)
+        )

@@ -1,0 +1,23 @@
+"""Tests for the flat-latency memory model."""
+
+from repro.memory.flat import FlatMemory
+
+
+class TestFlatMemory:
+    def test_paper_default_latency(self):
+        assert FlatMemory().latency_cycles == 40
+
+    def test_service_adds_latency(self):
+        memory = FlatMemory()
+        assert memory.service(100.0) == 140.0
+
+    def test_counts_requests(self):
+        memory = FlatMemory()
+        memory.service(0.0)
+        memory.service(1.0)
+        assert memory.requests == 2
+
+    def test_unconstrained_bandwidth(self):
+        """Two requests at the same instant both finish in latency cycles."""
+        memory = FlatMemory()
+        assert memory.service(10.0) == memory.service(10.0)

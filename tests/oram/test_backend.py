@@ -1,0 +1,51 @@
+"""Tests for the untrusted memory backend."""
+
+import pytest
+
+from repro.oram.backend import UntrustedMemory
+
+
+class TestUntrustedMemory:
+    def test_read_before_write_is_none(self):
+        memory = UntrustedMemory(4)
+        assert memory.read(0) is None
+
+    def test_write_then_read(self):
+        memory = UntrustedMemory(4)
+        memory.write(2, b"ciphertext")
+        assert memory.read(2) == b"ciphertext"
+
+    def test_statistics(self):
+        memory = UntrustedMemory(4)
+        memory.write(0, b"abcd")
+        memory.read(0)
+        assert memory.writes == 1
+        assert memory.reads == 1
+        assert memory.bytes_written == 4
+        assert memory.bytes_read == 4
+
+    def test_raw_read_does_not_count(self):
+        """Adversarial polls must not perturb controller statistics."""
+        memory = UntrustedMemory(4)
+        memory.write(0, b"x")
+        reads_before = memory.reads
+        assert memory.raw_read(0) == b"x"
+        assert memory.reads == reads_before
+
+    def test_raw_read_returns_copy_semantics(self):
+        memory = UntrustedMemory(2)
+        memory.write(1, b"data")
+        snapshot = memory.raw_read(1)
+        memory.write(1, b"new!")
+        assert snapshot == b"data"
+
+    def test_bounds_checked(self):
+        memory = UntrustedMemory(2)
+        with pytest.raises(IndexError):
+            memory.read(2)
+        with pytest.raises(IndexError):
+            memory.write(-1, b"")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UntrustedMemory(0)

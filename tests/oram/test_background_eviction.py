@@ -1,0 +1,65 @@
+"""Tests for background eviction (Z=3 stash control per Ren et al.)."""
+
+import pytest
+
+from repro.oram.background_eviction import BackgroundEvictingORAM
+from repro.oram.config import TreeGeometry
+from repro.oram.path_oram import PathORAM
+
+# A deliberately stressed configuration: Z=1 at ~80% slot occupancy keeps
+# steady pressure on the stash (peaks in the teens without eviction).
+GEOMETRY = TreeGeometry(levels=6, blocks_per_bucket=1, block_bytes=32)
+N_BLOCKS = 50
+
+
+def stressed_oram(seed: int = 13) -> PathORAM:
+    return PathORAM(GEOMETRY, n_blocks=N_BLOCKS, seed=seed)
+
+
+def hammer(target, n_ops: int = 600, n_blocks: int = N_BLOCKS) -> None:
+    for index in range(n_ops):
+        target.write(index % n_blocks, bytes([index % 251]))
+
+
+class TestEvictionBehaviour:
+    def test_eviction_bounds_stash(self):
+        plain = stressed_oram(seed=13)
+        hammer(plain)
+        evicting = BackgroundEvictingORAM(stressed_oram(seed=13), high_water=6)
+        hammer(evicting)
+        assert evicting.stash_peak <= plain.stats.stash_peak
+        # Post-run occupancy is pulled back toward the threshold.
+        assert len(evicting.oram.stash) <= 6 + GEOMETRY.levels * 2
+
+    def test_evictions_are_dummy_accesses(self):
+        """Background evictions must be indistinguishable dummies: the
+        wrapped ORAM's dummy counter accounts for every one."""
+        evicting = BackgroundEvictingORAM(stressed_oram(), high_water=6)
+        hammer(evicting, n_ops=300)
+        assert evicting.oram.stats.dummies == evicting.stats.eviction_accesses
+        assert evicting.stats.triggered > 0
+
+    def test_data_correctness_preserved(self):
+        evicting = BackgroundEvictingORAM(stressed_oram(), high_water=6)
+        for address in range(N_BLOCKS):
+            evicting.write(address, bytes([address]))
+        for address in range(N_BLOCKS):
+            assert evicting.read(address)[0] == address
+
+    def test_invariant_survives_eviction(self):
+        evicting = BackgroundEvictingORAM(stressed_oram(), high_water=8)
+        hammer(evicting, n_ops=200)
+        evicting.oram.check_invariant()
+
+    def test_quiet_workload_never_triggers(self):
+        geometry = TreeGeometry(levels=6, blocks_per_bucket=4, block_bytes=32)
+        oram = PathORAM(geometry, n_blocks=16, seed=3)
+        evicting = BackgroundEvictingORAM(oram, high_water=32)
+        hammer(evicting, n_ops=100, n_blocks=16)
+        assert evicting.stats.triggered == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BackgroundEvictingORAM(stressed_oram(), high_water=0)
+        with pytest.raises(ValueError):
+            BackgroundEvictingORAM(stressed_oram(), max_evictions_per_trigger=0)

@@ -1,0 +1,74 @@
+"""Tests for ORAM configuration and tree geometry."""
+
+import pytest
+
+from repro.oram.config import ORAMConfig, PAPER_ORAM_CONFIG, TEST_ORAM_CONFIG, TreeGeometry
+from repro.util.units import GB, KB
+
+
+class TestTreeGeometry:
+    def test_basic_counts(self):
+        geometry = TreeGeometry(levels=4, blocks_per_bucket=3, block_bytes=64)
+        assert geometry.n_leaves == 8
+        assert geometry.n_buckets == 15
+        assert geometry.n_slots == 45
+
+    def test_bucket_and_path_bytes(self):
+        geometry = TreeGeometry(
+            levels=4, blocks_per_bucket=3, block_bytes=64, bucket_header_bytes=16
+        )
+        assert geometry.bucket_bytes == 3 * 64 + 16
+        assert geometry.path_bytes == 4 * geometry.bucket_bytes
+
+    def test_for_block_count_fits(self):
+        geometry = TreeGeometry.for_block_count(
+            n_blocks=1000, blocks_per_bucket=4, block_bytes=64
+        )
+        assert geometry.n_slots >= 1000
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            TreeGeometry(levels=0, blocks_per_bucket=3, block_bytes=64)
+
+
+class TestORAMConfig:
+    def test_paper_config_block_count(self):
+        assert PAPER_ORAM_CONFIG.n_blocks == 4 * GB // 64
+
+    def test_paper_path_bytes_near_12_kb_per_direction(self):
+        """Section 9.1.2: 12.1 KB per path direction for the paper config."""
+        per_direction = PAPER_ORAM_CONFIG.path_bytes_per_direction()
+        assert 11 * KB < per_direction < 13 * KB
+
+    def test_recursion_shrinks(self):
+        geometries = PAPER_ORAM_CONFIG.recursion_geometries()
+        assert len(geometries) == 3
+        levels = [g.levels for g in geometries]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_onchip_posmap_shrinks_with_recursion(self):
+        with_recursion = PAPER_ORAM_CONFIG.onchip_posmap_entries
+        flat = ORAMConfig(recursion_levels=0).onchip_posmap_entries
+        assert with_recursion < flat / 100
+
+    def test_labels_per_recursive_block(self):
+        assert PAPER_ORAM_CONFIG.labels_per_recursive_block == 32 // 4
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            ORAMConfig(utilization=0.0)
+
+    def test_rejects_negative_recursion(self):
+        with pytest.raises(ValueError):
+            ORAMConfig(recursion_levels=-1)
+
+    def test_describe_mentions_geometry(self):
+        text = TEST_ORAM_CONFIG.describe()
+        assert "Path ORAM" in text
+        assert "levels" in text
+
+    def test_all_geometries_order(self):
+        geometries = PAPER_ORAM_CONFIG.all_geometries()
+        assert len(geometries) == 4
+        assert geometries[0].block_bytes == 64
+        assert all(g.block_bytes == 32 for g in geometries[1:])

@@ -1,0 +1,73 @@
+"""Tests for the probabilistic cipher — the property the probe attack uses."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.oram.encryption import CHUNK_BYTES, ProbabilisticCipher, chunk_count
+
+
+class TestRoundtrip:
+    @given(st.binary(min_size=0, max_size=512))
+    def test_decrypt_inverts_encrypt(self, plaintext):
+        cipher = ProbabilisticCipher(b"test-key")
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            ProbabilisticCipher(b"")
+
+    def test_rejects_truncated_ciphertext(self):
+        cipher = ProbabilisticCipher(b"k")
+        with pytest.raises(ValueError):
+            cipher.decrypt(b"abc")
+
+
+class TestProbabilisticProperty:
+    """Section 3: same plaintext encrypted twice looks completely different.
+
+    This is simultaneously what makes dummy accesses indistinguishable and
+    what lets the Section 3.2 adversary detect accesses by re-reading the
+    root bucket.
+    """
+
+    def test_fresh_ciphertext_each_time(self):
+        cipher = ProbabilisticCipher(b"key")
+        plaintext = b"same bucket contents" * 4
+        assert cipher.encrypt(plaintext) != cipher.encrypt(plaintext)
+
+    def test_ciphertext_expands_by_nonce_only(self):
+        cipher = ProbabilisticCipher(b"key")
+        plaintext = b"x" * 100
+        assert len(cipher.encrypt(plaintext)) == 100 + cipher.overhead_bytes
+
+    def test_different_keys_give_different_ciphertexts(self):
+        a = ProbabilisticCipher(b"key-a")
+        b = ProbabilisticCipher(b"key-b")
+        plaintext = b"secret" * 10
+        # Same nonce counters, different keys.
+        assert a.encrypt(plaintext) != b.encrypt(plaintext)
+
+    def test_wrong_key_garbles(self):
+        a = ProbabilisticCipher(b"key-a")
+        b = ProbabilisticCipher(b"key-b")
+        assert b.decrypt(a.encrypt(b"hello world")) != b"hello world"
+
+
+class TestChunkCount:
+    def test_exact_multiple(self):
+        assert chunk_count(32) == 2
+
+    def test_rounds_up(self):
+        assert chunk_count(33) == 3
+
+    def test_zero(self):
+        assert chunk_count(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chunk_count(-1)
+
+    def test_paper_chunk_arithmetic(self):
+        """12.1 KB per direction = 758 sixteen-byte chunks (Section 9.1.4)."""
+        assert chunk_count(758 * CHUNK_BYTES) == 758

@@ -1,0 +1,174 @@
+"""Tests for the functional Path ORAM controller.
+
+The property tests are the heart: under arbitrary read/write/dummy
+sequences the controller must (a) return the last value written to every
+address, (b) maintain the Path ORAM invariant (every block on the path to
+its mapped leaf or in the stash), and (c) keep stash occupancy small.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.oram.config import TreeGeometry
+from repro.oram.path_oram import PathORAM, make_path_oram
+
+GEOMETRY = TreeGeometry(levels=5, blocks_per_bucket=4, block_bytes=32)
+N_BLOCKS = 24
+
+
+def fresh_oram(seed: int = 11) -> PathORAM:
+    return PathORAM(GEOMETRY, n_blocks=N_BLOCKS, seed=seed)
+
+
+class TestBasicOperation:
+    def test_unwritten_block_reads_zero(self, small_oram):
+        assert small_oram.read(0) == bytes(GEOMETRY.block_bytes)
+
+    def test_read_your_write(self, small_oram):
+        small_oram.write(3, b"hello")
+        assert small_oram.read(3).rstrip(b"\x00") == b"hello"
+
+    def test_overwrite(self, small_oram):
+        small_oram.write(3, b"first")
+        small_oram.write(3, b"second")
+        assert small_oram.read(3).rstrip(b"\x00") == b"second"
+
+    def test_writes_do_not_interfere(self, small_oram):
+        for address in range(8):
+            small_oram.write(address, bytes([address]) * 8)
+        for address in range(8):
+            assert small_oram.read(address)[:8] == bytes([address]) * 8
+
+    def test_update_single_path_access(self, small_oram):
+        small_oram.write(1, b"abc")
+        touched_before = small_oram.stats.buckets_touched
+        small_oram.update(1, lambda data: b"xyz" + data[3:])
+        touched_after = small_oram.stats.buckets_touched
+        # One access = one path read + one path write.
+        assert touched_after - touched_before == 2 * GEOMETRY.levels
+        assert small_oram.read(1)[:3] == b"xyz"
+
+    def test_out_of_range_address(self, small_oram):
+        with pytest.raises(KeyError):
+            small_oram.read(N_BLOCKS)
+
+    def test_oversize_payload(self, small_oram):
+        with pytest.raises(ValueError):
+            small_oram.write(0, b"x" * (GEOMETRY.block_bytes + 1))
+
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            PathORAM(GEOMETRY, n_blocks=GEOMETRY.n_slots + 1)
+
+
+class TestAccessPattern:
+    def test_each_access_touches_one_path_each_way(self, small_oram):
+        before = small_oram.stats.buckets_touched
+        small_oram.read(0)
+        assert small_oram.stats.buckets_touched - before == 2 * GEOMETRY.levels
+
+    def test_dummy_touches_one_path_each_way(self, small_oram):
+        before = small_oram.stats.buckets_touched
+        small_oram.dummy_access()
+        assert small_oram.stats.buckets_touched - before == 2 * GEOMETRY.levels
+
+    def test_dummy_changes_root_ciphertext(self, small_oram):
+        """The Section 3.2 observable: every access rewrites the root."""
+        small_oram.read(0)  # ensure root exists
+        before = small_oram.memory.raw_read(0)
+        small_oram.dummy_access()
+        assert small_oram.memory.raw_read(0) != before
+
+    def test_remap_on_access(self, small_oram):
+        """Block leaves are redrawn on every access (the security step)."""
+        leaves = set()
+        for _ in range(60):
+            small_oram.read(0)
+            leaves.add(small_oram.position_map.lookup(0))
+        assert len(leaves) > 4
+
+    def test_stats_counters(self, small_oram):
+        small_oram.read(0)
+        small_oram.write(1, b"x")
+        small_oram.dummy_access()
+        assert small_oram.stats.reads == 1
+        assert small_oram.stats.writes == 1
+        assert small_oram.stats.dummies == 1
+        assert small_oram.stats.total_accesses == 3
+
+
+class TestInvariant:
+    def test_invariant_after_warmup(self, small_oram):
+        for address in range(N_BLOCKS):
+            small_oram.write(address, bytes([address]))
+        small_oram.check_invariant()
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write", "dummy"]),
+                st.integers(min_value=0, max_value=N_BLOCKS - 1),
+                st.binary(min_size=0, max_size=8),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_invariant_under_random_ops(self, ops):
+        oram = fresh_oram(seed=17)
+        for op, address, payload in ops:
+            if op == "read":
+                oram.read(address)
+            elif op == "write":
+                oram.write(address, payload)
+            else:
+                oram.dummy_access()
+        oram.check_invariant()
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        writes=st.dictionaries(
+            st.integers(min_value=0, max_value=N_BLOCKS - 1),
+            st.binary(min_size=1, max_size=8),
+            min_size=1,
+            max_size=N_BLOCKS,
+        ),
+        reads=st.lists(
+            st.integers(min_value=0, max_value=N_BLOCKS - 1), max_size=30
+        ),
+    )
+    def test_read_your_writes_property(self, writes, reads):
+        oram = fresh_oram(seed=23)
+        for address, payload in writes.items():
+            oram.write(address, payload)
+        for address in reads:
+            oram.read(address)
+        for address, payload in writes.items():
+            assert oram.read(address)[: len(payload)] == payload
+
+
+class TestStashBehaviour:
+    def test_stash_stays_small_z4(self):
+        """With Z=4, stash occupancy stays far below block count (w.h.p.)."""
+        oram = fresh_oram(seed=31)
+        for index in range(600):
+            oram.write(index % N_BLOCKS, bytes([index % 251]))
+        assert oram.stats.stash_peak <= N_BLOCKS // 2
+
+    def test_stash_peak_recorded(self, small_oram):
+        small_oram.read(0)
+        assert small_oram.stats.stash_peak >= 0
+        assert len(small_oram.stats.stash_occupancy_samples) == 1
+
+
+class TestMakePathORAM:
+    def test_default_test_config(self):
+        oram = make_path_oram()
+        oram.write(0, b"ok")
+        assert oram.read(0)[:2] == b"ok"
+
+    def test_respects_block_count(self):
+        oram = make_path_oram(n_blocks=8)
+        assert oram.n_blocks == 8

@@ -1,0 +1,49 @@
+"""Tests for the flat position map."""
+
+import pytest
+
+from repro.oram.position_map import FlatPositionMap
+
+
+class TestFlatPositionMap:
+    def test_lookup_in_range(self):
+        posmap = FlatPositionMap(n_blocks=100, n_leaves=16, seed=1)
+        for address in range(100):
+            assert 0 <= posmap.lookup(address) < 16
+
+    def test_remap_returns_old_and_new(self):
+        posmap = FlatPositionMap(n_blocks=10, n_leaves=64, seed=2)
+        before = posmap.lookup(3)
+        old, new = posmap.remap(3)
+        assert old == before
+        assert posmap.lookup(3) == new
+
+    def test_remap_is_uniformish(self):
+        """Fresh leaves cover the leaf space (the critical security step)."""
+        posmap = FlatPositionMap(n_blocks=1, n_leaves=8, seed=3)
+        seen = set()
+        for _ in range(400):
+            _old, new = posmap.remap(0)
+            seen.add(new)
+        assert seen == set(range(8))
+
+    def test_random_leaf_in_range(self):
+        posmap = FlatPositionMap(n_blocks=4, n_leaves=32, seed=4)
+        for _ in range(100):
+            assert 0 <= posmap.random_leaf() < 32
+
+    def test_out_of_range_address(self):
+        posmap = FlatPositionMap(n_blocks=4, n_leaves=4, seed=5)
+        with pytest.raises(KeyError):
+            posmap.lookup(4)
+
+    def test_deterministic_given_seed(self):
+        a = FlatPositionMap(n_blocks=16, n_leaves=16, seed=9)
+        b = FlatPositionMap(n_blocks=16, n_leaves=16, seed=9)
+        assert [a.lookup(i) for i in range(16)] == [b.lookup(i) for i in range(16)]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            FlatPositionMap(n_blocks=0, n_leaves=4)
+        with pytest.raises(ValueError):
+            FlatPositionMap(n_blocks=4, n_leaves=0)

@@ -1,0 +1,80 @@
+"""Tests for the recursive Path ORAM composition."""
+
+import pytest
+
+from repro.oram.config import ORAMConfig
+from repro.oram.recursion import RecursivePathORAM
+from repro.util.units import KB
+
+
+def small_recursive(levels: int = 2, n_blocks: int = 64) -> RecursivePathORAM:
+    config = ORAMConfig(
+        capacity_bytes=64 * KB,
+        block_bytes=64,
+        blocks_per_bucket=4,
+        recursion_levels=levels,
+        recursive_block_bytes=32,
+        leaf_label_bytes=4,
+    )
+    return RecursivePathORAM(config, n_blocks=n_blocks, seed=5)
+
+
+class TestConstruction:
+    def test_level_count(self):
+        oram = small_recursive(levels=2)
+        assert oram.levels == 3  # data + 2 posmap ORAMs
+
+    def test_requires_recursion(self):
+        config = ORAMConfig(capacity_bytes=64 * KB, recursion_levels=0)
+        with pytest.raises(ValueError):
+            RecursivePathORAM(config, n_blocks=16)
+
+    def test_rejects_bad_block_count(self):
+        config = ORAMConfig(capacity_bytes=64 * KB, recursion_levels=1)
+        with pytest.raises(ValueError):
+            RecursivePathORAM(config, n_blocks=0)
+
+
+class TestFunctionalCorrectness:
+    def test_read_your_write(self):
+        oram = small_recursive()
+        oram.write(7, b"recursive")
+        assert oram.read(7)[:9] == b"recursive"
+
+    def test_many_blocks(self):
+        oram = small_recursive(n_blocks=64)
+        for address in range(0, 64, 7):
+            oram.write(address, bytes([address]))
+        for address in range(0, 64, 7):
+            assert oram.read(address)[0] == address
+
+    def test_unwritten_reads_zero(self):
+        oram = small_recursive()
+        assert oram.read(1) == bytes(64)
+
+    def test_out_of_range(self):
+        oram = small_recursive()
+        with pytest.raises(KeyError):
+            oram.read(64)
+
+
+class TestAccessPattern:
+    def test_one_path_per_level_per_access(self):
+        """Each logical access touches one path in every ORAM (Section 3.1)."""
+        oram = small_recursive(levels=2)
+        oram.read(0)
+        before = oram.stats.physical_path_accesses
+        oram.read(1)
+        assert oram.stats.physical_path_accesses - before == oram.levels
+
+    def test_dummy_touches_every_level(self):
+        oram = small_recursive(levels=2)
+        before = oram.stats.physical_path_accesses
+        oram.dummy_access()
+        assert oram.stats.physical_path_accesses - before == oram.levels
+
+    def test_paths_per_access_statistic(self):
+        oram = small_recursive(levels=2)
+        for address in range(10):
+            oram.read(address % oram.n_blocks)
+        assert oram.stats.paths_per_access == pytest.approx(oram.levels)

@@ -1,0 +1,61 @@
+"""Tests for the Path ORAM stash."""
+
+import pytest
+
+from repro.oram.block import Block
+from repro.oram.stash import Stash, StashOverflowError
+
+
+def _block(address: int) -> Block:
+    return Block(address=address, leaf=0, data=b"d")
+
+
+class TestStashBasics:
+    def test_add_get_remove(self):
+        stash = Stash()
+        stash.add(_block(5))
+        assert 5 in stash
+        assert stash.get(5).address == 5
+        removed = stash.remove(5)
+        assert removed.address == 5
+        assert 5 not in stash
+
+    def test_add_replaces(self):
+        stash = Stash()
+        stash.add(Block(address=1, leaf=0, data=b"old"))
+        stash.add(Block(address=1, leaf=3, data=b"new"))
+        assert len(stash) == 1
+        assert stash.get(1).data == b"new"
+        assert stash.get(1).leaf == 3
+
+    def test_get_missing_returns_none(self):
+        assert Stash().get(42) is None
+
+    def test_dummy_rejected(self):
+        with pytest.raises(ValueError):
+            Stash().add(Block.dummy(8))
+
+    def test_snapshots(self):
+        stash = Stash()
+        for address in (3, 1, 2):
+            stash.add(_block(address))
+        assert set(stash.addresses()) == {1, 2, 3}
+        assert len(stash.blocks()) == 3
+
+
+class TestOccupancyTracking:
+    def test_max_occupancy_monotone(self):
+        stash = Stash()
+        for address in range(10):
+            stash.add(_block(address))
+        for address in range(10):
+            stash.remove(address)
+        assert stash.max_occupancy == 10
+        assert len(stash) == 0
+
+    def test_capacity_enforced(self):
+        stash = Stash(capacity_blocks=2)
+        stash.add(_block(1))
+        stash.add(_block(2))
+        with pytest.raises(StashOverflowError):
+            stash.add(_block(3))

@@ -1,0 +1,99 @@
+"""Tests for binary-tree path arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.oram.config import TreeGeometry
+from repro.oram.tree import (
+    bucket_on_path,
+    common_prefix_level,
+    leaf_of_bucket,
+    path_bucket_indices,
+)
+
+GEOMETRY = TreeGeometry(levels=5, blocks_per_bucket=3, block_bytes=64)
+leaves = st.integers(min_value=0, max_value=GEOMETRY.n_leaves - 1)
+
+
+class TestPathBucketIndices:
+    def test_root_always_first(self):
+        for leaf in range(GEOMETRY.n_leaves):
+            assert path_bucket_indices(GEOMETRY, leaf)[0] == 0
+
+    def test_path_length_is_levels(self):
+        assert len(path_bucket_indices(GEOMETRY, 0)) == GEOMETRY.levels
+
+    def test_leftmost_path(self):
+        assert path_bucket_indices(GEOMETRY, 0) == [0, 1, 3, 7, 15]
+
+    def test_rightmost_path(self):
+        assert path_bucket_indices(GEOMETRY, 15) == [0, 2, 6, 14, 30]
+
+    def test_rejects_bad_leaf(self):
+        with pytest.raises(ValueError):
+            path_bucket_indices(GEOMETRY, GEOMETRY.n_leaves)
+
+    @given(leaves)
+    def test_children_follow_heap_rule(self, leaf):
+        path = path_bucket_indices(GEOMETRY, leaf)
+        for parent, child in zip(path, path[1:]):
+            assert child in (2 * parent + 1, 2 * parent + 2)
+
+    @given(leaves)
+    def test_last_bucket_is_leaf_bucket(self, leaf):
+        path = path_bucket_indices(GEOMETRY, leaf)
+        level, first_leaf = leaf_of_bucket(GEOMETRY, path[-1])
+        assert level == GEOMETRY.levels - 1
+        assert first_leaf == leaf
+
+
+class TestBucketOnPath:
+    @given(leaves, st.integers(min_value=0, max_value=GEOMETRY.levels - 1))
+    def test_matches_full_path(self, leaf, level):
+        assert bucket_on_path(GEOMETRY, leaf, level) == path_bucket_indices(GEOMETRY, leaf)[level]
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            bucket_on_path(GEOMETRY, 0, GEOMETRY.levels)
+
+
+class TestCommonPrefixLevel:
+    def test_identical_leaves_share_whole_path(self):
+        assert common_prefix_level(GEOMETRY, 5, 5) == GEOMETRY.levels - 1
+
+    def test_opposite_halves_share_only_root(self):
+        assert common_prefix_level(GEOMETRY, 0, GEOMETRY.n_leaves - 1) == 0
+
+    def test_adjacent_leaves(self):
+        assert common_prefix_level(GEOMETRY, 0, 1) == GEOMETRY.levels - 2
+
+    @given(leaves, leaves)
+    def test_symmetric(self, a, b):
+        assert common_prefix_level(GEOMETRY, a, b) == common_prefix_level(GEOMETRY, b, a)
+
+    @given(leaves, leaves)
+    def test_matches_path_intersection(self, a, b):
+        """The shared level equals the actual shared path prefix length."""
+        path_a = path_bucket_indices(GEOMETRY, a)
+        path_b = path_bucket_indices(GEOMETRY, b)
+        shared = 0
+        for bucket_a, bucket_b in zip(path_a, path_b):
+            if bucket_a != bucket_b:
+                break
+            shared += 1
+        assert common_prefix_level(GEOMETRY, a, b) == shared - 1
+
+
+class TestLeafOfBucket:
+    def test_root(self):
+        assert leaf_of_bucket(GEOMETRY, 0) == (0, 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            leaf_of_bucket(GEOMETRY, GEOMETRY.n_buckets)
+
+    @given(st.integers(min_value=0, max_value=GEOMETRY.n_buckets - 1))
+    def test_bucket_lies_on_reported_leaf_path(self, bucket):
+        level, leaf = leaf_of_bucket(GEOMETRY, bucket)
+        assert path_bucket_indices(GEOMETRY, leaf)[level] == bucket

@@ -1,0 +1,83 @@
+"""Tests for energy accounting and power computation."""
+
+import pytest
+
+from repro.cpu.trace import EnergyEvents
+from repro.power.model import (
+    EnergyBreakdown,
+    build_breakdown,
+    dram_memory_energy_nj,
+    oram_memory_energy_nj,
+    processor_energy_nj,
+)
+
+
+def events(n_instr: int = 1000) -> EnergyEvents:
+    return EnergyEvents(
+        n_instructions=n_instr,
+        n_memory_refs=n_instr // 4,
+        alu_fpu_ops=(n_instr * 3) // 4,
+        regfile_int_ops=n_instr,
+        regfile_fp_ops=0,
+        fetch_buffer_accesses=n_instr // 8,
+        l1i_hits=n_instr // 16,
+        l1i_refills=10,
+        l1d_hits=n_instr // 4,
+        l1d_refills=20,
+        l2_hits=15,
+        l2_refills=5,
+    )
+
+
+class TestProcessorEnergy:
+    def test_positive_components(self):
+        core, cache_dyn, cache_leak = processor_energy_nj(events(), cycles=10_000)
+        assert core > 0 and cache_dyn > 0 and cache_leak > 0
+
+    def test_leakage_scales_with_cycles(self):
+        _, _, leak_short = processor_energy_nj(events(), cycles=1_000)
+        _, _, leak_long = processor_energy_nj(events(), cycles=100_000)
+        assert leak_long > leak_short
+
+    def test_core_energy_independent_of_cycles(self):
+        core_a, _, _ = processor_energy_nj(events(), cycles=1_000)
+        core_b, _, _ = processor_energy_nj(events(), cycles=100_000)
+        assert core_a == core_b
+
+
+class TestMemoryEnergy:
+    def test_dram_per_line(self):
+        assert dram_memory_energy_nj(100) == pytest.approx(30.3)
+
+    def test_oram_per_access(self):
+        assert oram_memory_energy_nj(10) == pytest.approx(9845.8, rel=0.01)
+
+    def test_oram_custom_energy(self):
+        assert oram_memory_energy_nj(10, nj_per_access=100.0) == pytest.approx(1000.0)
+
+
+class TestBreakdown:
+    def test_power_at_1ghz_is_nj_per_ns(self):
+        breakdown = EnergyBreakdown(
+            core_nj=100.0, cache_dynamic_nj=0.0, cache_leakage_nj=0.0, memory_nj=0.0
+        )
+        assert breakdown.power_watts(cycles=100) == pytest.approx(1.0)
+
+    def test_totals(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert breakdown.processor_nj == 6.0
+        assert breakdown.total_nj == 10.0
+
+    def test_memory_power_portion(self):
+        breakdown = EnergyBreakdown(1.0, 1.0, 1.0, 7.0)
+        assert breakdown.memory_power_watts(10.0) == pytest.approx(0.7)
+
+    def test_rejects_zero_cycles(self):
+        breakdown = EnergyBreakdown(1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            breakdown.power_watts(0)
+
+    def test_build_breakdown_wires_memory(self):
+        breakdown = build_breakdown(events(), cycles=1000, memory_nj=123.0)
+        assert breakdown.memory_nj == 123.0
+        assert breakdown.total_nj > 123.0

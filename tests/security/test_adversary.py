@@ -1,0 +1,86 @@
+"""Tests for the probe adversary and timing-trace observers."""
+
+import pytest
+
+from repro.oram.config import TreeGeometry
+from repro.oram.path_oram import PathORAM
+from repro.security.adversary import ProbeAdversary, TimingTraceObserver
+
+
+def tiny_oram(seed: int = 3) -> PathORAM:
+    geometry = TreeGeometry(levels=4, blocks_per_bucket=4, block_bytes=32)
+    return PathORAM(geometry, n_blocks=8, seed=seed)
+
+
+class TestProbeAdversary:
+    def test_first_poll_is_baseline(self):
+        oram = tiny_oram()
+        adversary = ProbeAdversary(oram.memory)
+        assert not adversary.poll(0.0)
+
+    def test_detects_access_between_polls(self):
+        """Section 3.2: two root reads differ iff >= 1 access occurred."""
+        oram = tiny_oram()
+        adversary = ProbeAdversary(oram.memory)
+        adversary.poll(0.0)
+        oram.dummy_access()
+        assert adversary.poll(1.0)
+
+    def test_no_access_no_change(self):
+        oram = tiny_oram()
+        adversary = ProbeAdversary(oram.memory)
+        adversary.poll(0.0)
+        assert not adversary.poll(1.0)
+
+    def test_dummy_and_real_indistinguishable_to_probe(self):
+        """The probe sees *that* an access happened, never which kind."""
+        oram = tiny_oram()
+        adversary = ProbeAdversary(oram.memory)
+        adversary.poll(0.0)
+        oram.dummy_access()
+        dummy_seen = adversary.poll(1.0)
+        oram.read(0)
+        real_seen = adversary.poll(2.0)
+        assert dummy_seen and real_seen
+
+    def test_rate_estimation(self):
+        oram = tiny_oram()
+        adversary = ProbeAdversary(oram.memory)
+        for tick in range(10):
+            oram.dummy_access()
+            adversary.poll(float(tick * 100))
+        estimate = adversary.estimated_rate()
+        assert estimate == pytest.approx(100.0)
+
+    def test_estimate_none_without_events(self):
+        oram = tiny_oram()
+        adversary = ProbeAdversary(oram.memory)
+        adversary.poll(0.0)
+        assert adversary.estimated_rate() is None
+
+
+class TestTimingTraceObserver:
+    def test_periodic_detection(self):
+        observer = TimingTraceObserver()
+        for t in (100.0, 200.0, 300.0, 400.0):
+            observer.record(t)
+        assert observer.is_strictly_periodic()
+        assert observer.distinct_interval_count() == 1
+
+    def test_aperiodic_detection(self):
+        observer = TimingTraceObserver()
+        for t in (100.0, 200.0, 450.0):
+            observer.record(t)
+        assert not observer.is_strictly_periodic()
+        assert observer.distinct_interval_count() == 2
+
+    def test_short_traces_trivially_periodic(self):
+        observer = TimingTraceObserver()
+        observer.record(1.0)
+        assert observer.is_strictly_periodic()
+
+    def test_intervals(self):
+        observer = TimingTraceObserver()
+        observer.record(10.0)
+        observer.record(30.0)
+        assert observer.intervals() == [20.0]

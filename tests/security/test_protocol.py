@@ -1,0 +1,136 @@
+"""Tests for the user-server-processor protocol (Sections 5, 8, 10)."""
+
+import pytest
+
+from repro.core.epochs import paper_schedule
+from repro.core.rates import lg_spaced_rates
+from repro.security.protocol import (
+    BindingError,
+    LeakageLimitExceededError,
+    LeakageParameters,
+    SecureProcessorProtocol,
+    UserSubmission,
+    bind_submission,
+    program_hash,
+)
+from repro.security.session import SessionTerminatedError
+
+
+def parameters(n_rates: int = 4, growth: int = 4) -> LeakageParameters:
+    return LeakageParameters(
+        rates=lg_spaced_rates(n_rates), schedule=paper_schedule(growth=growth)
+    )
+
+
+def echo(data: bytes) -> bytes:
+    return data[::-1]
+
+
+class TestHonestFlow:
+    def test_full_protocol_roundtrip(self):
+        protocol = SecureProcessorProtocol()
+        protocol.open_session()
+        sealed = protocol.seal_for_user(b"secret-input")
+        submission = UserSubmission(sealed_data=sealed, leakage_limit_bits=64.0)
+        receipt = protocol.run(submission, "reverse", parameters(), echo)
+        assert receipt.timing_leakage_bits == 32.0
+        assert receipt.total_leakage_bits == 94.0
+        # The user (holding K) can recover the result; here we use the
+        # register directly as the user's proxy.
+        assert protocol._require_register().unseal(receipt.sealed_result) == (
+            b"secret-input"[::-1]
+        )
+
+    def test_run_without_session_fails(self):
+        protocol = SecureProcessorProtocol()
+        with pytest.raises(SessionTerminatedError):
+            protocol.seal_for_user(b"x")
+
+
+class TestLeakageVetting:
+    """Section 10: the processor checks (R, E) against the user's L."""
+
+    def test_parameters_within_limit_accepted(self):
+        protocol = SecureProcessorProtocol()
+        protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        submission = UserSubmission(sealed_data=sealed, leakage_limit_bits=32.0)
+        protocol.run(submission, "p", parameters(4, 4), echo)  # exactly 32
+
+    def test_greedy_server_parameters_rejected(self):
+        protocol = SecureProcessorProtocol()
+        protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        submission = UserSubmission(sealed_data=sealed, leakage_limit_bits=16.0)
+        with pytest.raises(LeakageLimitExceededError):
+            protocol.run(submission, "p", parameters(4, 4), echo)  # 32 > 16
+
+    def test_e16_fits_16_bit_limit(self):
+        """Section 9.5: R4/E16 reduces ORAM timing leakage to 16 bits."""
+        protocol = SecureProcessorProtocol()
+        protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        submission = UserSubmission(sealed_data=sealed, leakage_limit_bits=16.0)
+        protocol.run(submission, "p", parameters(4, 16), echo)
+
+
+class TestHmacBinding:
+    def test_valid_binding_accepted(self):
+        protocol = SecureProcessorProtocol()
+        keys = protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        tag = bind_submission(keys.k, b"data", 64.0, program_hash("certified"))
+        submission = UserSubmission(
+            sealed_data=sealed,
+            leakage_limit_bits=64.0,
+            hmac_tag=tag,
+            bound_program_hash=program_hash("certified"),
+        )
+        protocol.run(submission, "certified", parameters(), echo)
+
+    def test_wrong_program_rejected(self):
+        """Section 10: binding a certified hash stops program swapping."""
+        protocol = SecureProcessorProtocol()
+        keys = protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        tag = bind_submission(keys.k, b"data", 64.0, program_hash("certified"))
+        submission = UserSubmission(
+            sealed_data=sealed,
+            leakage_limit_bits=64.0,
+            hmac_tag=tag,
+            bound_program_hash=program_hash("certified"),
+        )
+        with pytest.raises(BindingError):
+            protocol.run(submission, "malicious", parameters(), echo)
+
+    def test_tampered_tag_rejected(self):
+        protocol = SecureProcessorProtocol()
+        protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        submission = UserSubmission(
+            sealed_data=sealed, leakage_limit_bits=64.0, hmac_tag=b"\x00" * 32
+        )
+        with pytest.raises(BindingError):
+            protocol.run(submission, "p", parameters(), echo)
+
+
+class TestRunOnce:
+    def test_replay_after_close_fails(self):
+        protocol = SecureProcessorProtocol()
+        protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        submission = UserSubmission(sealed_data=sealed, leakage_limit_bits=64.0)
+        protocol.run(submission, "p", parameters(), echo)
+        protocol.close_session()
+        with pytest.raises(SessionTerminatedError):
+            protocol.run(submission, "p", parameters(), echo)
+
+    def test_new_session_cannot_decrypt_old_submission(self):
+        protocol = SecureProcessorProtocol()
+        protocol.open_session()
+        sealed = protocol.seal_for_user(b"data")
+        submission = UserSubmission(sealed_data=sealed, leakage_limit_bits=64.0)
+        protocol.close_session()
+        protocol.open_session()  # fresh K
+        with pytest.raises(SessionTerminatedError):
+            protocol.run(submission, "p", parameters(), echo)

@@ -1,0 +1,63 @@
+"""Tests for replay attacks and their prevention (Sections 4.3, 8, 8.1)."""
+
+import pytest
+
+from repro.core.rates import PAPER_RATES
+from repro.security.protocol import SecureProcessorProtocol
+from repro.security.replay import (
+    DeterministicReplayDefense,
+    demonstrate_run_once,
+    replay_campaign,
+)
+
+
+class TestReplayAccounting:
+    def test_unprotected_campaign_accumulates(self):
+        """Section 4.3: N replays of an L-bit scheme leak N*L bits."""
+        outcome = replay_campaign(per_run_bits=32.0, attempts=10,
+                                  run_once_protection=False)
+        assert outcome.total_bits_learned == 320.0
+
+    def test_protected_campaign_stops_at_l(self):
+        outcome = replay_campaign(per_run_bits=32.0, attempts=10,
+                                  run_once_protection=True)
+        assert outcome.total_bits_learned == 32.0
+        assert outcome.runs_completed == 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            replay_campaign(32.0, 0, True)
+
+
+class TestRunOnceDemonstration:
+    def test_replay_fails_after_session_close(self):
+        protocol = SecureProcessorProtocol()
+        _result, replay_succeeded = demonstrate_run_once(protocol, b"user-data")
+        assert not replay_succeeded
+
+
+class TestBrokenDeterministicDefense:
+    """Section 8.1: deterministic re-execution does not give deterministic
+    timing traces, because main-memory latency varies."""
+
+    def test_jitter_flips_rate_choices(self):
+        defense = DeterministicReplayDefense(rates=PAPER_RATES,
+                                             base_gap_cycles=580.0)
+        # The base gap sits near a discretization boundary; bounded memory
+        # jitter pushes epochs to different sides across 'replays'.
+        differs = any(
+            defense.run(seed_a, 0.25) != defense.run(seed_b, 0.25)
+            for seed_a, seed_b in [(1, 2), (3, 4), (5, 6), (7, 8)]
+        )
+        assert differs
+
+    def test_no_jitter_is_deterministic(self):
+        """With truly deterministic memory the defense would work - the
+        paper's point is that assumption is false in practice."""
+        defense = DeterministicReplayDefense(rates=PAPER_RATES)
+        assert defense.run(1, jitter_fraction=0.0) == defense.run(2, jitter_fraction=0.0)
+
+    def test_traces_differ_helper(self):
+        defense = DeterministicReplayDefense(rates=PAPER_RATES,
+                                             base_gap_cycles=580.0)
+        assert isinstance(defense.traces_differ((1, 2)), bool)

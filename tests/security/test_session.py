@@ -1,0 +1,78 @@
+"""Tests for session-key lifecycle and the run-once property."""
+
+import pytest
+
+from repro.security.session import (
+    ProcessorIdentity,
+    ProcessorKeyRegister,
+    SessionTerminatedError,
+    negotiate_session,
+)
+
+
+class TestKeyRegister:
+    def test_seal_unseal_roundtrip(self):
+        register = ProcessorKeyRegister()
+        register.install(b"session-key-0123")
+        blob = register.seal(b"user data")
+        assert register.unseal(blob) == b"user data"
+
+    def test_forget_blocks_unseal(self):
+        """Section 8: once K is forgotten, sealed data is undecryptable."""
+        register = ProcessorKeyRegister()
+        register.install(b"session-key-0123")
+        blob = register.seal(b"user data")
+        register.forget()
+        with pytest.raises(SessionTerminatedError):
+            register.unseal(blob)
+
+    def test_new_key_rejects_old_blobs(self):
+        register = ProcessorKeyRegister()
+        register.install(b"key-one")
+        blob = register.seal(b"data")
+        register.forget()
+        register.install(b"key-two")
+        with pytest.raises(SessionTerminatedError):
+            register.unseal(blob)
+
+    def test_no_key_no_seal(self):
+        with pytest.raises(SessionTerminatedError):
+            ProcessorKeyRegister().seal(b"x")
+
+    def test_holds_key_flag(self):
+        register = ProcessorKeyRegister()
+        assert not register.holds_key
+        register.install(b"k")
+        assert register.holds_key
+        register.forget()
+        assert not register.holds_key
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            ProcessorKeyRegister().install(b"")
+
+
+class TestNegotiation:
+    def test_both_sides_agree_on_k(self):
+        """The Section 8 exchange: user derives the same K the register holds."""
+        identity = ProcessorIdentity(seed=b"proc")
+        keys, register = negotiate_session(identity)
+        blob = register.seal(b"payload")
+        # The user-side K must decrypt what the register seals.
+        from repro.oram.encryption import ProbabilisticCipher
+
+        assert ProbabilisticCipher(keys.k).decrypt(blob.ciphertext) == b"payload"
+
+    def test_fresh_keys_per_session(self):
+        identity = ProcessorIdentity(seed=b"proc")
+        keys_a, _ = negotiate_session(identity)
+        keys_b, _ = negotiate_session(identity)
+        assert keys_a.k != keys_b.k
+        assert keys_a.k_prime != keys_b.k_prime
+
+    def test_public_encrypt_only_processor_inverts(self):
+        identity = ProcessorIdentity(seed=b"proc")
+        other = ProcessorIdentity(seed=b"evil")
+        ciphertext = identity.public_encrypt(b"k-prime")
+        assert identity._private_decrypt(ciphertext) == b"k-prime"
+        assert other._private_decrypt(ciphertext) != b"k-prime"

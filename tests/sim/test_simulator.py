@@ -1,0 +1,53 @@
+"""Tests for the simulator facade and its caching."""
+
+import pytest
+
+from repro.core.scheme import BaseDramScheme, BaseOramScheme
+from repro.sim.simulator import SecureProcessorSim, SimConfig
+
+
+class TestCaching:
+    def test_miss_trace_cached(self, shared_sim):
+        first = shared_sim.miss_trace("mcf")
+        second = shared_sim.miss_trace("mcf")
+        assert first is second
+
+    def test_input_distinguishes_cache_entries(self, shared_sim):
+        rivers = shared_sim.miss_trace("astar", "rivers")
+        biglakes = shared_sim.miss_trace("astar", "biglakes")
+        assert rivers is not biglakes
+
+
+class TestRun:
+    def test_run_returns_result(self, shared_sim):
+        result = shared_sim.run("mcf", BaseDramScheme(), record_requests=False)
+        assert result.scheme_name == "base_dram"
+        assert result.cycles > 0
+
+    def test_sweep_shares_functional_pass(self, shared_sim):
+        results = shared_sim.sweep("libquantum", [BaseDramScheme(), BaseOramScheme()])
+        assert set(results) == {"base_dram", "base_oram"}
+        assert results["base_oram"].cycles > results["base_dram"].cycles
+
+    def test_instruction_counts_match_across_schemes(self, shared_sim):
+        dram = shared_sim.run("gobmk", BaseDramScheme(), record_requests=False)
+        oram = shared_sim.run("gobmk", BaseOramScheme(), record_requests=False)
+        assert dram.n_instructions == oram.n_instructions
+
+
+class TestExternalTraces:
+    def test_run_trace(self, shared_sim):
+        from repro.workloads.malicious import build_p1_trace
+
+        trace = build_p1_trace([0, 1, 0, 1])
+        result = shared_sim.run_trace(trace, BaseOramScheme())
+        assert result.controller.real_accesses >= 2
+
+
+class TestWarmupConfig:
+    def test_warmup_reduces_requests(self):
+        cold = SecureProcessorSim(SimConfig(n_instructions=60_000, warmup_fraction=0.0))
+        warm = SecureProcessorSim(SimConfig(n_instructions=60_000, warmup_fraction=0.5))
+        cold_trace = cold.miss_trace("hmmer")
+        warm_trace = warm.miss_trace("hmmer")
+        assert warm_trace.n_requests < cold_trace.n_requests

@@ -1,0 +1,141 @@
+"""Tests for the event-driven timing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheme import BaseDramScheme, BaseOramScheme, StaticScheme, dynamic
+from repro.cpu.trace import EnergyEvents, MissTrace
+from repro.sim.timing import run_timing
+
+
+def make_miss_trace(gaps, blocking=None, n_instructions=None) -> MissTrace:
+    n = len(gaps)
+    if blocking is None:
+        blocking = [True] * n
+    if n_instructions is None:
+        n_instructions = 100 * n
+    instr_index = np.linspace(1, n_instructions, n, dtype=np.int64)
+    energy = EnergyEvents(n_instructions=n_instructions, l1i_hits=n_instructions // 16)
+    return MissTrace(
+        gap_cycles=np.asarray(gaps, dtype=np.float64),
+        is_blocking=np.asarray(blocking, dtype=bool),
+        instruction_index=instr_index,
+        total_compute_cycles=50.0,
+        n_instructions=n_instructions,
+        energy=energy,
+        source_name="synthetic",
+        source_input="t",
+    )
+
+
+class TestBaseDram:
+    def test_cycles_are_gaps_plus_latency(self):
+        trace = make_miss_trace([100.0, 100.0])
+        result = run_timing(trace, BaseDramScheme())
+        # 100 + 40 + 100 + 40 + tail 50.
+        assert result.cycles == pytest.approx(330.0)
+
+    def test_nonblocking_hides_latency(self):
+        blocking_result = run_timing(make_miss_trace([100.0] * 4), BaseDramScheme())
+        hidden_result = run_timing(
+            make_miss_trace([100.0] * 4, blocking=[False] * 4), BaseDramScheme()
+        )
+        assert hidden_result.cycles < blocking_result.cycles
+
+
+class TestBaseOram:
+    def test_serial_oram_latency(self):
+        trace = make_miss_trace([100.0, 100.0])
+        result = run_timing(trace, BaseOramScheme())
+        assert result.cycles == pytest.approx(100 + 1488 + 100 + 1488 + 50)
+
+    def test_oram_slower_than_dram(self):
+        trace = make_miss_trace([100.0] * 10)
+        dram = run_timing(trace, BaseDramScheme())
+        oram = run_timing(trace, BaseOramScheme())
+        assert oram.cycles > 5 * dram.cycles
+
+
+class TestStatic:
+    def test_static_adds_slot_alignment(self):
+        trace = make_miss_trace([100.0, 100.0])
+        result = run_timing(trace, StaticScheme(300))
+        # Slot 1 at 300 (request arrived at 100): complete 1788.
+        # Request 2 arrives 1888; slots continue; next slot 2088.
+        assert result.cycles == pytest.approx(2088 + 1488 + 50)
+
+    def test_trailing_dummies_counted(self):
+        trace = make_miss_trace([10.0], n_instructions=1000)
+        result = run_timing(trace, StaticScheme(300))
+        assert result.controller.dummy_accesses >= 0
+        assert result.controller.real_accesses == 1
+
+
+class TestWriteBuffer:
+    def test_full_buffer_stalls_core(self):
+        # 20 back-to-back non-blocking stores against 40-cycle DRAM: more
+        # than 8 are in flight at once, so the 8-entry buffer must stall
+        # the core while a deep buffer does not.  (Against the *serial*
+        # ORAM the drain time dominates wall clock for any depth, so DRAM
+        # is the config where depth is observable.)
+        trace = make_miss_trace([1.0] * 20, blocking=[False] * 20)
+        result = run_timing(trace, BaseDramScheme(), write_buffer_entries=8)
+        unbuffered = run_timing(trace, BaseDramScheme(), write_buffer_entries=100)
+        assert result.cycles > unbuffered.cycles
+
+    def test_buffer_depth_parameter(self):
+        trace = make_miss_trace([1.0] * 10, blocking=[False] * 10)
+        deep = run_timing(trace, BaseOramScheme(), write_buffer_entries=16)
+        shallow = run_timing(trace, BaseOramScheme(), write_buffer_entries=1)
+        assert shallow.cycles >= deep.cycles
+
+
+class TestResultContents:
+    def test_ipc_and_power_positive(self):
+        trace = make_miss_trace([100.0] * 5)
+        result = run_timing(trace, BaseOramScheme())
+        assert result.ipc > 0
+        assert result.power_watts > 0
+        assert result.memory_power_watts > 0
+
+    def test_benchmark_label(self):
+        result = run_timing(make_miss_trace([1.0]), BaseDramScheme())
+        assert result.benchmark == "synthetic/t"
+
+    def test_request_recording_optional(self):
+        trace = make_miss_trace([100.0] * 3)
+        with_rec = run_timing(trace, BaseDramScheme(), record_requests=True)
+        without = run_timing(trace, BaseDramScheme(), record_requests=False)
+        assert len(with_rec.request_completion_times) == 3
+        assert len(without.request_completion_times) == 0
+        assert with_rec.cycles == without.cycles
+
+    def test_completion_times_monotone(self):
+        trace = make_miss_trace([100.0] * 6, blocking=[True, False] * 3)
+        result = run_timing(trace, StaticScheme(500))
+        diffs = np.diff(result.request_completion_times)
+        assert (diffs >= 0).all()
+
+    def test_oram_energy_dominates_memory_power(self):
+        trace = make_miss_trace([100.0] * 5)
+        oram = run_timing(trace, BaseOramScheme())
+        dram = run_timing(trace, BaseDramScheme())
+        assert oram.breakdown.memory_nj > 100 * dram.breakdown.memory_nj
+
+
+class TestDynamicEndToEnd:
+    def test_epochs_recorded(self):
+        gaps = [500.0] * 400
+        trace = make_miss_trace(gaps, n_instructions=40_000)
+        result = run_timing(trace, dynamic(4, 2))
+        assert len(result.epochs) >= 2
+        assert all(e.rate in {256, 1290, 6501, 32768, 10_000} for e in result.epochs)
+
+    def test_dynamic_between_oram_and_static(self):
+        """Sanity: dynamic should not be slower than a badly-set static."""
+        gaps = [200.0] * 300
+        trace = make_miss_trace(gaps, n_instructions=30_000)
+        dyn = run_timing(trace, dynamic(4, 2))
+        bad_static = run_timing(trace, StaticScheme(32768))
+        oracle = run_timing(trace, BaseOramScheme())
+        assert oracle.cycles <= dyn.cycles <= bad_static.cycles

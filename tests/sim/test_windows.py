@@ -1,0 +1,75 @@
+"""Tests for windowed series extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheme import BaseDramScheme, dynamic
+from repro.sim.timing import run_timing
+from repro.sim.windows import (
+    epoch_transition_instructions,
+    instructions_per_access_windows,
+    ipc_windows,
+)
+from tests.sim.test_timing_sim import make_miss_trace
+
+
+class TestIpcWindows:
+    def test_window_count(self):
+        trace = make_miss_trace([100.0] * 50, n_instructions=5000)
+        result = run_timing(trace, BaseDramScheme())
+        series = ipc_windows(result, n_windows=10)
+        assert len(series) == 10
+
+    def test_uniform_run_uniform_ipc(self):
+        trace = make_miss_trace([100.0] * 50, n_instructions=5000)
+        result = run_timing(trace, BaseDramScheme())
+        values = ipc_windows(result, n_windows=10).values
+        assert values.std() / values.mean() < 0.25
+
+    def test_mean_window_ipc_near_global(self):
+        trace = make_miss_trace([100.0] * 50, n_instructions=5000)
+        result = run_timing(trace, BaseDramScheme())
+        series = ipc_windows(result, n_windows=10)
+        # Harmonic-ish agreement: windows partition instructions.
+        assert float(np.mean(series.values)) == pytest.approx(result.ipc, rel=0.2)
+
+    def test_no_requests_degenerates_gracefully(self):
+        trace = make_miss_trace([10.0], n_instructions=1000)
+        result = run_timing(trace, BaseDramScheme(), record_requests=False)
+        series = ipc_windows(result, n_windows=5)
+        assert len(series) == 5
+        assert (series.values > 0).all()
+
+    def test_rejects_bad_window_count(self):
+        trace = make_miss_trace([10.0])
+        result = run_timing(trace, BaseDramScheme())
+        with pytest.raises(ValueError):
+            ipc_windows(result, n_windows=0)
+
+
+class TestInstructionsPerAccessWindows:
+    def test_uniform_requests(self):
+        index = np.linspace(0, 10_000, 100, dtype=np.int64)
+        series = instructions_per_access_windows(index, 10_000, n_windows=10)
+        assert series.values == pytest.approx(np.full(10, 100.0), rel=0.3)
+
+    def test_empty_windows_report_window_length(self):
+        index = np.asarray([100], dtype=np.int64)
+        series = instructions_per_access_windows(index, 10_000, n_windows=10)
+        assert series.values[5] == 1000.0
+
+
+class TestEpochTransitionInstructions:
+    def test_transitions_mapped_to_instruction_space(self):
+        gaps = [500.0] * 400
+        trace = make_miss_trace(gaps, n_instructions=40_000)
+        result = run_timing(trace, dynamic(4, 2))
+        marks = epoch_transition_instructions(result)
+        assert len(marks) == len(result.epochs) - 1
+        assert all(0 <= m <= 40_000 for m in marks)
+        assert marks == sorted(marks)
+
+    def test_no_epochs_no_marks(self):
+        trace = make_miss_trace([10.0])
+        result = run_timing(trace, BaseDramScheme())
+        assert epoch_transition_instructions(result) == []

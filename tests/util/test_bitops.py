@@ -1,0 +1,130 @@
+"""Unit and property tests for integer bit arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_length,
+    ceil_div,
+    ceil_lg,
+    floor_lg,
+    is_power_of_two,
+    next_power_of_two,
+    strict_next_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_small_powers(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(1024)
+
+    def test_non_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(1023)
+
+    @given(st.integers(min_value=0, max_value=62))
+    def test_all_powers_detected(self, exponent):
+        assert is_power_of_two(1 << exponent)
+
+
+class TestLogs:
+    def test_floor_lg_values(self):
+        assert floor_lg(1) == 0
+        assert floor_lg(2) == 1
+        assert floor_lg(3) == 1
+        assert floor_lg(1 << 62) == 62
+
+    def test_ceil_lg_values(self):
+        assert ceil_lg(1) == 0
+        assert ceil_lg(2) == 1
+        assert ceil_lg(3) == 2
+        assert ceil_lg((1 << 62) + 1) == 63
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_lg(0)
+        with pytest.raises(ValueError):
+            ceil_lg(-1)
+
+    @given(st.integers(min_value=1, max_value=1 << 70))
+    def test_floor_ceil_bracket(self, value):
+        assert (1 << floor_lg(value)) <= value <= (1 << ceil_lg(value))
+
+    @given(st.integers(min_value=2, max_value=1 << 70))
+    def test_ceil_minus_floor_at_most_one(self, value):
+        assert 0 <= ceil_lg(value) - floor_lg(value) <= 1
+
+
+class TestNextPowerOfTwo:
+    def test_identity_on_powers(self):
+        assert next_power_of_two(8) == 8
+
+    def test_rounds_up(self):
+        assert next_power_of_two(9) == 16
+        assert next_power_of_two(1) == 1
+
+    @given(st.integers(min_value=1, max_value=1 << 60))
+    def test_result_is_power_and_bounds(self, value):
+        result = next_power_of_two(value)
+        assert is_power_of_two(result)
+        assert value <= result < 2 * value
+
+
+class TestStrictNextPowerOfTwo:
+    """Algorithm 1's rounding: strictly increasing, even on powers of two."""
+
+    def test_power_of_two_doubles(self):
+        assert strict_next_power_of_two(8) == 16
+        assert strict_next_power_of_two(1) == 2
+
+    def test_non_power_rounds_up(self):
+        assert strict_next_power_of_two(9) == 16
+        assert strict_next_power_of_two(15) == 16
+
+    @given(st.integers(min_value=1, max_value=1 << 60))
+    def test_underset_bias_at_most_two(self, value):
+        """The paper: rounding undersets the rate by at most a factor of 2."""
+        result = strict_next_power_of_two(value)
+        assert is_power_of_two(result)
+        assert value < result <= 2 * value
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceiling(self, numerator, denominator):
+        result = ceil_div(numerator, denominator)
+        assert (result - 1) * denominator < numerator <= result * denominator or (
+            numerator == 0 and result == 0
+        )
+
+
+class TestBitLength:
+    def test_zero_needs_one_bit(self):
+        assert bit_length(0) == 1
+
+    def test_values(self):
+        assert bit_length(1) == 1
+        assert bit_length(255) == 8
+        assert bit_length(256) == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_length(-1)

@@ -1,0 +1,30 @@
+"""Tests for deterministic seed derivation."""
+
+from repro.util.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "oram") == derive_seed(42, "oram")
+
+    def test_label_separates_streams(self):
+        assert derive_seed(42, "oram") != derive_seed(42, "cache")
+
+    def test_parent_separates_streams(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_nonnegative_63_bit(self):
+        seed = derive_seed(123456789, "anything")
+        assert 0 <= seed < 1 << 63
+
+
+class TestMakeRng:
+    def test_reproducible_sequences(self):
+        a = make_rng(7, "w").integers(0, 1000, size=16)
+        b = make_rng(7, "w").integers(0, 1000, size=16)
+        assert (a == b).all()
+
+    def test_label_changes_sequence(self):
+        a = make_rng(7, "w").integers(0, 1_000_000, size=16)
+        b = make_rng(7, "v").integers(0, 1_000_000, size=16)
+        assert (a != b).any()

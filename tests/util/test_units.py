@@ -1,0 +1,45 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    cycles_to_seconds,
+    nj_per_cycle_to_watts,
+    pretty_bytes,
+    pretty_cycles,
+)
+
+
+class TestConstants:
+    def test_sizes(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+        assert GB == 1024**3
+
+
+class TestConversions:
+    def test_one_ghz_cycle_is_a_nanosecond(self):
+        assert cycles_to_seconds(1) == pytest.approx(1e-9)
+
+    def test_nj_per_cycle_is_watts_at_1ghz(self):
+        """The paper's power recipe: nJ/cycle == W at 1 GHz."""
+        assert nj_per_cycle_to_watts(0.5) == pytest.approx(0.5)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(1, clock_hz=0)
+
+
+class TestPretty:
+    def test_bytes(self):
+        assert pretty_bytes(24.2 * 1024) == "24.2 KB"
+        assert pretty_bytes(4 * GB) == "4.0 GB"
+        assert pretty_bytes(12) == "12 B"
+
+    def test_cycles(self):
+        assert pretty_cycles(1488) == "1.49K cycles"
+        assert pretty_cycles(2**30) == "1.07B cycles"
+        assert pretty_cycles(12) == "12 cycles"

@@ -1,0 +1,36 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.util.validation import check_in_range, check_positive, check_power_of_two
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(1, "x")
+        check_positive(0.5, "x")
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1, "x")
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        check_in_range(0, 0, 1, "x")
+        check_in_range(1, 0, 1, "x")
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.01, 0, 1, "x")
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts_powers(self):
+        check_power_of_two(64, "x")
+
+    def test_rejects_others(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(63, "x")

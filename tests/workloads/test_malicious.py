@@ -1,0 +1,66 @@
+"""Tests for the malicious program P1 and its decoder."""
+
+import pytest
+
+from repro.workloads.malicious import (
+    TOUCH_INSTRUCTIONS,
+    WAIT_INSTRUCTIONS,
+    build_p1_trace,
+    decode_p1_timing,
+)
+
+
+class TestBuildP1:
+    def test_zero_bits_make_accesses(self):
+        trace = build_p1_trace([0, 0, 0])
+        # 3 cold accesses + 1 sentinel.
+        assert trace.n_references == 4
+
+    def test_one_bits_make_gaps(self):
+        trace = build_p1_trace([1, 1, 0])
+        assert trace.n_references == 2  # one 0-bit + sentinel
+        assert trace.gap_instructions[0] == 2 * WAIT_INSTRUCTIONS + TOUCH_INSTRUCTIONS
+
+    def test_addresses_never_repeat(self):
+        trace = build_p1_trace([0] * 64)
+        assert len(set(trace.addresses.tolist())) == trace.n_references
+
+    def test_rejects_empty_secret(self):
+        with pytest.raises(ValueError):
+            build_p1_trace([])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            build_p1_trace([0, 2])
+
+
+class TestDecoder:
+    def test_roundtrip_ideal_timing(self):
+        """With perfectly observed timing, the decoder inverts the encoder."""
+        secret = [1, 0, 0, 1, 1, 0, 1, 0]
+        # Synthesize ideal access start times anchored at program load
+        # (t=0): each 0-bit access happens TOUCH cycles plus WAIT cycles
+        # per preceding 1-bit after the previous access (CPI = 1, zero
+        # memory latency here).
+        times = []
+        t = 0.0
+        pending = 0.0
+        for bit in secret:
+            if bit:
+                pending += WAIT_INSTRUCTIONS
+            else:
+                t += pending + TOUCH_INSTRUCTIONS
+                times.append(t)
+                pending = 0.0
+        times.append(t + pending + TOUCH_INSTRUCTIONS)  # sentinel
+        recovered = decode_p1_timing(times, wait_cycles=WAIT_INSTRUCTIONS,
+                                     n_bits=len(secret))
+        assert recovered == secret
+
+    def test_rejects_bad_bit_count(self):
+        with pytest.raises(ValueError):
+            decode_p1_timing([0.0, 1.0], wait_cycles=10.0, n_bits=0)
+
+    def test_pads_when_trace_short(self):
+        recovered = decode_p1_timing([0.0], wait_cycles=10.0, n_bits=4)
+        assert len(recovered) == 4

@@ -1,0 +1,131 @@
+"""Tests for the SPEC-like benchmark models and their calibration."""
+
+import pytest
+
+from repro.cache.hierarchy import simulate_hierarchy
+from repro.workloads.registry import build_trace, get_workload, workload_names
+from repro.workloads.spec import specint_workloads
+
+N = 300_000
+
+
+@pytest.fixture(scope="module")
+def miss_stats():
+    """Instructions-per-LLC-request for every benchmark at small scale."""
+    stats = {}
+    for name in workload_names():
+        trace = build_trace(name, seed=0, n_instructions=N)
+        miss = simulate_hierarchy(trace, warmup_instructions=N // 5)
+        stats[name] = miss.mean_instructions_per_request()
+    return stats
+
+
+class TestRegistryShape:
+    def test_eleven_benchmarks(self):
+        assert len(workload_names()) == 11
+
+    def test_paper_suite_members(self):
+        expected = {
+            "mcf", "omnetpp", "libquantum", "bzip2", "hmmer", "astar",
+            "gcc", "gobmk", "sjeng", "h264ref", "perlbench",
+        }
+        assert set(workload_names()) == expected
+
+    def test_categories_cover_spectrum(self):
+        categories = {spec.category for spec in specint_workloads().values()}
+        assert categories == {"memory", "mixed", "compute"}
+
+    def test_multi_input_benchmarks(self):
+        assert get_workload("perlbench").inputs == ("diffmail", "splitmail")
+        assert get_workload("astar").inputs == ("rivers", "biglakes")
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            get_workload("nonexistent")
+
+    def test_unknown_input(self):
+        with pytest.raises(ValueError):
+            build_trace("mcf", input_name="badinput")
+
+
+class TestScaling:
+    def test_trace_scales_with_budget(self):
+        small = build_trace("mcf", n_instructions=100_000)
+        large = build_trace("mcf", n_instructions=400_000)
+        assert 3 < large.n_references / small.n_references < 5
+
+    def test_deterministic_given_seed(self):
+        a = build_trace("gobmk", seed=5, n_instructions=50_000)
+        b = build_trace("gobmk", seed=5, n_instructions=50_000)
+        assert (a.addresses == b.addresses).all()
+
+    def test_seeds_differ(self):
+        a = build_trace("gobmk", seed=5, n_instructions=50_000)
+        b = build_trace("gobmk", seed=6, n_instructions=50_000)
+        assert (a.addresses != b.addresses).any()
+
+
+class TestMemoryBoundedness:
+    """The paper's spectrum: mcf/libquantum memory bound, h264/perl compute."""
+
+    def test_mcf_most_memory_bound(self, miss_stats):
+        assert miss_stats["mcf"] == min(miss_stats.values())
+        assert miss_stats["mcf"] < 60
+
+    def test_memory_bound_group(self, miss_stats):
+        assert miss_stats["libquantum"] < 150
+        assert miss_stats["omnetpp"] < 600
+
+    def test_compute_bound_group(self, miss_stats):
+        assert miss_stats["h264ref"] > 1500
+        assert miss_stats["sjeng"] > 1000
+        assert miss_stats["perlbench"] > 1500
+
+    def test_spectrum_spans_orders_of_magnitude(self, miss_stats):
+        assert max(miss_stats.values()) / min(miss_stats.values()) > 50
+
+
+class TestInputSensitivity:
+    def test_perlbench_inputs_differ_dramatically(self):
+        """Figure 2 top: ~80x rate difference between perlbench inputs."""
+        ratios = {}
+        for input_name in ("diffmail", "splitmail"):
+            trace = build_trace("perlbench", n_instructions=N, input_name=input_name)
+            miss = simulate_hierarchy(trace, warmup_instructions=N // 5)
+            ratios[input_name] = miss.mean_instructions_per_request()
+        ratio = ratios["diffmail"] / ratios["splitmail"]
+        assert 20 < ratio < 300
+
+    def test_astar_biglakes_drifts(self):
+        """Figure 2 bottom: biglakes' rate changes as the run progresses."""
+        import numpy as np
+
+        from repro.sim.windows import instructions_per_access_windows
+
+        trace = build_trace("astar", n_instructions=2 * N, input_name="biglakes")
+        miss = simulate_hierarchy(trace, warmup_instructions=N // 5)
+        windows = instructions_per_access_windows(
+            miss.instruction_index, miss.n_instructions, n_windows=10
+        )
+        early = float(np.mean(windows.values[:3]))
+        late = float(np.mean(windows.values[-3:]))
+        assert early / late > 2  # rate speeds up as the frontier grows
+
+
+class TestPhaseBehaviour:
+    def test_h264_flips_memory_bound_late(self):
+        """Figure 7 bottom: compute phase, then a memory-bound tail."""
+        import numpy as np
+
+        trace = build_trace("h264ref", n_instructions=2 * N)
+        miss = simulate_hierarchy(trace, warmup_instructions=N // 10)
+        boundary = int(miss.n_instructions * 0.6)
+        early = (miss.instruction_index < boundary).sum()
+        late = (miss.instruction_index >= boundary).sum()
+        early_rate = early / boundary
+        late_rate = late / (miss.n_instructions - boundary)
+        # At this small test scale phase A still carries cold zipf-tail
+        # misses, so require a clear (not extreme) rate increase; the
+        # learner-visible switch is validated at full scale in the
+        # integration tests.
+        assert late_rate > 1.8 * early_rate

@@ -1,0 +1,64 @@
+"""Tests for the stack-distance temporal-locality primitive."""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import simulate_hierarchy
+from repro.cpu.trace import MemoryTrace
+from repro.util.rng import make_rng
+from repro.util.units import MB
+from repro.workloads.patterns import stack_distance_refs
+
+
+def rng():
+    return make_rng(77, "stack-distance-test")
+
+
+def to_trace(segment) -> MemoryTrace:
+    return MemoryTrace(
+        name="sd", input_name="t",
+        addresses=segment.addresses,
+        is_store=segment.is_store,
+        gap_instructions=segment.gap_instructions,
+    )
+
+
+class TestStackDistance:
+    def test_addresses_within_region(self):
+        segment = stack_distance_refs(rng(), 500, base=1 << 28, region_bytes=1 * MB)
+        assert segment.addresses.min() >= 1 << 28
+        assert segment.addresses.max() < (1 << 28) + 1 * MB
+
+    def test_high_reuse_shrinks_unique_set(self):
+        hot = stack_distance_refs(rng(), 3000, base=0, region_bytes=8 * MB,
+                                  reuse_probability=0.95, reuse_window=32)
+        cold = stack_distance_refs(rng(), 3000, base=0, region_bytes=8 * MB,
+                                   reuse_probability=0.05, reuse_window=32)
+        assert len(np.unique(hot.addresses)) < len(np.unique(cold.addresses)) / 2
+
+    def test_reuse_probability_controls_miss_rate(self):
+        """The knob maps monotonically onto LLC behaviour - the point of
+        the primitive."""
+        misses = {}
+        for reuse in (0.2, 0.9):
+            segment = stack_distance_refs(
+                rng(), 4000, base=0, region_bytes=16 * MB,
+                reuse_probability=reuse, reuse_window=64,
+            )
+            misses[reuse] = simulate_hierarchy(to_trace(segment)).n_requests
+        assert misses[0.9] < misses[0.2]
+
+    def test_window_bounds_reuse_depth(self):
+        segment = stack_distance_refs(rng(), 2000, base=0, region_bytes=4 * MB,
+                                      reuse_probability=1.0, reuse_window=8)
+        # With reuse_probability 1.0 after the first touch, at most
+        # window+1 distinct lines can ever appear.
+        assert len(np.unique(segment.addresses)) <= 9
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            stack_distance_refs(rng(), 10, base=0, region_bytes=1 * MB,
+                                reuse_probability=1.5)
+        with pytest.raises(ValueError):
+            stack_distance_refs(rng(), 10, base=0, region_bytes=1 * MB,
+                                reuse_window=0)
