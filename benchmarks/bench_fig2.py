@@ -7,14 +7,15 @@ accesses ORAM ~80x more frequently on one input than the other; astar is
 steady on one input and drifts dramatically on the other.
 """
 
-from benchmarks.conftest import emit
-from repro.analysis.experiments import run_figure2
+from benchmarks.conftest import bench_sim_params, emit
+from repro.analysis.experiments import figure2_from_resultset
+from repro.api.figures import figure2_spec
 
 
-def test_bench_figure2_input_sensitivity(benchmark, sim):
-    result = benchmark.pedantic(
-        run_figure2, args=(sim,), kwargs={"n_windows": 50}, rounds=1, iterations=1
-    )
+def test_bench_figure2_input_sensitivity(benchmark, engine):
+    spec = figure2_spec(n_windows=50, **bench_sim_params())
+    results = benchmark.pedantic(engine.run, args=(spec,), rounds=1, iterations=1)
+    result = figure2_from_resultset(results)
     perl_ratio = result.input_sensitivity("perlbench")
     astar_drift = result.drift("astar/biglakes")
     rivers_drift = result.drift("astar/rivers")

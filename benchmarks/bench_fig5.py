@@ -7,12 +7,15 @@ underset; rates much above ~30000 drop the compute-bound benchmark's
 ORAM.  Hence R spans 256..32768.
 """
 
-from benchmarks.conftest import emit
-from repro.analysis.experiments import run_figure5
+from benchmarks.conftest import bench_sim_params, emit
+from repro.analysis.experiments import figure5_from_resultset
+from repro.api.figures import figure5_spec
 
 
-def test_bench_figure5_rate_sweep(benchmark, sim):
-    result = benchmark.pedantic(run_figure5, args=(sim,), rounds=1, iterations=1)
+def test_bench_figure5_rate_sweep(benchmark, engine):
+    spec = figure5_spec(**bench_sim_params())
+    results = benchmark.pedantic(engine.run, args=(spec,), rounds=1, iterations=1)
+    result = figure5_from_resultset(results)
     crossover = result.power_crossover_rate("h264ref")
     body = result.render() + (
         f"\n\npaper shape checks:"

@@ -9,12 +9,15 @@ comparable performance; static_1300 gives up ~30% performance to match
 dynamic's power; ~34% of dynamic accesses are dummies (footnote 5).
 """
 
-from benchmarks.conftest import emit
-from repro.analysis.experiments import run_figure6
+from benchmarks.conftest import bench_sim_params, emit
+from repro.analysis.experiments import figure6_from_resultset
+from repro.api.figures import figure6_spec
 
 
-def test_bench_figure6_main_result(benchmark, sim):
-    result = benchmark.pedantic(run_figure6, args=(sim,), rounds=1, iterations=1)
+def test_bench_figure6_main_result(benchmark, engine):
+    spec = figure6_spec(**bench_sim_params())
+    results = benchmark.pedantic(engine.run, args=(spec,), rounds=1, iterations=1)
+    result = figure6_from_resultset(results)
     deltas = result.headline_deltas()
     dummy = result.comparisons["dynamic_R4_E4"].avg_dummy_fraction
     body = result.render() + (

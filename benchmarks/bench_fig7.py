@@ -10,12 +10,15 @@ the slowest rate and switches to a faster one at the phase change.
 
 import numpy as np
 
-from benchmarks.conftest import emit
-from repro.analysis.experiments import run_figure7
+from benchmarks.conftest import bench_sim_params, emit
+from repro.analysis.experiments import figure7_from_resultset
+from repro.api.figures import figure7_spec
 
 
-def test_bench_figure7_stability(benchmark, sim):
-    result = benchmark.pedantic(run_figure7, args=(sim,), rounds=1, iterations=1)
+def test_bench_figure7_stability(benchmark, engine):
+    spec = figure7_spec(n_windows=100, **bench_sim_params())
+    results = benchmark.pedantic(engine.run, args=(spec,), rounds=1, iterations=1)
+    result = figure7_from_resultset(results)
 
     libq = result.series["libquantum"]
     libq_gap = 1.0 - float(

@@ -6,12 +6,15 @@ with little performance change; |R|=2 leaves only the extreme rates, which
 penalizes mid-tier benchmarks' power (neither 256 nor 32768 matches them).
 """
 
-from benchmarks.conftest import emit
-from repro.analysis.experiments import run_figure8a
+from benchmarks.conftest import bench_sim_params, emit
+from repro.analysis.experiments import figure8_from_resultset
+from repro.api.figures import figure8a_spec
 
 
-def test_bench_figure8a_vary_rates(benchmark, sim):
-    result = benchmark.pedantic(run_figure8a, args=(sim,), rounds=1, iterations=1)
+def test_bench_figure8a_vary_rates(benchmark, engine):
+    spec = figure8a_spec(**bench_sim_params())
+    results = benchmark.pedantic(engine.run, args=(spec,), rounds=1, iterations=1)
+    result = figure8_from_resultset(results, label="a")
     body = result.render() + (
         "\n\npaper shape checks (Section 9.5 / Fig 8a):"
         "\n  leakage halves with each halving of |R| at fixed epochs"

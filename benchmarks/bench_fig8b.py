@@ -7,12 +7,15 @@ cost (h264ref is the exception — it gets stuck longer on a stale rate
 after its phase change).
 """
 
-from benchmarks.conftest import emit
-from repro.analysis.experiments import run_figure8b
+from benchmarks.conftest import bench_sim_params, emit
+from repro.analysis.experiments import figure8_from_resultset
+from repro.api.figures import figure8b_spec
 
 
-def test_bench_figure8b_vary_epochs(benchmark, sim):
-    result = benchmark.pedantic(run_figure8b, args=(sim,), rounds=1, iterations=1)
+def test_bench_figure8b_vary_epochs(benchmark, engine):
+    spec = figure8b_spec(**bench_sim_params())
+    results = benchmark.pedantic(engine.run, args=(spec,), rounds=1, iterations=1)
+    result = figure8_from_resultset(results, label="b")
     leak = result.leakage_bits
     perf = result.avg_perf_overhead
     e4_vs_e16_perf = perf["dynamic_R4_E16"] / perf["dynamic_R4_E4"] - 1.0

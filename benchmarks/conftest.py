@@ -1,8 +1,18 @@
 """Shared fixtures for the benchmark harness.
 
-One session-scoped simulator serves every figure bench so each benchmark's
-functional cache pass runs once; benches then replay it per scheme.  The
-instruction budget can be scaled with ``REPRO_BENCH_INSTRUCTIONS``.
+The figure benches run declarative specs (:mod:`repro.api.figures`) on a
+session-scoped :class:`~repro.api.engine.Engine`.  The engine's serial
+backend shares one simulator, so each benchmark's functional cache pass
+runs once per session; benches then replay it per scheme.  Environment
+knobs:
+
+- ``REPRO_BENCH_INSTRUCTIONS`` — instruction budget per run (default 2M).
+- ``REPRO_BENCH_WORKERS`` — shard cells across a process pool this wide.
+- ``REPRO_BENCH_CACHE_DIR`` — persist traces/results there, making
+  repeated harness runs (near-)free.
+
+The ``sim`` fixture remains for ablation/extension benches that drive
+scheme objects the spec-string grammar does not cover.
 """
 
 from __future__ import annotations
@@ -11,6 +21,9 @@ import os
 
 import pytest
 
+from repro.api.backends import ProcessPoolBackend, SerialBackend
+from repro.api.cache import ExperimentCache
+from repro.api.engine import Engine
 from repro.sim.simulator import SecureProcessorSim, SimConfig
 
 DEFAULT_INSTRUCTIONS = 2_000_000
@@ -21,10 +34,28 @@ def bench_instructions() -> int:
     return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", DEFAULT_INSTRUCTIONS))
 
 
+def bench_sim_params() -> dict:
+    """Spec parameters every figure bench runs at."""
+    return {"n_instructions": bench_instructions(), "seeds": (0,)}
+
+
 @pytest.fixture(scope="session")
 def sim() -> SecureProcessorSim:
     """Session-shared simulator with cached functional passes."""
     return SecureProcessorSim(SimConfig(n_instructions=bench_instructions(), seed=0))
+
+
+@pytest.fixture(scope="session")
+def engine(sim) -> Engine:
+    """Session-shared engine; backend and cache selected by env knobs."""
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if workers:
+        backend = ProcessPoolBackend(max_workers=int(workers))
+    else:
+        backend = SerialBackend(sim=sim)
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    cache = ExperimentCache(cache_dir) if cache_dir else None
+    return Engine(backend=backend, cache=cache)
 
 
 def emit(title: str, body: str) -> None:

@@ -8,6 +8,10 @@ bound, measures average performance/power over a benchmark mix, and
 reports which configurations fit a given bit budget — the decision a user
 setting L per session (Section 10) actually faces.
 
+The whole sweep — 12 dynamic configurations plus 2 baselines over 3
+benchmarks — is one declarative spec; the engine shares each benchmark's
+functional cache pass across all 14 schemes automatically.
+
 Usage::
 
     python examples/leakage_budget_explorer.py [budget_bits]
@@ -16,57 +20,45 @@ Usage::
 import sys
 from statistics import mean
 
-from repro import SecureProcessorSim, SimConfig, dynamic
+from repro import Engine, ExperimentSpec
 from repro.core.epochs import paper_schedule
 from repro.core.leakage import report_for_dynamic
-from repro.core.scheme import BaseDramScheme, BaseOramScheme
-from repro.sim.result import performance_overhead
 
-BENCHMARKS = ["mcf", "gobmk", "h264ref"]
+BENCHMARKS = ("mcf", "gobmk", "h264ref")
+CONFIGS = [(n_rates, growth) for n_rates in (2, 4, 8, 16) for growth in (2, 4, 16)]
 
 
 def main() -> None:
     budget = float(sys.argv[1]) if len(sys.argv) > 1 else 32.0
     print(f"=== Dynamic configurations under a {budget:.0f}-bit ORAM-timing budget ===\n")
 
-    sim = SecureProcessorSim(SimConfig(n_instructions=400_000))
-    baselines = {
-        name: sim.run(name, BaseDramScheme(), record_requests=False)
-        for name in BENCHMARKS
-    }
-    oracle = mean(
-        performance_overhead(sim.run(name, BaseOramScheme(), record_requests=False),
-                             baselines[name])
-        for name in BENCHMARKS
+    spec = ExperimentSpec(
+        benchmarks=BENCHMARKS,
+        schemes=("base_dram", "base_oram")
+        + tuple(f"dynamic:{n_rates}x{growth}" for n_rates, growth in CONFIGS),
+        n_instructions=400_000,
     )
+    results = Engine().run(spec)
+
+    oracle = mean(results.overhead(name, "base_oram") for name in BENCHMARKS)
     print(f"(base_oram oracle: {oracle:.2f}x base_dram, unbounded leakage)\n")
 
     header = f"{'config':>16} {'leak bits':>10} {'perf (x)':>9} {'power (W)':>10}  fits?"
     print(header)
     print("-" * len(header))
 
-    for n_rates in (2, 4, 8, 16):
-        for growth in (2, 4, 16):
-            scheme = dynamic(n_rates, growth)
-            # Leakage is computed at *paper scale* - it depends only on
-            # |R| and |E|, never on the simulation.
-            bits = report_for_dynamic(
-                paper_schedule(growth=growth), n_rates
-            ).oram_timing_bits
-            perf = mean(
-                performance_overhead(
-                    sim.run(name, scheme, record_requests=False), baselines[name]
-                )
-                for name in BENCHMARKS
-            )
-            power = mean(
-                sim.run(name, scheme, record_requests=False).power_watts
-                for name in BENCHMARKS
-            )
-            verdict = "yes" if bits <= budget else "no"
-            print(
-                f"{scheme.name:>16} {bits:>10.0f} {perf:>9.2f} {power:>10.3f}  {verdict}"
-            )
+    for n_rates, growth in CONFIGS:
+        scheme = f"dynamic:{n_rates}x{growth}"
+        # Leakage is computed at *paper scale* - it depends only on
+        # |R| and |E|, never on the simulation.
+        bits = report_for_dynamic(
+            paper_schedule(growth=growth), n_rates
+        ).oram_timing_bits
+        perf = mean(results.overhead(name, scheme) for name in BENCHMARKS)
+        power = results.mean_power(scheme)
+        name = results.select(scheme=scheme)[0].scheme_name
+        verdict = "yes" if bits <= budget else "no"
+        print(f"{name:>16} {bits:>10.0f} {perf:>9.2f} {power:>10.3f}  {verdict}")
 
     print(
         "\nReading the table: moving down within a |R| block (sparser epochs)"

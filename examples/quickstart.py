@@ -2,9 +2,13 @@
 """Quickstart: simulate one benchmark under the paper's schemes.
 
 Runs mcf (the paper's most memory-bound benchmark) under base_dram,
-base_oram, static_300, and the dynamic R4/E4 scheme, then prints the
-performance/power comparison and the leakage accounting — the smallest
-end-to-end tour of the library.
+base_oram, static_300, and the dynamic R4/E4 scheme through the
+declarative experiment API, then prints the performance/power comparison
+and the leakage accounting — the smallest end-to-end tour of the library.
+
+One spec describes the whole comparison; the engine runs it (serially
+here — pass ``ProcessPoolBackend()`` for a pool, or a cache directory to
+make repeated runs free) and returns a uniform, queryable ResultSet.
 
 Usage::
 
@@ -13,43 +17,31 @@ Usage::
 
 import sys
 
-from repro import (
-    BaseDramScheme,
-    BaseOramScheme,
-    SecureProcessorSim,
-    SimConfig,
-    StaticScheme,
-    dynamic,
-    performance_overhead,
-)
+from repro import Engine, ExperimentSpec
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf"
     print(f"=== Secure processor simulation: {benchmark} ===\n")
 
-    sim = SecureProcessorSim(SimConfig(n_instructions=500_000))
-    schemes = [BaseDramScheme(), BaseOramScheme(), StaticScheme(300), dynamic(4, 4)]
+    spec = ExperimentSpec(
+        benchmarks=(benchmark,),
+        schemes=("base_dram", "base_oram", "static:300", "dynamic:4x4"),
+        n_instructions=500_000,
+    )
+    results = Engine().run(spec)
 
-    baseline = None
-    for scheme in schemes:
-        result = sim.run(benchmark, scheme, record_requests=False)
-        if baseline is None:
-            baseline = result
-        overhead = performance_overhead(result, baseline)
-        leakage = scheme.leakage()
-        leak_text = (
-            "unbounded"
-            if leakage.oram_timing_bits == float("inf")
-            else f"{leakage.oram_timing_bits:.0f} bits"
-        )
+    for scheme in spec.schemes:
+        record = results.get(benchmark, scheme)
+        overhead = results.overhead(benchmark, scheme)
+        leak = record.oram_timing_leakage_bits
+        leak_text = "unbounded" if leak == float("inf") else f"{leak:.0f} bits"
         print(
-            f"{scheme.name:>16}: {overhead:5.2f}x slowdown, "
-            f"{result.power_watts:.3f} W, ORAM-timing leakage {leak_text}"
+            f"{record.scheme_name:>16}: {overhead:5.2f}x slowdown, "
+            f"{record.power_watts:.3f} W, ORAM-timing leakage {leak_text}"
         )
-        if result.epochs and len(result.epochs) > 1:
-            rates = [record.rate for record in result.epochs]
-            print(f"{'':>16}  learned rates per epoch: {rates}")
+        if len(record.epoch_rates) > 1:
+            print(f"{'':>16}  learned rates per epoch: {list(record.epoch_rates)}")
 
     print(
         "\nThe dynamic scheme tracks base_oram's performance while bounding"

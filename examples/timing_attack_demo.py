@@ -18,7 +18,7 @@ Usage::
     python examples/timing_attack_demo.py
 """
 
-from repro.core.scheme import BaseOramScheme, StaticScheme
+from repro.core.scheme import scheme_from_spec
 from repro.oram.config import TreeGeometry
 from repro.oram.path_oram import PathORAM
 from repro.security.attacks import run_p1_attack, run_probe_attack
@@ -43,7 +43,7 @@ def act_two_leak() -> None:
     print("--- Act 2: P1 leaks the secret through base_oram (Fig 1a) ---")
     rng = make_rng(2024, "demo-secret")
     secret = [int(b) for b in rng.integers(0, 2, size=32)]
-    result = run_p1_attack(secret, BaseOramScheme())
+    result = run_p1_attack(secret, scheme_from_spec("base_oram"))
     print(f"  secret    : {''.join(map(str, result.secret_bits))}")
     print(f"  recovered : {''.join(map(str, result.recovered_bits))}")
     print(
@@ -56,7 +56,7 @@ def act_three_fix() -> None:
     print("--- Act 3: a slot-enforced rate suppresses the channel ---")
     rng = make_rng(2024, "demo-secret")
     secret = [int(b) for b in rng.integers(0, 2, size=32)]
-    result = run_p1_attack(secret, StaticScheme(300))
+    result = run_p1_attack(secret, scheme_from_spec("static:300"))
     agreement = result.recovered_fraction
     print(
         f"  observable trace strictly periodic: {result.observable_periodic}"

@@ -10,19 +10,50 @@ protocol, cache hierarchy, in-order core timing, DDR3-lite DRAM model,
 Table 2 power model, SPEC-like workloads, and the user/server security
 protocols.
 
-Quickstart::
+Quickstart — declare an experiment, run it, query the results::
 
-    from repro import SecureProcessorSim, SimConfig, dynamic, BaseOramScheme
+    from repro import Engine, ExperimentSpec
+
+    spec = ExperimentSpec(
+        benchmarks=("mcf", "h264ref"),
+        schemes=("base_dram", "base_oram", "static:300", "dynamic:4x4"),
+        n_instructions=500_000,
+    )
+    results = Engine().run(spec)
+    print(results.render())
+    print(results.overhead("mcf", "dynamic:4x4"))   # x base_dram
+
+Scale the same spec up without touching it: ``Engine(ProcessPoolBackend())``
+shards cells across cores, ``Engine(..., cache="~/.cache/repro")`` makes
+repeated sweeps free, and ``python -m repro sweep ...`` does both from the
+shell.  Every paper figure is a prebuilt spec in :mod:`repro.api.figures`.
+
+The direct simulator remains for single runs and custom schemes
+(deprecated for sweeps — the engine supersedes it)::
+
+    from repro import SecureProcessorSim, SimConfig, dynamic
 
     sim = SecureProcessorSim(SimConfig(n_instructions=500_000))
     result = sim.run("mcf", dynamic(n_rates=4, growth=4))
     print(result.describe())
     print(dynamic(4, 4).leakage())   # 32 ORAM-timing bits + 62 termination
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure, and README.md for the
+CLI tour.
 """
 
+from repro.api import (
+    Cell,
+    Engine,
+    ExperimentCache,
+    ExperimentSpec,
+    ProcessPoolBackend,
+    ResultSet,
+    RunRecord,
+    SerialBackend,
+    run_spec,
+)
 from repro.core import (
     AveragingLearner,
     BaseDramScheme,
@@ -44,6 +75,7 @@ from repro.core import (
     lg_spaced_rates,
     paper_baselines,
     paper_schedule,
+    scheme_from_spec,
     sim_schedule,
     termination_leakage_bits,
     total_leakage_bits,
@@ -69,9 +101,19 @@ from repro.sim import (
 )
 from repro.workloads import build_trace, get_workload, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Cell",
+    "Engine",
+    "ExperimentCache",
+    "ExperimentSpec",
+    "ProcessPoolBackend",
+    "ResultSet",
+    "RunRecord",
+    "SerialBackend",
+    "run_spec",
+    "scheme_from_spec",
     "AveragingLearner",
     "BaseDramScheme",
     "BaseOramScheme",

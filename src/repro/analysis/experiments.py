@@ -1,64 +1,74 @@
-"""Experiment registry: one runner per table/figure in the evaluation.
+"""Per-figure result classes and deprecated ``run_*`` shims.
 
-Each ``run_*`` function regenerates the data behind one paper artifact at
-simulation scale and returns a structured result with a ``render()`` that
-prints the same rows/series the paper reports.  The benchmark harness in
-``benchmarks/`` wraps these; EXPERIMENTS.md records paper-vs-measured.
+Each paper artifact is now one declarative spec (:mod:`repro.api.figures`)
+executed by the :class:`~repro.api.engine.Engine`; the
+``figure*_from_resultset`` converters here reshape the engine's uniform
+:class:`~repro.api.records.ResultSet` into the per-figure result classes
+whose ``render()`` prints the same rows/series the paper reports.
 
-All runners share a :class:`~repro.sim.simulator.SecureProcessorSim` so
-the expensive functional cache passes are computed once per benchmark.
+The ``run_figure*`` functions are kept as thin deprecation shims: they
+accept the legacy shared :class:`~repro.sim.simulator.SecureProcessorSim`
+(reusing its warm functional-pass cache through the serial backend) and
+return their documented result types.  New code should build a spec and
+call the engine directly — that path adds parallel execution, persistent
+caching, and multi-seed sweeps for free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import mean
 
 import numpy as np
 
-from repro.analysis.overhead import SchemeComparison, relative_change
+from repro.analysis.overhead import BenchmarkRow, SchemeComparison, relative_change
 from repro.analysis.tables import Table, format_value
-from repro.core.epochs import sim_schedule
+from repro.api.backends import SerialBackend
+from repro.api.engine import Engine
+from repro.api.figures import (
+    DEFAULT_N_INSTRUCTIONS,
+    FIG5_RATES,
+    FIG6_BENCHMARKS,
+    FIG6_SCHEMES,
+    figure2_spec,
+    figure5_spec,
+    figure6_spec,
+    figure7_spec,
+    figure8a_spec,
+    figure8b_spec,
+)
+from repro.api.records import ResultSet
 from repro.core.leakage import (
     report_for_dynamic,
     report_for_static,
     unprotected_leakage_bits,
     unprotected_leakage_bits_estimate,
 )
-from repro.core.rates import lg_spaced_rates
-from repro.core.scheme import (
-    BaseDramScheme,
-    BaseOramScheme,
-    DynamicScheme,
-    StaticScheme,
-    dynamic,
-)
+from repro.core.scheme import scheme_from_spec
 from repro.sim.simulator import SecureProcessorSim, SimConfig
-from repro.sim.windows import (
-    epoch_transition_instructions,
-    instructions_per_access_windows,
-    ipc_windows,
-)
-
-#: Figure 6 benchmark order (Section 9.1.1's SPEC-int suite).
-FIG6_BENCHMARKS: list[tuple[str, str | None]] = [
-    ("mcf", None),
-    ("omnetpp", None),
-    ("libquantum", None),
-    ("bzip2", None),
-    ("hmmer", None),
-    ("astar", "rivers"),
-    ("gcc", None),
-    ("gobmk", None),
-    ("sjeng", None),
-    ("h264ref", None),
-    ("perlbench", "diffmail"),
-]
 
 
-def default_sim(n_instructions: int = 2_000_000, seed: int = 0) -> SecureProcessorSim:
-    """The shared scaled simulator used by the benchmark harness."""
+def default_sim(n_instructions: int = DEFAULT_N_INSTRUCTIONS, seed: int = 0) -> SecureProcessorSim:
+    """The shared scaled simulator used by legacy harness call sites."""
     return SecureProcessorSim(SimConfig(n_instructions=n_instructions, seed=seed))
+
+
+def _sim_params(sim: SecureProcessorSim | None) -> dict:
+    """Spec parameters matching a legacy simulator (or the defaults)."""
+    if sim is None:
+        return {}
+    config = sim.config
+    return {
+        "n_instructions": config.n_instructions,
+        "seeds": (config.seed,),
+        "warmup_fraction": config.warmup_fraction,
+        "write_buffer_entries": config.write_buffer_entries,
+    }
+
+
+def _engine_for(sim: SecureProcessorSim | None) -> Engine:
+    """A serial engine that reuses the caller's warm simulator, if any."""
+    return Engine(backend=SerialBackend(sim=sim))
 
 
 # ----------------------------------------------------------------------
@@ -103,22 +113,25 @@ class Figure2Result:
         ).render()
 
 
-def run_figure2(sim: SecureProcessorSim | None = None, n_windows: int = 50) -> Figure2Result:
-    """Windowed ORAM access rates for perlbench and astar inputs (1 MB LLC)."""
-    sim = sim or default_sim()
+def figure2_from_resultset(results: ResultSet) -> Figure2Result:
+    """Reshape a :func:`~repro.api.figures.figure2_spec` run."""
     series: dict[str, np.ndarray] = {}
-    for benchmark, input_name in [
-        ("perlbench", "diffmail"),
-        ("perlbench", "splitmail"),
-        ("astar", "rivers"),
-        ("astar", "biglakes"),
-    ]:
-        miss_trace = sim.miss_trace(benchmark, input_name)
-        windows = instructions_per_access_windows(
-            miss_trace.instruction_index, miss_trace.n_instructions, n_windows
+    n_windows = 0
+    for record in results.select(scheme="base_dram"):
+        series[f"{record.benchmark}/{record.input_name}"] = np.asarray(
+            record.access_windows, dtype=np.float64
         )
-        series[f"{benchmark}/{input_name}"] = windows.values
+        n_windows = len(record.access_windows)
     return Figure2Result(series=series, n_windows=n_windows)
+
+
+def run_figure2(sim: SecureProcessorSim | None = None, n_windows: int = 50) -> Figure2Result:
+    """Windowed ORAM access rates for perlbench and astar inputs (1 MB LLC).
+
+    Deprecated shim; equivalent to running ``figure2_spec`` on an engine.
+    """
+    spec = figure2_spec(n_windows=n_windows, **_sim_params(sim))
+    return figure2_from_resultset(_engine_for(sim).run(spec))
 
 
 # ----------------------------------------------------------------------
@@ -159,23 +172,41 @@ class Figure5Result:
         ).render()
 
 
+def figure5_from_resultset(
+    results: ResultSet, rates: list[int] | None = None
+) -> Figure5Result:
+    """Reshape a :func:`~repro.api.figures.figure5_spec` run."""
+    if rates is None:
+        rates = sorted(
+            int(record.scheme_spec.split(":", 1)[1])
+            for record in results.select(benchmark="mcf")
+            if record.scheme_spec.startswith("static:")
+        )
+    perf: dict[str, list[float]] = {}
+    power: dict[str, list[float]] = {}
+    benchmarks = sorted({record.benchmark for record in results})
+    for benchmark in benchmarks:
+        base = results.get(benchmark, "base_dram")
+        perf[benchmark] = []
+        power[benchmark] = []
+        for rate in rates:
+            record = results.get(benchmark, f"static:{rate}")
+            perf[benchmark].append(record.cycles / base.cycles)
+            power[benchmark].append(record.power_watts / base.power_watts)
+    return Figure5Result(rates=list(rates), perf_overhead=perf, power_overhead=power)
+
+
 def run_figure5(
     sim: SecureProcessorSim | None = None,
     rates: list[int] | None = None,
 ) -> Figure5Result:
-    """Sweep static rates on mcf (memory bound) and h264ref (compute bound)."""
-    sim = sim or default_sim()
-    if rates is None:
-        rates = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
-    perf: dict[str, list[float]] = {"mcf": [], "h264ref": []}
-    power: dict[str, list[float]] = {"mcf": [], "h264ref": []}
-    for benchmark in ("mcf", "h264ref"):
-        base = sim.run(benchmark, BaseDramScheme(), record_requests=False)
-        for rate in rates:
-            result = sim.run(benchmark, StaticScheme(rate), record_requests=False)
-            perf[benchmark].append(result.cycles / base.cycles)
-            power[benchmark].append(result.power_watts / base.power_watts)
-    return Figure5Result(rates=list(rates), perf_overhead=perf, power_overhead=power)
+    """Sweep static rates on mcf (memory bound) and h264ref (compute bound).
+
+    Deprecated shim; equivalent to running ``figure5_spec`` on an engine.
+    """
+    rates = list(FIG5_RATES) if rates is None else list(rates)
+    spec = figure5_spec(rates=tuple(rates), **_sim_params(sim))
+    return figure5_from_resultset(_engine_for(sim).run(spec), rates=rates)
 
 
 # ----------------------------------------------------------------------
@@ -242,27 +273,49 @@ class Figure6Result:
         ).render()
 
 
+def _comparisons_from_resultset(
+    results: ResultSet,
+    scheme_specs: list[str],
+    suite: list[tuple[str, str | None]],
+) -> dict[str, SchemeComparison]:
+    """Build per-scheme comparisons in suite order vs base_dram."""
+    comparisons = {}
+    for spec_string in scheme_specs:
+        name = scheme_from_spec(spec_string).name
+        comparison = SchemeComparison(name)
+        for benchmark, input_name in suite:
+            baseline = results.get(benchmark, "base_dram", input_name=input_name)
+            record = results.get(benchmark, spec_string, input_name=input_name)
+            comparison.rows.append(
+                BenchmarkRow(
+                    benchmark=record.label,
+                    perf_overhead=record.cycles / baseline.cycles,
+                    power_watts=record.power_watts,
+                    memory_power_watts=record.memory_power_watts,
+                    dummy_fraction=record.dummy_fraction,
+                )
+            )
+        comparisons[name] = comparison
+    return comparisons
+
+
+def figure6_from_resultset(results: ResultSet) -> Figure6Result:
+    """Reshape a :func:`~repro.api.figures.figure6_spec` run."""
+    scheme_specs = [s for s in FIG6_SCHEMES if s != "base_dram"]
+    comparisons = _comparisons_from_resultset(results, scheme_specs, FIG6_BENCHMARKS)
+    return Figure6Result(
+        comparisons=comparisons,
+        benchmarks=[benchmark for benchmark, _ in FIG6_BENCHMARKS],
+    )
+
+
 def run_figure6(sim: SecureProcessorSim | None = None) -> Figure6Result:
-    """The main comparison across all benchmarks and schemes."""
-    sim = sim or default_sim()
-    schemes = [
-        BaseOramScheme(),
-        dynamic(4, 4),
-        StaticScheme(300),
-        StaticScheme(500),
-        StaticScheme(1300),
-    ]
-    comparisons = {scheme.name: SchemeComparison(scheme.name) for scheme in schemes}
-    benchmarks = []
-    for benchmark, input_name in FIG6_BENCHMARKS:
-        benchmarks.append(benchmark)
-        baseline = sim.run(benchmark, BaseDramScheme(), input_name=input_name,
-                           record_requests=False)
-        for scheme in schemes:
-            result = sim.run(benchmark, scheme, input_name=input_name,
-                             record_requests=False)
-            comparisons[scheme.name].add(result, baseline)
-    return Figure6Result(comparisons=comparisons, benchmarks=benchmarks)
+    """The main comparison across all benchmarks and schemes.
+
+    Deprecated shim; equivalent to running ``figure6_spec`` on an engine.
+    """
+    spec = figure6_spec(**_sim_params(sim))
+    return figure6_from_resultset(_engine_for(sim).run(spec))
 
 
 # ----------------------------------------------------------------------
@@ -296,24 +349,29 @@ class Figure7Result:
         ).render()
 
 
-def run_figure7(
-    sim: SecureProcessorSim | None = None, n_windows: int = 100
-) -> Figure7Result:
-    """IPC over time for libquantum, gobmk, h264ref (paper's trio)."""
-    sim = sim or default_sim()
-    schemes = [BaseOramScheme(), dynamic(4, 2), StaticScheme(1300)]
+def figure7_from_resultset(results: ResultSet) -> Figure7Result:
+    """Reshape a :func:`~repro.api.figures.figure7_spec` run."""
     series: dict[str, dict[str, np.ndarray]] = {}
     transitions: dict[str, list[int]] = {}
     final_rates: dict[str, int] = {}
-    for benchmark in ("libquantum", "gobmk", "h264ref"):
-        series[benchmark] = {}
-        for scheme in schemes:
-            result = sim.run(benchmark, scheme)
-            series[benchmark][scheme.name] = ipc_windows(result, n_windows).values
-            if scheme.name.startswith("dynamic"):
-                transitions[benchmark] = epoch_transition_instructions(result)
-                final_rates[benchmark] = result.epochs[-1].rate
+    for record in results:
+        by_scheme = series.setdefault(record.benchmark, {})
+        by_scheme[record.scheme_name] = np.asarray(record.ipc_windows, dtype=np.float64)
+        if record.scheme_name.startswith("dynamic"):
+            transitions[record.benchmark] = list(record.epoch_transitions)
+            final_rates[record.benchmark] = record.final_rate
     return Figure7Result(series=series, transitions=transitions, final_rates=final_rates)
+
+
+def run_figure7(
+    sim: SecureProcessorSim | None = None, n_windows: int = 100
+) -> Figure7Result:
+    """IPC over time for libquantum, gobmk, h264ref (paper's trio).
+
+    Deprecated shim; equivalent to running ``figure7_spec`` on an engine.
+    """
+    spec = figure7_spec(n_windows=n_windows, **_sim_params(sim))
+    return figure7_from_resultset(_engine_for(sim).run(spec))
 
 
 # ----------------------------------------------------------------------
@@ -347,44 +405,60 @@ class Figure8Result:
         ).render()
 
 
-def _run_dynamic_family(
-    sim: SecureProcessorSim, schemes: list[DynamicScheme], label: str
-) -> Figure8Result:
-    configs = [scheme.name for scheme in schemes]
-    perf: dict[str, list[float]] = {name: [] for name in configs}
-    power: dict[str, list[float]] = {name: [] for name in configs}
-    leakage = {
-        scheme.name: scheme.leakage().oram_timing_bits for scheme in schemes
-    }
-    for benchmark, input_name in FIG6_BENCHMARKS:
-        baseline = sim.run(benchmark, BaseDramScheme(), input_name=input_name,
-                           record_requests=False)
-        for scheme in schemes:
-            result = sim.run(benchmark, scheme, input_name=input_name,
-                             record_requests=False)
-            perf[scheme.name].append(result.cycles / baseline.cycles)
-            power[scheme.name].append(result.power_watts)
+def figure8_from_resultset(results: ResultSet, label: str) -> Figure8Result:
+    """Reshape a figure-8 family run (either direction of the study).
+
+    Config order follows the spec when present; a spec-less ResultSet
+    (e.g. loaded from a file saved without one) falls back to the
+    records' first-seen scheme order.
+    """
+    if results.spec is not None:
+        ordered = results.spec.schemes
+    else:
+        ordered = list(dict.fromkeys(record.scheme_spec for record in results))
+    scheme_specs = [s for s in ordered if s != "base_dram"]
+    configs = []
+    perf: dict[str, float] = {}
+    power: dict[str, float] = {}
+    leakage: dict[str, float] = {}
+    for spec_string in scheme_specs:
+        scheme = scheme_from_spec(spec_string)
+        configs.append(scheme.name)
+        ratios = []
+        powers = []
+        for benchmark, input_name in FIG6_BENCHMARKS:
+            baseline = results.get(benchmark, "base_dram", input_name=input_name)
+            record = results.get(benchmark, spec_string, input_name=input_name)
+            ratios.append(record.cycles / baseline.cycles)
+            powers.append(record.power_watts)
+        perf[scheme.name] = mean(ratios)
+        power[scheme.name] = mean(powers)
+        leakage[scheme.name] = scheme.leakage().oram_timing_bits
     return Figure8Result(
         label=label,
         configs=configs,
-        avg_perf_overhead={name: mean(values) for name, values in perf.items()},
-        avg_power_watts={name: mean(values) for name, values in power.items()},
+        avg_perf_overhead=perf,
+        avg_power_watts=power,
         leakage_bits=leakage,
     )
 
 
 def run_figure8a(sim: SecureProcessorSim | None = None) -> Figure8Result:
-    """Vary |R| in {16, 8, 4, 2} with epoch doubling (E2)."""
-    sim = sim or default_sim()
-    schemes = [dynamic(n_rates, 2) for n_rates in (16, 8, 4, 2)]
-    return _run_dynamic_family(sim, schemes, label="a")
+    """Vary |R| in {16, 8, 4, 2} with epoch doubling (E2).
+
+    Deprecated shim; equivalent to running ``figure8a_spec`` on an engine.
+    """
+    spec = figure8a_spec(**_sim_params(sim))
+    return figure8_from_resultset(_engine_for(sim).run(spec), label="a")
 
 
 def run_figure8b(sim: SecureProcessorSim | None = None) -> Figure8Result:
-    """Vary epoch growth in {2, 4, 8, 16} with |R| = 4."""
-    sim = sim or default_sim()
-    schemes = [dynamic(4, growth) for growth in (2, 4, 8, 16)]
-    return _run_dynamic_family(sim, schemes, label="b")
+    """Vary epoch growth in {2, 4, 8, 16} with |R| = 4.
+
+    Deprecated shim; equivalent to running ``figure8b_spec`` on an engine.
+    """
+    spec = figure8b_spec(**_sim_params(sim))
+    return figure8_from_resultset(_engine_for(sim).run(spec), label="b")
 
 
 # ----------------------------------------------------------------------

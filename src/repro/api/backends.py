@@ -1,0 +1,201 @@
+"""Pluggable execution backends for the experiment engine.
+
+A backend turns a list of independent spec cells into run records.  Both
+built-ins produce identical records for identical cells (see
+:mod:`repro.api.execution` on determinism); they differ only in where the
+work happens:
+
+- :class:`SerialBackend` — in this process, sharing functional passes
+  through per-config simulators (and optionally an injected legacy
+  simulator, which is how the deprecated ``run_figure*`` shims reuse a
+  caller's warm cache).
+- :class:`ProcessPoolBackend` — shards cells across worker processes.
+  Cells are deterministic and independent, so sharding needs no
+  coordination; the persistent trace cache (when the engine has one)
+  lets workers share functional passes through the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_all_start_methods, get_context
+from typing import Protocol, Sequence
+
+from repro.api.cache import ExperimentCache
+from repro.api.execution import (
+    _execute_batch_in_worker,
+    _init_worker,
+    execute_cell,
+    functional_pass_key,
+    sim_for_cell,
+)
+from repro.api.records import RunRecord
+from repro.api.spec import Cell
+from repro.sim.simulator import SecureProcessorSim
+
+
+class ExecutionBackend(Protocol):
+    """Anything that can run a batch of cells."""
+
+    def run_cells(
+        self, cells: Sequence[Cell], cache: ExperimentCache | None = None
+    ) -> list[RunRecord]: ...
+
+
+class SerialBackend:
+    """In-process execution, one cell at a time.
+
+    Args:
+        sim: Optional pre-warmed simulator to reuse for cells whose
+            configuration matches it (the bridge from legacy shared-sim
+            call sites).  Cells whose scalar parameters don't match get
+            their own per-config simulator.  A custom hierarchy/core on
+            the injected sim is honored for *uncached* runs — that is
+            the legacy behavior the shims rely on — but bypassed (with
+            a RuntimeWarning) when a persistent cache is configured,
+            because cell hashes assume the default substrate.
+    """
+
+    name = "serial"
+
+    def __init__(self, sim: SecureProcessorSim | None = None) -> None:
+        self._injected = sim
+
+    def _has_default_substrate(self) -> bool:
+        from repro.cache.hierarchy import PAPER_HIERARCHY
+        from repro.cpu.core import DEFAULT_CORE
+
+        config = self._injected.config
+        return config.hierarchy == PAPER_HIERARCHY and config.core == DEFAULT_CORE
+
+    def _matches_injected(self, cell: Cell, persistent_cache: bool) -> bool:
+        if self._injected is None:
+            return False
+        config = self._injected.config
+        if not (
+            cell.n_instructions == config.n_instructions
+            and cell.seed == config.seed
+            and cell.warmup_fraction == config.warmup_fraction
+            and cell.write_buffer_entries == config.write_buffer_entries
+        ):
+            return False
+        if self._has_default_substrate():
+            return True
+        # A custom hierarchy/core is honored for uncached runs (the
+        # legacy shim behavior: the caller's substrate is the point).
+        # With a persistent cache it must be bypassed — cell hashes
+        # assume the default substrate, so its results would poison the
+        # cache for every future default run.
+        if not persistent_cache:
+            return True
+        warnings.warn(
+            "SerialBackend: injected simulator has a non-default "
+            "hierarchy/core and a persistent cache is configured; "
+            "running cells under the default substrate instead",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return False
+
+    def run_cells(
+        self, cells: Sequence[Cell], cache: ExperimentCache | None = None
+    ) -> list[RunRecord]:
+        """Execute every cell in order."""
+        trace_store = cache.traces if cache else None
+        records = []
+        for cell in cells:
+            if self._matches_injected(cell, persistent_cache=cache is not None):
+                # Point the injected sim at this engine's store so a
+                # cached serial run warms later pool runs (but never
+                # clobber a caller-provided store with None).
+                if trace_store is not None:
+                    self._injected.trace_store = trace_store
+                records.append(execute_cell(cell, sim=self._injected))
+            else:
+                records.append(execute_cell(cell, trace_store=trace_store))
+        return records
+
+
+class ProcessPoolBackend:
+    """Shard cells across worker processes.
+
+    Cells are grouped by functional-pass identity (benchmark, input,
+    seed, budget) and each group runs in one worker, so the expensive
+    functional pass is computed exactly once per benchmark — the same
+    B-passes + B*S-replays invariant the serial path has.  Parallelism
+    is therefore across benchmarks/seeds, which is where the work is.
+
+    Deterministic per-cell seeding makes the shards order-independent:
+    the engine sorts records canonically, so a pool run's ResultSet is
+    identical to a serial run's for the same spec.
+
+    Args:
+        max_workers: Pool size (default: ``os.cpu_count()``, capped at
+            the number of cell groups).
+        start_method: ``"fork"`` where available (cheap on Linux), else
+            ``"spawn"``; override for debugging.
+        chunksize: Cell groups per task message; larger values amortize
+            IPC for big sweeps of small groups.
+    """
+
+    name = "process_pool"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        chunksize: int = 1,
+    ) -> None:
+        if start_method is None:
+            start_method = "fork" if "fork" in get_all_start_methods() else "spawn"
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self.chunksize = chunksize
+
+    def run_cells(
+        self, cells: Sequence[Cell], cache: ExperimentCache | None = None
+    ) -> list[RunRecord]:
+        """Execute cells on the pool, preserving submission order."""
+        cells = list(cells)
+        if not cells:
+            return []
+        groups: dict[tuple, list[int]] = {}
+        for index, cell in enumerate(cells):
+            groups.setdefault(functional_pass_key(cell), []).append(index)
+        workers = min(self.max_workers or os.cpu_count() or 1, len(groups))
+        if workers <= 1:
+            # A one-worker pool is pure overhead; run inline instead.
+            return SerialBackend().run_cells(cells, cache)
+        cache_root = str(cache.traces.root) if cache else None
+        batches = [[cells[i] for i in indices] for indices in groups.values()]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=get_context(self.start_method),
+            initializer=_init_worker,
+            initargs=(cache_root,),
+        ) as pool:
+            batch_results = list(
+                pool.map(_execute_batch_in_worker, batches, chunksize=self.chunksize)
+            )
+        records: list[RunRecord | None] = [None] * len(cells)
+        for indices, batch in zip(groups.values(), batch_results):
+            for index, record in zip(indices, batch):
+                records[index] = record
+        return records
+
+
+def warm_local_sims(cells: Sequence[Cell]) -> None:
+    """Precompute functional passes in-process for a batch of cells.
+
+    Useful before a serial sweep over many schemes of one benchmark; the
+    pool backend warms through the persistent cache instead.
+    """
+    seen = set()
+    for cell in cells:
+        key = functional_pass_key(cell)
+        if key in seen:
+            continue
+        seen.add(key)
+        sim_for_cell(cell).miss_trace(cell.benchmark, cell.input_name)

@@ -1,0 +1,94 @@
+"""The experiment engine: spec in, ResultSet out.
+
+``Engine.run`` expands an :class:`~repro.api.spec.ExperimentSpec` into
+cells, satisfies as many as possible from the persistent result cache,
+hands the rest to the configured backend, persists fresh results, and
+returns a canonically ordered :class:`~repro.api.records.ResultSet`.
+
+The contract the rest of the repository builds on: for a given spec, the
+returned records are identical regardless of backend, cache temperature,
+or cell execution order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.api.backends import ExecutionBackend, SerialBackend
+from repro.api.cache import ExperimentCache
+from repro.api.records import ResultSet, RunRecord
+from repro.api.spec import ExperimentSpec
+
+
+class Engine:
+    """Executes experiment specs on a pluggable backend with caching.
+
+    Args:
+        backend: Execution backend (default: :class:`SerialBackend`).
+        cache: ``None`` (no persistence), an :class:`ExperimentCache`, or
+            a directory path to root one at.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend | None = None,
+        cache: ExperimentCache | str | Path | None = None,
+    ) -> None:
+        self.backend = backend or SerialBackend()
+        if isinstance(cache, (str, Path)):
+            cache = ExperimentCache(cache)
+        self.cache = cache
+
+    def run(self, spec: ExperimentSpec, use_cache: bool = True) -> ResultSet:
+        """Run every cell of ``spec`` and collect a ResultSet.
+
+        ``use_cache=False`` bypasses result-cache *reads* (everything
+        recomputes) but still persists fresh results and reuses cached
+        functional traces — the knob for "re-measure, same substrate".
+        """
+        cells = list(spec.cells())
+        cached: list[RunRecord] = []
+        pending = []
+        if self.cache is not None and use_cache:
+            for cell in cells:
+                record = self.cache.results.get(cell.content_hash())
+                if record is None:
+                    pending.append(cell)
+                else:
+                    cached.append(record)
+        else:
+            pending = cells
+
+        fresh = self.backend.run_cells(pending, self.cache) if pending else []
+        if self.cache is not None:
+            for cell, record in zip(pending, fresh):
+                self.cache.results.put(cell.content_hash(), record)
+
+        return ResultSet(
+            records=tuple(cached) + tuple(fresh),
+            spec=spec,
+            meta={
+                "backend": getattr(self.backend, "name", type(self.backend).__name__),
+                "cells": len(cells),
+                "cache_hits": len(cached),
+                "cells_run": len(pending),
+            },
+        )
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    parallel: bool = False,
+    cache_dir: str | Path | None = None,
+    max_workers: int | None = None,
+) -> ResultSet:
+    """One-call convenience wrapper around :class:`Engine`.
+
+    ``parallel=True`` selects the process pool;``cache_dir`` roots a
+    persistent cache there.
+    """
+    from repro.api.backends import ProcessPoolBackend
+
+    backend = ProcessPoolBackend(max_workers=max_workers) if parallel else SerialBackend()
+    cache = ExperimentCache(cache_dir) if cache_dir is not None else None
+    return Engine(backend=backend, cache=cache).run(spec)

@@ -1,0 +1,189 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names *what* to measure — the cross product of
+benchmarks, schemes, and seeds, plus the shared simulation parameters —
+without saying *how* to run it.  The :class:`~repro.api.engine.Engine`
+expands the spec into independent :class:`Cell` work units, executes them
+on a pluggable backend (in-process or a process pool), and deduplicates
+work through a persistent cache keyed by each cell's content hash.
+
+Benchmarks are named ``"mcf"`` or ``"astar/rivers"`` (name/input);
+schemes use the :func:`repro.core.scheme.scheme_from_spec` grammar
+(``"base_dram"``, ``"static:300"``, ``"dynamic:4x4"``, ...).  Both stay
+strings so specs are hashable, JSON-serializable, and CLI-friendly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Iterator
+
+from repro.core.scheme import scheme_from_spec
+from repro.util.validation import check_in_range, check_positive
+from repro.workloads.registry import get_workload
+
+#: Bump to invalidate every persisted cache entry after a semantics change.
+CACHE_SCHEMA_VERSION = 1
+
+
+def split_benchmark(entry: str) -> tuple[str, str | None]:
+    """Split a ``"name"`` or ``"name/input"`` benchmark entry."""
+    if not isinstance(entry, str) or not entry:
+        raise ValueError(f"benchmark entry must be a non-empty string, got {entry!r}")
+    name, _, input_name = entry.partition("/")
+    return name, (input_name or None)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent (benchmark, scheme, seed) unit of work.
+
+    Carries every parameter that influences its result, so its
+    :meth:`content_hash` is a complete cache key: two cells with equal
+    hashes are guaranteed (up to :data:`CACHE_SCHEMA_VERSION`) to produce
+    identical :class:`~repro.api.records.RunRecord` rows.
+    """
+
+    benchmark: str
+    input_name: str | None
+    scheme_spec: str
+    seed: int
+    n_instructions: int
+    warmup_fraction: float
+    write_buffer_entries: int
+    n_windows: int | None
+    record_requests: bool
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell id, e.g. ``astar/rivers+static:300@0``."""
+        bench = self.benchmark if self.input_name is None else (
+            f"{self.benchmark}/{self.input_name}"
+        )
+        return f"{bench}+{self.scheme_spec}@{self.seed}"
+
+    def content_hash(self) -> str:
+        """Stable hex digest of every result-determining parameter."""
+        payload = json.dumps(
+            {"version": CACHE_SCHEMA_VERSION, **asdict(self)},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative sweep: benchmarks x schemes x seeds at fixed sim params.
+
+    Attributes:
+        benchmarks: Entries ``"name"`` or ``"name/input"``; validated
+            against the workload registry at construction.
+        schemes: Scheme spec strings (``scheme_from_spec`` grammar).
+        seeds: Workload-generation seeds; one full sweep runs per seed.
+        n_instructions: Post-warmup instruction budget per run.
+        warmup_fraction: Extra cache-warming prefix (excluded from timing).
+        write_buffer_entries: Non-blocking write buffer depth.
+        n_windows: When set, each record also carries windowed IPC /
+            access-rate series and epoch-transition marks at this
+            resolution (Figures 2 and 7).
+        record_requests: Keep per-request arrays during timing replay even
+            when ``n_windows`` is unset.
+        name: Optional label for reports; never part of cache keys.
+    """
+
+    benchmarks: tuple[str, ...]
+    schemes: tuple[str, ...]
+    seeds: tuple[int, ...] = (0,)
+    n_instructions: int = 1_000_000
+    warmup_fraction: float = 0.30
+    write_buffer_entries: int = 8
+    n_windows: int | None = None
+    record_requests: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        # Accept any iterable for the axes; normalize to tuples so the
+        # spec stays hashable.
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.benchmarks:
+            raise ValueError("ExperimentSpec needs at least one benchmark")
+        if not self.schemes:
+            raise ValueError("ExperimentSpec needs at least one scheme")
+        if not self.seeds:
+            raise ValueError("ExperimentSpec needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"seeds must be distinct, got {self.seeds}")
+        check_positive(self.n_instructions, "n_instructions")
+        check_in_range(self.warmup_fraction, 0.0, 1.0, "warmup_fraction")
+        check_positive(self.write_buffer_entries, "write_buffer_entries")
+        if self.n_windows is not None:
+            check_positive(self.n_windows, "n_windows")
+        for entry in self.benchmarks:
+            bench, input_name = split_benchmark(entry)
+            workload = get_workload(bench)  # raises for unknown names
+            if input_name is not None and input_name not in workload.inputs:
+                raise ValueError(
+                    f"{bench} has inputs {workload.inputs}, not {input_name!r}"
+                )
+        for scheme in self.schemes:
+            scheme_from_spec(scheme)  # raises with the grammar for bad specs
+
+    @property
+    def n_cells(self) -> int:
+        """Number of independent work units the spec expands to."""
+        return len(self.benchmarks) * len(self.schemes) * len(self.seeds)
+
+    def cells(self) -> Iterator[Cell]:
+        """Expand to independent cells, benchmark-major.
+
+        Benchmark-major order keeps cells that share a functional cache
+        pass adjacent, which maximizes in-process trace reuse on the
+        serial backend and cache locality on the pool.
+        """
+        for entry in self.benchmarks:
+            bench, input_name = split_benchmark(entry)
+            for seed in self.seeds:
+                for scheme in self.schemes:
+                    yield Cell(
+                        benchmark=bench,
+                        input_name=input_name,
+                        scheme_spec=scheme,
+                        seed=seed,
+                        n_instructions=self.n_instructions,
+                        warmup_fraction=self.warmup_fraction,
+                        write_buffer_entries=self.write_buffer_entries,
+                        n_windows=self.n_windows,
+                        record_requests=self.record_requests,
+                    )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        payload = asdict(self)
+        payload["benchmarks"] = list(self.benchmarks)
+        payload["schemes"] = list(self.schemes)
+        payload["seeds"] = list(self.seeds)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Rebuild a spec saved by :meth:`to_dict`."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def single(self, benchmark: str, scheme: str, seed: int | None = None) -> "ExperimentSpec":
+        """A one-cell sub-spec with the same simulation parameters."""
+        return ExperimentSpec(
+            benchmarks=(benchmark,),
+            schemes=(scheme,),
+            seeds=(self.seeds[0] if seed is None else seed,),
+            n_instructions=self.n_instructions,
+            warmup_fraction=self.warmup_fraction,
+            write_buffer_entries=self.write_buffer_entries,
+            n_windows=self.n_windows,
+            record_requests=self.record_requests,
+            name=self.name,
+        )

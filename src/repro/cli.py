@@ -1,0 +1,209 @@
+"""Command-line interface over the declarative experiment API.
+
+Installed as the ``repro`` console script and runnable as
+``python -m repro``.  Subcommands:
+
+- ``run`` — one benchmark under one or more schemes, printed as a table.
+- ``sweep`` — a full benchmarks x schemes x seeds spec, optionally on the
+  process pool and/or a persistent cache, optionally saved to JSON.
+- ``list-workloads`` — the workload registry with inputs and categories.
+- ``leakage`` — the paper's leakage accounting, or the bound for one
+  (|R|, growth) configuration against an optional bit budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api.backends import ProcessPoolBackend, SerialBackend
+from repro.api.cache import ExperimentCache
+from repro.api.engine import Engine
+from repro.api.spec import ExperimentSpec
+
+
+def _split_csv(text: str) -> tuple[str, ...]:
+    """Comma-separated CLI list -> tuple of stripped entries."""
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-n", "--instructions", type=int, default=200_000,
+        help="post-warmup instruction budget per run (default 200000)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=None,
+        help="record windowed IPC/access series at this resolution",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="root a persistent trace/result cache at this directory",
+    )
+    parser.add_argument(
+        "--no-cache-read", action="store_true",
+        help="recompute results even when cached (still reuses traces)",
+    )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="shard cells across a process pool",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process pool size (implies --parallel)",
+    )
+    parser.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also write the ResultSet as JSON to PATH",
+    )
+
+
+def _engine_from_args(args: argparse.Namespace) -> Engine:
+    parallel = args.parallel or args.workers is not None
+    backend = (
+        ProcessPoolBackend(max_workers=args.workers) if parallel else SerialBackend()
+    )
+    cache = ExperimentCache(args.cache_dir) if args.cache_dir else None
+    return Engine(backend=backend, cache=cache)
+
+
+def _run_and_report(spec: ExperimentSpec, args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    results = engine.run(spec, use_cache=not args.no_cache_read)
+    print(results.render())
+    meta = results.meta
+    print(
+        f"\n[{meta['backend']}] {meta['cells']} cells: "
+        f"{meta['cache_hits']} cached, {meta['cells_run']} run"
+    )
+    if args.save:
+        results.save(args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        name=f"repro run: {args.benchmark}",
+        benchmarks=(args.benchmark,),
+        schemes=tuple(args.scheme) or ("base_dram", "base_oram", "dynamic:4x4"),
+        seeds=(args.seed,),
+        n_instructions=args.instructions,
+        n_windows=args.windows,
+    )
+    return _run_and_report(spec, args)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        name="repro sweep",
+        benchmarks=_split_csv(args.benchmarks),
+        schemes=_split_csv(args.schemes),
+        seeds=tuple(int(s) for s in _split_csv(args.seeds)),
+        n_instructions=args.instructions,
+        n_windows=args.windows,
+    )
+    return _run_and_report(spec, args)
+
+
+def _cmd_list_workloads(_args: argparse.Namespace) -> int:
+    from repro.analysis.tables import Table
+    from repro.workloads.registry import registry
+
+    rows = [
+        [name, spec.category, ",".join(spec.inputs), spec.description]
+        for name, spec in registry().items()
+    ]
+    print(Table("Workload registry", ["name", "category", "inputs", "description"], rows).render())
+    return 0
+
+
+def _cmd_leakage(args: argparse.Namespace) -> int:
+    if args.rates is None and args.growth is None and args.budget is None:
+        from repro.analysis.experiments import run_leakage_table
+
+        print(run_leakage_table().render())
+        return 0
+    # A bare --budget checks the paper's default configuration (R4/E4).
+    n_rates = args.rates if args.rates is not None else 4
+    growth = args.growth if args.growth is not None else 4
+    from repro.core.epochs import paper_schedule
+    from repro.core.leakage import report_for_dynamic
+
+    report = report_for_dynamic(paper_schedule(growth=growth), n_rates)
+    print(
+        f"dynamic R{n_rates} E{growth}: {report.oram_timing_bits:.0f} ORAM-timing bits "
+        f"+ {report.termination_bits:.0f} termination bits "
+        f"= {report.total_bits:.0f} total"
+    )
+    if args.budget is not None:
+        fits = report.oram_timing_bits <= args.budget
+        print(
+            f"budget {args.budget:.0f} bits: "
+            f"{'FITS' if fits else 'EXCEEDED'} "
+            f"(ORAM-timing bound {report.oram_timing_bits:.0f})"
+        )
+        return 0 if fits else 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative experiment runner for the ORAM timing-channel reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark under one or more schemes")
+    run.add_argument("benchmark", help='benchmark name, e.g. "mcf" or "astar/rivers"')
+    run.add_argument(
+        "-s", "--scheme", action="append", default=[],
+        help='scheme spec, repeatable (e.g. -s base_dram -s "dynamic:4x4")',
+    )
+    run.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    _add_sim_arguments(run)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run a benchmarks x schemes x seeds sweep")
+    sweep.add_argument(
+        "--benchmarks", required=True,
+        help='comma-separated benchmarks, e.g. "mcf,h264ref,astar/rivers"',
+    )
+    sweep.add_argument(
+        "--schemes", required=True,
+        help='comma-separated scheme specs, e.g. "base_dram,static:300,dynamic:4x4"',
+    )
+    sweep.add_argument("--seeds", default="0", help='comma-separated seeds (default "0")')
+    _add_sim_arguments(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    lw = sub.add_parser("list-workloads", help="list the workload registry")
+    lw.set_defaults(func=_cmd_list_workloads)
+
+    leakage = sub.add_parser(
+        "leakage", help="leakage accounting table, or one configuration's bound"
+    )
+    leakage.add_argument("--rates", type=int, default=None, help="|R| candidate rates")
+    leakage.add_argument("--growth", type=int, default=None, help="epoch growth factor")
+    leakage.add_argument(
+        "--budget", type=float, default=None,
+        help="bit budget; exit 1 if the configuration (default R4/E4) exceeds it",
+    )
+    leakage.set_defaults(func=_cmd_leakage)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console-script entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ from repro.core.monitor import (
 )
 from repro.core.rates import INITIAL_RATE, PAPER_RATES, RateSet, lg_spaced_rates
 from repro.core.scheme import (
+    SCHEME_SPEC_FORMS,
     BaseDramScheme,
     BaseOramScheme,
     DynamicScheme,
@@ -53,6 +54,7 @@ from repro.core.scheme import (
     StaticScheme,
     dynamic,
     paper_baselines,
+    scheme_from_spec,
 )
 
 __all__ = [
@@ -98,6 +100,8 @@ __all__ = [
     "DynamicScheme",
     "ObliviousDramScheme",
     "StaticScheme",
+    "SCHEME_SPEC_FORMS",
     "dynamic",
     "paper_baselines",
+    "scheme_from_spec",
 ]

@@ -244,6 +244,80 @@ def dynamic(n_rates: int = 4, growth: int = 4, **kwargs) -> DynamicScheme:
     )
 
 
+#: Grammar accepted by :func:`scheme_from_spec`, for error messages.
+SCHEME_SPEC_FORMS = (
+    "base_dram",
+    "base_oram",
+    "static:<rate>",
+    "dynamic:<|R|>x<growth>",
+    "oblivious_dram[:<|R|>x<growth>]",
+)
+
+
+def _parse_rates_x_growth(arg: str, spec: str) -> tuple[int, int]:
+    """Parse the ``<n_rates>x<growth>`` argument of dynamic-family specs."""
+    parts = arg.split("x")
+    if len(parts) != 2:
+        raise ValueError(
+            f"scheme spec {spec!r} needs an <|R|>x<growth> argument, e.g. 'dynamic:4x4'"
+        )
+    try:
+        n_rates, growth = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(f"scheme spec {spec!r}: |R| and growth must be integers")
+    if n_rates < 1:
+        raise ValueError(f"scheme spec {spec!r}: |R| must be >= 1")
+    if growth < 2:
+        raise ValueError(f"scheme spec {spec!r}: growth must be >= 2")
+    return n_rates, growth
+
+
+def scheme_from_spec(spec: str):
+    """Build a scheme from a compact spec string.
+
+    The declarative experiment API (:mod:`repro.api`) names schemes with
+    strings so specs stay hashable, serializable, and CLI-friendly:
+
+    - ``"base_dram"`` — insecure DRAM baseline
+    - ``"base_oram"`` — Path ORAM without timing protection
+    - ``"static:300"`` — static rate of 300 cycles
+    - ``"dynamic:4x4"`` — the paper's dynamic scheme, |R|=4, epoch growth 4
+    - ``"oblivious_dram"`` / ``"oblivious_dram:4x4"`` — Section 10 extension
+
+    Raises ValueError with the accepted grammar for anything else.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"scheme spec must be a non-empty string, got {spec!r}")
+    head, _, arg = spec.partition(":")
+    if head == "base_dram" and not arg:
+        return BaseDramScheme()
+    if head == "base_oram" and not arg:
+        return BaseOramScheme()
+    if head == "static":
+        try:
+            rate = int(arg)
+        except ValueError:
+            raise ValueError(f"scheme spec {spec!r}: static rate must be an integer")
+        return StaticScheme(rate)
+    if head == "dynamic":
+        n_rates, growth = _parse_rates_x_growth(arg, spec)
+        return dynamic(n_rates, growth)
+    if head == "oblivious_dram":
+        if not arg:
+            return ObliviousDramScheme()
+        n_rates, growth = _parse_rates_x_growth(arg, spec)
+        default = ObliviousDramScheme()
+        return ObliviousDramScheme(
+            rates=lg_spaced_rates(
+                n_rates, fastest=default.rates.fastest, slowest=default.rates.slowest
+            ),
+            schedule=sim_schedule(growth=growth),
+        )
+    raise ValueError(
+        f"unknown scheme spec {spec!r}; accepted forms: {', '.join(SCHEME_SPEC_FORMS)}"
+    )
+
+
 #: Section 9.1.6's five baselines plus the headline dynamic configuration.
 def paper_baselines() -> list:
     """The comparison set of Figure 6."""

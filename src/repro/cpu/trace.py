@@ -11,6 +11,7 @@ timing simulator needs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -69,6 +70,30 @@ class MemoryTrace:
     def n_instructions(self) -> int:
         """Total instructions: memory references plus the gaps between them."""
         return int(self.gap_instructions.sum()) + self.n_references
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the full trace content.
+
+        Hashes the reference arrays and every behavioural parameter, so two
+        traces that merely share a name and length hash differently.  Used
+        as the cache key for externally built traces (the old
+        ``(name, input, n_references)`` key conflated distinct traces).
+        """
+        hasher = hashlib.sha256()
+        hasher.update(np.ascontiguousarray(self.addresses).tobytes())
+        hasher.update(np.ascontiguousarray(self.is_store).tobytes())
+        hasher.update(np.ascontiguousarray(self.gap_instructions).tobytes())
+        hasher.update(
+            repr((
+                self.name,
+                self.input_name,
+                self.mix,
+                self.local_ref_fraction,
+                self.icache_footprint_bytes,
+                self.n_phases,
+            )).encode()
+        )
+        return hasher.hexdigest()
 
     def describe(self) -> str:
         """One-line trace summary."""

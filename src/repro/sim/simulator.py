@@ -5,11 +5,20 @@ expensive functional cache pass per benchmark, so sweeping many schemes
 over the same workload (Figures 5, 6, 8) costs one cache simulation plus
 one cheap timing replay per scheme — the two-phase structure described in
 DESIGN.md.
+
+Two cache layers exist:
+
+- an in-memory per-instance dict (``_miss_traces``), as before; and
+- an optional pluggable ``trace_store`` consulted on in-memory misses,
+  which lets the :mod:`repro.api` engine persist functional passes across
+  worker processes and sessions (see :class:`repro.api.cache.TraceCache`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.cache.hierarchy import HierarchyConfig, PAPER_HIERARCHY, simulate_hierarchy
 from repro.cpu.core import CoreModel, DEFAULT_CORE
@@ -17,6 +26,16 @@ from repro.cpu.trace import MemoryTrace, MissTrace
 from repro.sim.result import SimResult
 from repro.sim.timing import run_timing
 from repro.workloads.registry import build_trace
+
+
+class TraceStore(Protocol):
+    """Persistent miss-trace storage consulted on in-memory cache misses."""
+
+    def get(self, key: str) -> MissTrace | None: ...
+
+    def put(self, key: str, trace: MissTrace) -> None: ...
+
+    def has(self, key: str) -> bool: ...
 
 
 @dataclass
@@ -35,20 +54,94 @@ class SimConfig:
     write_buffer_entries: int = 8
     warmup_fraction: float = 0.30
 
+    def substrate_digest(self) -> str:
+        """Hex digest of every knob that changes the functional pass.
+
+        Keys persistent trace stores; both configs are frozen dataclasses
+        of plain numbers, so their reprs are stable and canonical.
+        """
+        payload = repr((
+            self.n_instructions,
+            self.seed,
+            self.hierarchy,
+            self.core,
+            self.warmup_fraction,
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
 
 class SecureProcessorSim:
-    """Simulator facade with per-benchmark miss-trace caching."""
+    """Simulator facade with per-benchmark miss-trace caching.
 
-    def __init__(self, config: SimConfig | None = None) -> None:
+    Args:
+        config: Simulation parameters.
+        trace_store: Optional persistent store (e.g. the api engine's
+            on-disk cache).  Consulted when the in-memory dict misses and
+            populated after each fresh functional pass.
+    """
+
+    def __init__(
+        self, config: SimConfig | None = None, trace_store: TraceStore | None = None
+    ) -> None:
         self.config = config or SimConfig()
+        self.trace_store = trace_store
         self._miss_traces: dict[tuple, MissTrace] = {}
+        #: (store id, key) pairs known to be present in that store.
+        self._synced: set[tuple[int, str]] = set()
+
+    def _store_key(self, *parts: object) -> str:
+        """Stable string key for the persistent store (config-qualified)."""
+        payload = repr(parts)
+        return hashlib.sha256(
+            (self.config.substrate_digest() + payload).encode()
+        ).hexdigest()
+
+    def _sync_store(self, store_key: str, trace: MissTrace) -> None:
+        """Backfill ``trace_store`` with an in-memory trace it lacks.
+
+        ``trace_store`` can be (re)attached after traces were computed —
+        e.g. the same process-local simulator serving engines with
+        different cache directories — so memory hits still propagate to
+        whichever store is current.  The sync marker keeps this to one
+        existence check per (store, key).
+        """
+        store = self.trace_store
+        if store is None:
+            return
+        marker = (id(store), store_key)
+        if marker in self._synced:
+            return
+        present = store.has(store_key) if hasattr(store, "has") else (
+            store.get(store_key) is not None
+        )
+        if not present:
+            store.put(store_key, trace)
+        self._synced.add(marker)
+
+    def _cached_pass(self, key: tuple, store_key: str, compute) -> MissTrace:
+        """Memory -> store -> compute lookup chain for functional passes."""
+        if key in self._miss_traces:
+            trace = self._miss_traces[key]
+            self._sync_store(store_key, trace)
+            return trace
+        trace = self.trace_store.get(store_key) if self.trace_store else None
+        if trace is None:
+            trace = compute()
+            if self.trace_store is not None:
+                self.trace_store.put(store_key, trace)
+                self._synced.add((id(self.trace_store), store_key))
+        else:
+            self._synced.add((id(self.trace_store), store_key))
+        self._miss_traces[key] = trace
+        return trace
 
     def miss_trace(
         self, benchmark: str, input_name: str | None = None
     ) -> MissTrace:
         """Functional cache pass for one benchmark (cached)."""
         key = (benchmark, input_name, self.config.n_instructions, self.config.seed)
-        if key not in self._miss_traces:
+
+        def compute() -> MissTrace:
             warmup = int(self.config.n_instructions * self.config.warmup_fraction)
             trace = build_trace(
                 benchmark,
@@ -56,26 +149,30 @@ class SecureProcessorSim:
                 n_instructions=self.config.n_instructions + warmup,
                 input_name=input_name,
             )
-            self._miss_traces[key] = simulate_hierarchy(
+            return simulate_hierarchy(
                 trace,
                 self.config.hierarchy,
                 self.config.core,
                 warmup_instructions=warmup,
             )
-        return self._miss_traces[key]
+
+        return self._cached_pass(key, self._store_key("workload", *key), compute)
 
     def miss_trace_for(self, trace: MemoryTrace) -> MissTrace:
         """Functional cache pass for an externally built trace (cached).
 
         External traces are replayed verbatim (no warmup prefix is added);
-        use :meth:`miss_trace` for registry benchmarks.
+        use :meth:`miss_trace` for registry benchmarks.  Cached by a
+        content digest of the trace, so distinct traces that happen to
+        share a name and reference count never collide.
         """
-        key = ("__external__", trace.name, trace.input_name, trace.n_references)
-        if key not in self._miss_traces:
-            self._miss_traces[key] = simulate_hierarchy(
-                trace, self.config.hierarchy, self.config.core
-            )
-        return self._miss_traces[key]
+        digest = trace.content_digest()
+        key = ("__external__", digest)
+
+        def compute() -> MissTrace:
+            return simulate_hierarchy(trace, self.config.hierarchy, self.config.core)
+
+        return self._cached_pass(key, self._store_key("external", digest), compute)
 
     def run(
         self,

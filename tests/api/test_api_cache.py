@@ -1,0 +1,74 @@
+"""Tests for the persistent trace/result caches."""
+
+import numpy as np
+
+from repro.api.cache import ExperimentCache, ResultCache, TraceCache, default_cache_dir
+from repro.cpu.trace import EnergyEvents, MissTrace
+from tests.api.conftest import build_record
+
+
+def tiny_miss_trace() -> MissTrace:
+    return MissTrace(
+        gap_cycles=np.array([10.0, 20.0]),
+        is_blocking=np.array([True, False]),
+        instruction_index=np.array([5, 15], dtype=np.int64),
+        total_compute_cycles=7.0,
+        n_instructions=20,
+        energy=EnergyEvents(n_instructions=20),
+        source_name="mcf",
+        source_input="inp",
+    )
+
+
+class TestTraceCache:
+    def test_miss_returns_none(self, tmp_path):
+        assert TraceCache(tmp_path).get("nothing") is None
+
+    def test_roundtrip(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.put("k", tiny_miss_trace())
+        loaded = cache.get("k")
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.gap_cycles, [10.0, 20.0])
+        assert loaded.source_name == "mcf"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.put("k", tiny_miss_trace())
+        (entry,) = tmp_path.glob("*.pkl")
+        entry.write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+
+    def test_entries_are_schema_versioned(self, tmp_path):
+        """Bumping CACHE_SCHEMA_VERSION must orphan trace entries too."""
+        cache = TraceCache(tmp_path)
+        cache.put("k", tiny_miss_trace())
+        (entry,) = tmp_path.glob("*.pkl")
+        assert entry.name.startswith("v")
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rec = build_record(epoch_rates=(10_000, 256))
+        cache.put("h", rec)
+        assert cache.get("h") == rec
+
+    def test_miss_and_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+
+class TestExperimentCache:
+    def test_layout_and_describe(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.traces.put("t", tiny_miss_trace())
+        cache.results.put("r", build_record())
+        assert cache.traces.root == tmp_path / "traces"
+        assert "1 traces, 1 results" in cache.describe()
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"

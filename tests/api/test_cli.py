@@ -1,0 +1,92 @@
+"""Smoke tests for the ``repro`` CLI (run in-process via main(argv))."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_prints_table(self, capsys):
+        code = main(["run", "mcf", "-s", "base_dram", "-s", "dynamic:4x4",
+                     "-n", "40000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "base_dram" in out
+        assert "dynamic_R4_E4" in out
+        assert "2 cells" in out
+
+    def test_bad_scheme_is_a_clean_error(self, capsys):
+        code = main(["run", "mcf", "-s", "bogus:1", "-n", "40000"])
+        assert code == 2
+        assert "accepted forms" in capsys.readouterr().err
+
+    def test_bad_benchmark_is_a_clean_error(self, capsys):
+        code = main(["run", "not_a_bench", "-n", "40000"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_with_cache_and_save(self, capsys, tmp_path):
+        save_path = tmp_path / "out.json"
+        argv = ["sweep", "--benchmarks", "mcf", "--schemes",
+                "base_dram,static:300", "-n", "40000",
+                "--cache-dir", str(tmp_path / "cache"), "--save", str(save_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cached, 2 run" in first
+        payload = json.loads(save_path.read_text())
+        assert len(payload["records"]) == 2
+        assert payload["spec"]["benchmarks"] == ["mcf"]
+
+        # Second invocation: fully cached.
+        assert main(argv) == 0
+        assert "2 cached, 0 run" in capsys.readouterr().out
+
+    def test_sweep_seeds_axis(self, capsys):
+        assert main(["sweep", "--benchmarks", "mcf", "--schemes", "base_dram",
+                     "--seeds", "0,1", "-n", "40000"]) == 0
+        assert "2 cells" in capsys.readouterr().out
+
+
+class TestListWorkloads:
+    def test_lists_registry(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mcf", "astar", "perlbench", "h264ref"):
+            assert name in out
+        assert "rivers" in out  # inputs column
+
+
+class TestLeakage:
+    def test_full_table(self, capsys):
+        assert main(["leakage"]) == 0
+        out = capsys.readouterr().out
+        assert "Leakage accounting" in out
+        assert "dynamic R4 E4" in out
+
+    def test_single_config_within_budget(self, capsys):
+        assert main(["leakage", "--rates", "4", "--growth", "4",
+                     "--budget", "32"]) == 0
+        assert "FITS" in capsys.readouterr().out
+
+    def test_single_config_over_budget_exits_nonzero(self, capsys):
+        assert main(["leakage", "--rates", "16", "--growth", "2",
+                     "--budget", "32"]) == 1
+        assert "EXCEEDED" in capsys.readouterr().out
+
+    def test_bare_budget_checks_default_config(self, capsys):
+        """--budget alone must gate on R4/E4, not silently print the table."""
+        assert main(["leakage", "--budget", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "R4 E4" in out and "FITS" in out
+        assert main(["leakage", "--budget", "16"]) == 1
+        assert "EXCEEDED" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,240 @@
+"""Tests for the engine: backend equivalence, caching, figure specs.
+
+The acceptance properties of the api subsystem live here:
+
+- ProcessPoolBackend produces a ResultSet byte-identical (after the
+  canonical row sort) to SerialBackend for the same spec;
+- a repeated sweep against a warm persistent cache re-runs zero
+  functional cache passes;
+- changing any result-determining spec field invalidates the cache.
+"""
+
+import pytest
+
+import repro.sim.simulator as simulator_module
+from repro.api.backends import ProcessPoolBackend, SerialBackend
+from repro.api.cache import ExperimentCache
+from repro.api.engine import Engine, run_spec
+from repro.api.spec import ExperimentSpec
+from repro.sim.simulator import SecureProcessorSim, SimConfig
+
+N_INSTRUCTIONS = 40_000
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        benchmarks=("mcf", "astar/rivers"),
+        schemes=("base_dram", "static:300", "dynamic:4x4"),
+        seeds=(0,),
+        n_instructions=N_INSTRUCTIONS,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture
+def count_functional_passes(monkeypatch):
+    """Counter around simulate_hierarchy as the simulator calls it."""
+    calls = {"n": 0}
+    real = simulator_module.simulate_hierarchy
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(simulator_module, "simulate_hierarchy", counting)
+    return calls
+
+
+class TestSerialEngine:
+    def test_runs_all_cells(self):
+        results = Engine().run(tiny_spec())
+        assert len(results) == 6
+        assert results.meta["cells_run"] == 6
+
+    def test_functional_pass_shared_across_schemes(self, count_functional_passes):
+        Engine().run(tiny_spec())
+        # 2 benchmarks, 3 schemes: one pass per benchmark, not per cell.
+        assert count_functional_passes["n"] == 2
+
+    def test_injected_sim_is_reused(self, count_functional_passes):
+        sim = SecureProcessorSim(SimConfig(n_instructions=N_INSTRUCTIONS, seed=0))
+        engine = Engine(backend=SerialBackend(sim=sim))
+        engine.run(tiny_spec())
+        assert count_functional_passes["n"] == 2
+        engine.run(tiny_spec())  # warm in-memory traces on the injected sim
+        assert count_functional_passes["n"] == 2
+
+    def test_mismatched_injected_sim_not_used(self):
+        sim = SecureProcessorSim(SimConfig(n_instructions=999, seed=9))
+        results = Engine(backend=SerialBackend(sim=sim)).run(tiny_spec())
+        # A wrong-config injected sim must not leak into the results: the
+        # records match a plain engine run of the same spec exactly.
+        assert results.records == Engine().run(tiny_spec()).records
+
+    def test_custom_substrate_honored_without_cache(self):
+        from repro.cache.hierarchy import HierarchyConfig
+
+        sim = SecureProcessorSim(SimConfig(
+            n_instructions=N_INSTRUCTIONS, seed=0,
+            hierarchy=HierarchyConfig(l2_bytes=128 * 1024, l2_ways=4),
+        ))
+        spec = tiny_spec(benchmarks=("hmmer",), schemes=("base_oram",))
+        custom = Engine(backend=SerialBackend(sim=sim)).run(spec)
+        default = Engine().run(spec)
+        # Legacy shim semantics: an uncached engine runs on the caller's
+        # substrate, so a much smaller LLC must change the result.
+        assert custom.get("hmmer", "base_oram").cycles != \
+            default.get("hmmer", "base_oram").cycles
+
+    def test_custom_substrate_bypassed_with_cache(self, tmp_path):
+        import warnings as warnings_module
+
+        from repro.cache.hierarchy import HierarchyConfig
+
+        sim = SecureProcessorSim(SimConfig(
+            n_instructions=N_INSTRUCTIONS, seed=0,
+            hierarchy=HierarchyConfig(l2_bytes=256 * 1024),
+        ))
+        engine = Engine(backend=SerialBackend(sim=sim),
+                        cache=ExperimentCache(tmp_path))
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            results = engine.run(tiny_spec())
+        # The cache's cell hashes assume the default substrate, so the
+        # custom sim is bypassed (with a warning) and records match a
+        # plain default run.
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        assert results.records == Engine().run(tiny_spec()).records
+
+    def test_injected_sim_populates_persistent_trace_cache(self, tmp_path):
+        sim = SecureProcessorSim(SimConfig(n_instructions=N_INSTRUCTIONS, seed=0))
+        cache = ExperimentCache(tmp_path)
+        Engine(backend=SerialBackend(sim=sim), cache=cache).run(tiny_spec())
+        assert len(list(cache.traces.root.glob("*.pkl"))) == 2
+
+    def test_two_engines_different_cache_dirs_do_not_cross_pollute(self, tmp_path):
+        spec = tiny_spec(benchmarks=("mcf",), schemes=("base_dram",))
+        cache_a = ExperimentCache(tmp_path / "a")
+        cache_b = ExperimentCache(tmp_path / "b")
+        Engine(cache=cache_a).run(spec)
+        Engine(cache=cache_b).run(spec, use_cache=False)
+        # The second engine's functional pass must land in its own cache,
+        # not keep writing to the first engine's store.
+        assert len(list(cache_a.traces.root.glob("*.pkl"))) == 1
+        assert len(list(cache_b.traces.root.glob("*.pkl"))) == 1
+
+    def test_timing_only_config_change_shares_functional_pass(
+        self, count_functional_passes
+    ):
+        spec = tiny_spec(benchmarks=("mcf",), schemes=("base_oram",))
+        Engine().run(spec)
+        Engine().run(tiny_spec(benchmarks=("mcf",), schemes=("base_oram",),
+                               write_buffer_entries=16))
+        # write_buffer_entries only affects the timing replay; the
+        # process-local trace store shares the functional pass.
+        assert count_functional_passes["n"] == 1
+
+
+class TestBackendEquivalence:
+    def test_pool_matches_serial_byte_identical(self, tmp_path):
+        spec = tiny_spec(seeds=(0, 1), n_windows=6)
+        serial = Engine().run(spec)
+        parallel = Engine(ProcessPoolBackend(max_workers=3)).run(spec)
+        assert serial.records == parallel.records
+        a, b = tmp_path / "serial.json", tmp_path / "parallel.json"
+        serial.save(a)
+        parallel.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_single_worker_pool_degrades_to_serial(self):
+        spec = tiny_spec()
+        assert Engine(ProcessPoolBackend(max_workers=1)).run(spec).records == \
+            Engine().run(spec).records
+
+    def test_run_spec_convenience(self, tmp_path):
+        results = run_spec(tiny_spec(), parallel=False, cache_dir=tmp_path / "c")
+        assert len(results) == 6
+
+
+class TestPersistentCache:
+    def test_warm_result_cache_runs_nothing(self, tmp_path, count_functional_passes):
+        engine = Engine(cache=ExperimentCache(tmp_path))
+        cold = engine.run(tiny_spec())
+        passes_after_cold = count_functional_passes["n"]
+        assert passes_after_cold == 2
+        assert cold.meta["cache_hits"] == 0
+
+        # A fresh engine and fresh process-local sims: everything must
+        # come from disk, with zero functional cache passes re-run.
+        from repro.api.execution import reset_local_sims
+
+        reset_local_sims()
+        warm_engine = Engine(cache=ExperimentCache(tmp_path))
+        warm = warm_engine.run(tiny_spec())
+        assert warm.meta == {"backend": "serial", "cells": 6,
+                             "cache_hits": 6, "cells_run": 0}
+        assert count_functional_passes["n"] == passes_after_cold
+        assert warm.records == cold.records
+
+    def test_warm_trace_cache_skips_functional_passes(
+        self, tmp_path, count_functional_passes
+    ):
+        cache = ExperimentCache(tmp_path)
+        cold = Engine(cache=cache).run(tiny_spec())
+        assert count_functional_passes["n"] == 2
+
+        # Drop cached *results* but keep traces: cells re-run, yet the
+        # functional passes all come from disk.
+        for entry in cache.results.root.glob("*.json"):
+            entry.unlink()
+        from repro.api.execution import reset_local_sims
+
+        reset_local_sims()
+        rerun = Engine(cache=cache).run(tiny_spec())
+        assert rerun.meta["cells_run"] == 6
+        assert count_functional_passes["n"] == 2
+        assert rerun.records == cold.records
+
+    def test_spec_change_invalidates(self, tmp_path):
+        engine = Engine(cache=ExperimentCache(tmp_path))
+        engine.run(tiny_spec())
+        changed = engine.run(tiny_spec(n_instructions=N_INSTRUCTIONS + 8))
+        assert changed.meta["cache_hits"] == 0
+        assert changed.meta["cells_run"] == 6
+        # Unchanged spec still fully cached afterwards.
+        assert engine.run(tiny_spec()).meta["cache_hits"] == 6
+
+    def test_use_cache_false_recomputes_but_persists(self, tmp_path):
+        engine = Engine(cache=ExperimentCache(tmp_path))
+        first = engine.run(tiny_spec())
+        forced = engine.run(tiny_spec(), use_cache=False)
+        assert forced.meta["cells_run"] == 6
+        assert forced.records == first.records
+
+    def test_parallel_workers_share_trace_cache(self, tmp_path):
+        spec = ExperimentSpec(
+            benchmarks=("mcf",),
+            schemes=("base_dram", "static:300", "static:1300", "dynamic:4x4"),
+            n_instructions=N_INSTRUCTIONS,
+        )
+        cache = ExperimentCache(tmp_path)
+        results = Engine(ProcessPoolBackend(max_workers=2), cache=cache).run(spec)
+        assert len(results) == 4
+        # Exactly one functional pass was persisted for the benchmark.
+        assert len(list(cache.traces.root.glob("*.pkl"))) == 1
+
+
+class TestWindows:
+    def test_windows_recorded_when_requested(self):
+        results = Engine().run(tiny_spec(n_windows=5, schemes=("dynamic:4x4",)))
+        record = results.get("mcf", "dynamic:4x4")
+        assert len(record.ipc_windows) == 5
+        assert len(record.access_windows) == 5
+        assert record.epoch_rates  # epochs always captured for dynamic
+
+    def test_no_windows_by_default(self):
+        results = Engine().run(tiny_spec(schemes=("dynamic:4x4",)))
+        record = results.get("mcf", "dynamic:4x4")
+        assert record.ipc_windows == ()
+        assert record.epoch_rates  # cheap scalars still captured

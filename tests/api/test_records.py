@@ -1,0 +1,97 @@
+"""Tests for RunRecord/ResultSet containers and persistence."""
+
+import math
+
+import pytest
+
+from repro.api.records import ResultSet, RunRecord
+from repro.api.spec import ExperimentSpec
+from tests.api.conftest import build_record
+
+
+class TestRunRecord:
+    def test_derived_properties(self):
+        r = build_record(epoch_rates=(10_000, 256))
+        assert r.total_accesses == 100
+        assert r.final_rate == 256
+        assert build_record().final_rate is None
+
+    def test_dict_roundtrip(self):
+        r = build_record(epoch_rates=(1, 2), ipc_windows=(0.5, 0.25))
+        again = RunRecord.from_dict(r.to_dict())
+        assert again == r
+
+    def test_infinity_survives_roundtrip(self):
+        r = build_record(oram_timing_leakage_bits=float("inf"))
+        assert math.isinf(RunRecord.from_dict(r.to_dict()).oram_timing_leakage_bits)
+
+    def test_saved_json_is_strict_rfc8259(self, tmp_path):
+        """Unbounded leakage must serialize as a string, never as the
+        Python-only bare ``Infinity`` token that strict parsers reject."""
+        rs = ResultSet(records=(
+            build_record(oram_timing_leakage_bits=float("inf")),
+        ))
+        path = tmp_path / "strict.json"
+        rs.save(path)
+        text = path.read_text()
+        assert "Infinity" not in text
+        assert math.isinf(ResultSet.load(path).records[0].oram_timing_leakage_bits)
+
+
+@pytest.fixture
+def result_set() -> ResultSet:
+    return ResultSet(records=(
+        build_record("mcf", scheme="dynamic:4x4", cycles=2000.0),
+        build_record("mcf", scheme="base_dram", cycles=1000.0),
+        build_record("astar", input_name="rivers", scheme="base_dram", cycles=500.0),
+        build_record("astar", input_name="rivers", scheme="dynamic:4x4", cycles=1500.0),
+    ))
+
+
+class TestResultSet:
+    def test_sorted_on_construction(self, result_set):
+        assert [r.benchmark for r in result_set] == ["astar", "astar", "mcf", "mcf"]
+
+    def test_select_by_scheme_name_or_spec(self, result_set):
+        assert len(result_set.select(scheme="dynamic:4x4")) == 2
+        assert len(result_set.select(scheme="dynamic_R4_E4")) == 2
+
+    def test_select_combined_benchmark(self, result_set):
+        assert len(result_set.select(benchmark="astar/rivers")) == 2
+
+    def test_get_requires_unique(self, result_set):
+        assert result_set.get("mcf", "base_dram").cycles == 1000.0
+        with pytest.raises(KeyError):
+            result_set.get("mcf", "nope")
+
+    def test_overhead_and_means(self, result_set):
+        assert result_set.overhead("mcf", "dynamic:4x4") == 2.0
+        assert result_set.overhead("astar", "dynamic:4x4") == 3.0
+        assert result_set.mean_overhead("dynamic:4x4") == 2.5
+        assert result_set.mean_power("base_dram") == 0.5
+
+    def test_to_rows_scalars_only(self, result_set):
+        rows = result_set.to_rows()
+        assert len(rows) == 4
+        assert "ipc_windows" not in rows[0]
+        assert rows[0]["total_accesses"] == 100
+
+    def test_render(self, result_set):
+        text = result_set.render(title="t")
+        assert "dynamic_R4_E4" in text
+        assert "2.00" in text  # mcf overhead column
+
+    def test_save_load_roundtrip(self, result_set, tmp_path):
+        spec = ExperimentSpec(benchmarks=("mcf",), schemes=("base_dram",),
+                              n_instructions=1000)
+        rs = ResultSet(records=result_set.records, spec=spec,
+                       meta={"volatile": True})
+        path = tmp_path / "results.json"
+        rs.save(path)
+        again = ResultSet.load(path)
+        assert again.records == rs.records
+        assert again.spec == spec
+        assert again.meta == {}  # meta is volatile, never persisted
+
+    def test_schemes_listing(self, result_set):
+        assert result_set.schemes() == ["base_dram", "dynamic_R4_E4"]

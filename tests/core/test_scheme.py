@@ -12,9 +12,11 @@ from repro.core.scheme import (
     BaseDramScheme,
     BaseOramScheme,
     DynamicScheme,
+    ObliviousDramScheme,
     StaticScheme,
     dynamic,
     paper_baselines,
+    scheme_from_spec,
 )
 
 
@@ -101,3 +103,35 @@ class TestValidation:
             "base_dram", "base_oram", "dynamic_R4_E4",
             "static_300", "static_500", "static_1300",
         }
+
+
+class TestSchemeFromSpec:
+    def test_baselines(self):
+        assert isinstance(scheme_from_spec("base_dram"), BaseDramScheme)
+        assert isinstance(scheme_from_spec("base_oram"), BaseOramScheme)
+
+    def test_static(self):
+        scheme = scheme_from_spec("static:300")
+        assert isinstance(scheme, StaticScheme)
+        assert scheme.rate == 300
+
+    def test_dynamic_matches_builder(self):
+        assert scheme_from_spec("dynamic:4x4") == dynamic(4, 4)
+        assert scheme_from_spec("dynamic:16x2").name == "dynamic_R16_E2"
+
+    def test_oblivious_dram(self):
+        assert scheme_from_spec("oblivious_dram") == ObliviousDramScheme()
+        parsed = scheme_from_spec("oblivious_dram:2x4")
+        assert len(parsed.rates) == 2
+        assert parsed.schedule.growth == 4
+        assert parsed.rates.fastest == ObliviousDramScheme().rates.fastest
+
+    def test_rejects_unknown_and_malformed(self):
+        for bad in ("", "warp", "static:", "static:abc", "dynamic:4",
+                    "dynamic:4x1", "dynamic:0x4", "base_dram:40"):
+            with pytest.raises(ValueError):
+                scheme_from_spec(bad)
+
+    def test_error_lists_grammar(self):
+        with pytest.raises(ValueError, match="accepted forms"):
+            scheme_from_spec("nope")

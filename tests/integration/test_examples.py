@@ -65,3 +65,9 @@ class TestExamples:
         out = run_example("leakage_guard.py", capsys)
         assert "CHIP HALTED" in out
         assert "pinned rate" in out
+
+    def test_parallel_sweep(self, capsys, tmp_path):
+        out = run_example("parallel_sweep.py", capsys, argv=[str(tmp_path / "cache")])
+        assert "serial backend matches pool: True" in out
+        assert "warm cache matches cold run: True" in out
+        assert "48 hits, 0 run" in out

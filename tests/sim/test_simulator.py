@@ -43,6 +43,68 @@ class TestExternalTraces:
         result = shared_sim.run_trace(trace, BaseOramScheme())
         assert result.controller.real_accesses >= 2
 
+    def test_same_name_and_length_do_not_collide(self, shared_sim):
+        """Distinct traces sharing (name, input, n_references) must not
+        alias in the cache — keys are content digests, not labels."""
+        from repro.workloads.malicious import build_p1_trace
+
+        import numpy as np
+
+        low_high = build_p1_trace([0, 1])
+        high_low = build_p1_trace([1, 0])
+        assert low_high.name == high_low.name
+        assert low_high.input_name == high_low.input_name
+        assert low_high.n_references == high_low.n_references
+        assert low_high.content_digest() != high_low.content_digest()
+        miss_a = shared_sim.miss_trace_for(low_high)
+        miss_b = shared_sim.miss_trace_for(high_low)
+        assert miss_a is not miss_b
+        # The wait-then-load trace places its miss later in the program
+        # than load-then-wait, so the request positions must differ.
+        assert not np.array_equal(miss_a.instruction_index, miss_b.instruction_index)
+
+    def test_content_digest_stable(self):
+        from repro.workloads.malicious import build_p1_trace
+
+        assert (build_p1_trace([0, 1]).content_digest()
+                == build_p1_trace([0, 1]).content_digest())
+
+
+class TestTraceStore:
+    class RecordingStore:
+        def __init__(self):
+            self.entries = {}
+            self.gets = 0
+
+        def get(self, key):
+            self.gets += 1
+            return self.entries.get(key)
+
+        def put(self, key, trace):
+            self.entries[key] = trace
+
+    def test_store_populated_and_consulted(self):
+        store = self.RecordingStore()
+        config = SimConfig(n_instructions=50_000, seed=5)
+        first = SecureProcessorSim(config, trace_store=store)
+        trace = first.miss_trace("mcf")
+        assert len(store.entries) == 1
+
+        # A fresh simulator (empty in-memory cache) hits the store and
+        # never recomputes.
+        second = SecureProcessorSim(config, trace_store=store)
+        assert second.miss_trace("mcf") is trace
+
+    def test_store_key_depends_on_config(self):
+        store = self.RecordingStore()
+        SecureProcessorSim(
+            SimConfig(n_instructions=50_000, seed=5), trace_store=store
+        ).miss_trace("mcf")
+        SecureProcessorSim(
+            SimConfig(n_instructions=50_000, seed=6), trace_store=store
+        ).miss_trace("mcf")
+        assert len(store.entries) == 2
+
 
 class TestWarmupConfig:
     def test_warmup_reduces_requests(self):
