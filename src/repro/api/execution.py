@@ -12,6 +12,15 @@ Determinism: a cell's result is a pure function of its fields.  Workload
 generation draws from ``make_rng(seed, name)`` streams, the timing replay
 is event-driven, and no global RNG state is consulted, so the serial and
 pool backends produce identical records for identical cells.
+
+Kernels: engine cells run on the vectorized fast paths (the default
+``SimConfig(kernel_mode="fast")``).  Because the fast kernels are
+byte-identical to the scalar reference (see DESIGN.md "Performance"),
+the kernel choice is *not* part of a cell's content hash — cached
+records and persisted traces stay valid across kernels.  Sweep cells
+default to aggregates-only (``record_requests=False`` on the spec):
+per-request arrays are recorded only when a cell asks for them or needs
+windowed series.
 """
 
 from __future__ import annotations

@@ -1,7 +1,18 @@
-"""Cache substrate: set-associative caches, inclusive hierarchy, write buffer."""
+"""Cache substrate: set-associative caches, inclusive hierarchy, write buffer.
+
+The hierarchy pass ships as a kernel pair: ``simulate_hierarchy`` runs
+the vectorized kernel (:mod:`repro.cache.vectorized`) by default, and
+``simulate_hierarchy_reference`` is the scalar oracle it is
+byte-equivalent to.
+"""
 
 from repro.cache.cache import CacheStats, EvictedLine, SetAssociativeCache
-from repro.cache.hierarchy import HierarchyConfig, PAPER_HIERARCHY, simulate_hierarchy
+from repro.cache.hierarchy import (
+    HierarchyConfig,
+    PAPER_HIERARCHY,
+    simulate_hierarchy,
+    simulate_hierarchy_reference,
+)
 from repro.cache.replacement import (
     FIFOPolicy,
     LRUPolicy,
@@ -18,6 +29,7 @@ __all__ = [
     "HierarchyConfig",
     "PAPER_HIERARCHY",
     "simulate_hierarchy",
+    "simulate_hierarchy_reference",
     "FIFOPolicy",
     "LRUPolicy",
     "POLICIES",

@@ -60,8 +60,40 @@ def simulate_hierarchy(
     config: HierarchyConfig | None = None,
     core: CoreModel | None = None,
     warmup_instructions: int = 0,
+    mode: str = "fast",
 ) -> MissTrace:
     """Reduce a memory trace to its LLC request stream.
+
+    ``mode`` selects the kernel: ``"fast"`` (default) runs the
+    vectorized pass in :mod:`repro.cache.vectorized`; ``"reference"``
+    runs the scalar oracle loop below.  The two are bit-identical (the
+    equivalence suite in ``tests/cache/test_vectorized_equivalence.py``
+    enforces it), so the choice only affects speed.
+    """
+    if config is None:
+        config = PAPER_HIERARCHY
+    if core is None:
+        core = DEFAULT_CORE
+    if mode == "fast":
+        from repro.cache.vectorized import hierarchy_pass_vectorized
+
+        return hierarchy_pass_vectorized(
+            trace, config, core, warmup_instructions=warmup_instructions
+        )
+    if mode != "reference":
+        raise ValueError(f"mode must be 'fast' or 'reference', got {mode!r}")
+    return simulate_hierarchy_reference(
+        trace, config, core, warmup_instructions=warmup_instructions
+    )
+
+
+def simulate_hierarchy_reference(
+    trace: MemoryTrace,
+    config: HierarchyConfig | None = None,
+    core: CoreModel | None = None,
+    warmup_instructions: int = 0,
+) -> MissTrace:
+    """The scalar reference pass (oracle for the vectorized kernel).
 
     Returns a :class:`MissTrace` whose requests are, in program order:
     load-miss fetches (blocking), store-miss fetches (non-blocking,

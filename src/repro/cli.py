@@ -9,6 +9,10 @@ Installed as the ``repro`` console script and runnable as
 - ``list-workloads`` — the workload registry with inputs and categories.
 - ``leakage`` — the paper's leakage accounting, or the bound for one
   (|R|, growth) configuration against an optional bit budget.
+- ``perf`` — the kernel microbenchmark suite: times the functional cache
+  pass and the timing replay (fast vs reference, byte-equivalence
+  checked) plus an end-to-end sweep, writes ``BENCH_perf.json``, and can
+  gate against / refresh ``benchmarks/baselines.json``.
 """
 
 from __future__ import annotations
@@ -147,6 +151,45 @@ def _cmd_leakage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_perf_suite
+    from repro.perf.report import (
+        check_against_baseline,
+        load_baseline,
+        save_report,
+        write_baseline,
+    )
+
+    report = run_perf_suite(quick=args.quick, repeats=args.repeats)
+    print(report.render())
+    if args.out:
+        save_report(report, args.out)
+        print(f"\nreport written to {args.out}")
+    if args.update_baseline:
+        if not report.all_equivalent:
+            print(
+                "\nrefusing to update baseline: fast kernels diverge from "
+                "reference (fix the correctness bug first)",
+                file=sys.stderr,
+            )
+            return 1
+        write_baseline(report, args.update_baseline)
+        print(f"baseline updated at {args.update_baseline}")
+        return 0
+    if args.check_baseline:
+        failures = check_against_baseline(report, load_baseline(args.check_baseline))
+        if failures:
+            print(f"\nPERF GATE FAILED against {args.check_baseline}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"\nperf gate passed against {args.check_baseline}")
+    elif not report.all_equivalent:
+        print("\nPERF GATE FAILED: fast kernels diverge from reference", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -191,6 +234,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="bit budget; exit 1 if the configuration (default R4/E4) exceeds it",
     )
     leakage.set_defaults(func=_cmd_leakage)
+
+    perf = sub.add_parser(
+        "perf",
+        help="kernel microbenchmarks: functional pass, timing replay, sweep",
+    )
+    perf.add_argument(
+        "--quick", action="store_true",
+        help="reduced instruction budget and repeats (CI mode)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of-N timing repeats (default: 3 quick, 5 full)",
+    )
+    perf.add_argument(
+        "--out", default="BENCH_perf.json", metavar="PATH",
+        help='write the JSON report here (default "BENCH_perf.json"; "" to skip)',
+    )
+    perf.add_argument(
+        "--check-baseline", default=None, metavar="PATH",
+        help="fail (exit 1) on regression against this baselines.json",
+    )
+    perf.add_argument(
+        "--update-baseline", default=None, metavar="PATH",
+        help="rewrite this baselines.json from the fresh measurements",
+    )
+    perf.set_defaults(func=_cmd_perf)
 
     return parser
 

@@ -54,6 +54,15 @@ class MemoryTrace:
     n_phases: int = 1
 
     def __post_init__(self) -> None:
+        # Canonical array backing: the vectorized kernels index these with
+        # array ops and rely on fixed dtypes/contiguity, so coerce once at
+        # construction instead of per consumer.  No-op (no copy) when the
+        # arrays already match.
+        self.addresses = np.ascontiguousarray(self.addresses, dtype=np.uint64)
+        self.is_store = np.ascontiguousarray(self.is_store, dtype=bool)
+        self.gap_instructions = np.ascontiguousarray(
+            self.gap_instructions, dtype=np.int64
+        )
         n = len(self.addresses)
         if len(self.is_store) != n or len(self.gap_instructions) != n:
             raise ValueError(
@@ -133,6 +142,36 @@ class MissTrace:
     energy: "EnergyEvents"
     source_name: str = ""
     source_input: str = ""
+
+    def __post_init__(self) -> None:
+        # Canonical array backing, mirroring MemoryTrace: downstream
+        # kernels and byte-equivalence checks rely on these exact dtypes.
+        self.gap_cycles = np.ascontiguousarray(self.gap_cycles, dtype=np.float64)
+        self.is_blocking = np.ascontiguousarray(self.is_blocking, dtype=bool)
+        self.instruction_index = np.ascontiguousarray(
+            self.instruction_index, dtype=np.int64
+        )
+
+    def checksum(self) -> str:
+        """Hex digest over every field of the trace.
+
+        Byte-exact: two MissTraces agree on this checksum iff their
+        request arrays are bit-identical and their scalar accounting is
+        equal — the equivalence contract between the scalar reference
+        pass and the vectorized kernel, as verified by ``repro perf``.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.gap_cycles.tobytes())
+        hasher.update(self.is_blocking.tobytes())
+        hasher.update(self.instruction_index.tobytes())
+        hasher.update(repr((
+            self.total_compute_cycles,
+            self.n_instructions,
+            self.energy,
+            self.source_name,
+            self.source_input,
+        )).encode())
+        return hasher.hexdigest()
 
     @property
     def n_requests(self) -> int:

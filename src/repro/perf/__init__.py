@@ -1,0 +1,33 @@
+"""Performance tracking: microbenchmarks, reports, and baseline gating.
+
+``python -m repro perf`` times the repository's two hot kernels — the
+functional cache pass and the timing replay — plus an end-to-end engine
+sweep, on pinned deterministic workloads.  Every timed fast-path run is
+byte-equivalence-checked against the scalar reference path, so a perf
+report doubles as a correctness certificate for the vectorized kernels.
+
+Reports serialize to ``BENCH_perf.json``; :func:`check_against_baseline`
+gates a report against the committed ``benchmarks/baselines.json`` (CI
+fails on throughput regressions beyond the tolerance, broken
+equivalence, or a functional-pass speedup below the floor).
+"""
+
+from repro.perf.bench import (
+    PERF_WORKLOADS,
+    build_perf_trace,
+    run_perf_suite,
+)
+from repro.perf.report import (
+    check_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "PERF_WORKLOADS",
+    "build_perf_trace",
+    "run_perf_suite",
+    "check_against_baseline",
+    "load_baseline",
+    "write_baseline",
+]

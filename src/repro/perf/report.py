@@ -1,0 +1,142 @@
+"""Perf report serialization and baseline gating.
+
+``benchmarks/baselines.json`` freezes the throughput of each pinned
+microbenchmark.  :func:`check_against_baseline` compares a fresh
+:class:`~repro.perf.bench.PerfReport` against it and returns the list of
+failures; CI fails the perf job when that list is non-empty.
+
+Gating rules:
+
+* every fast-path measurement must be byte-equivalent to its reference
+  (a mismatch is a correctness bug, never tolerated);
+* throughput must stay within ``tolerance`` (default 30%) of the
+  committed baseline, metric by metric;
+* the functional-pass speedup on the headline workload must stay above
+  ``min_functional_speedup``.
+
+Updating the baseline after an intentional change:
+
+    python -m repro perf --update-baseline benchmarks/baselines.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.perf.bench import PerfReport
+
+#: Throughput may drop at most this fraction below baseline before CI fails.
+DEFAULT_TOLERANCE = 0.30
+
+#: The headline functional-pass workload and its required speedup.
+HEADLINE_WORKLOAD = "kernel_stream"
+DEFAULT_MIN_SPEEDUP = 5.0
+
+
+def save_report(report: PerfReport, path: str | Path) -> None:
+    """Write a report as pretty-printed JSON (BENCH_perf.json)."""
+    Path(path).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+
+
+def report_to_baseline(report: PerfReport) -> dict:
+    """Distill a report into the committed baseline payload."""
+    return {
+        "tolerance": DEFAULT_TOLERANCE,
+        "min_functional_speedup": DEFAULT_MIN_SPEEDUP,
+        "headline_workload": HEADLINE_WORKLOAD,
+        "functional": {
+            b.workload: {
+                "refs_per_sec": round(b.refs_per_sec_fast),
+                "speedup": round(b.speedup, 2),
+            }
+            for b in report.functional
+        },
+        "timing": {
+            f"{b.workload}/{b.scheme}": {
+                "requests_per_sec": round(b.requests_per_sec_fast),
+                "speedup": round(b.speedup, 2),
+            }
+            for b in report.timing
+        },
+        "sweep": {"cells_per_sec": round(report.sweep.cells_per_sec, 2)}
+        if report.sweep
+        else {},
+    }
+
+
+def write_baseline(report: PerfReport, path: str | Path) -> None:
+    """Write ``benchmarks/baselines.json`` from a fresh report."""
+    Path(path).write_text(json.dumps(report_to_baseline(report), indent=2) + "\n")
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Load a committed baseline file."""
+    return json.loads(Path(path).read_text())
+
+
+def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
+    """Compare a report against a baseline; return failure descriptions.
+
+    Empty list == gate passes.
+    """
+    failures: list[str] = []
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    floor = 1.0 - tolerance
+
+    for bench in report.functional:
+        if not bench.equivalent:
+            failures.append(
+                f"functional[{bench.workload}]: fast kernel output diverges "
+                "from the scalar reference (correctness bug)"
+            )
+    for bench in report.timing:
+        if not bench.equivalent:
+            failures.append(
+                f"timing[{bench.workload}/{bench.scheme}]: fast replay "
+                "diverges from the reference (correctness bug)"
+            )
+
+    for bench in report.functional:
+        base = baseline.get("functional", {}).get(bench.workload)
+        if base is None:
+            continue
+        required = base["refs_per_sec"] * floor
+        if bench.refs_per_sec_fast < required:
+            failures.append(
+                f"functional[{bench.workload}]: {bench.refs_per_sec_fast:,.0f} refs/s "
+                f"is more than {tolerance:.0%} below baseline "
+                f"{base['refs_per_sec']:,} refs/s"
+            )
+    for bench in report.timing:
+        key = f"{bench.workload}/{bench.scheme}"
+        base = baseline.get("timing", {}).get(key)
+        if base is None:
+            continue
+        required = base["requests_per_sec"] * floor
+        if bench.requests_per_sec_fast < required:
+            failures.append(
+                f"timing[{key}]: {bench.requests_per_sec_fast:,.0f} req/s is more "
+                f"than {tolerance:.0%} below baseline {base['requests_per_sec']:,} req/s"
+            )
+
+    sweep_base = baseline.get("sweep", {}).get("cells_per_sec")
+    if sweep_base is not None and report.sweep is not None:
+        if report.sweep.cells_per_sec < sweep_base * floor:
+            failures.append(
+                f"sweep: {report.sweep.cells_per_sec:.2f} cells/s is more than "
+                f"{tolerance:.0%} below baseline {sweep_base} cells/s"
+            )
+
+    min_speedup = float(baseline.get("min_functional_speedup", 0.0))
+    headline = baseline.get("headline_workload", HEADLINE_WORKLOAD)
+    if min_speedup > 0:
+        measured = report.functional_speedup(headline)
+        if measured is None:
+            failures.append(f"functional[{headline}]: headline workload not measured")
+        elif measured < min_speedup:
+            failures.append(
+                f"functional[{headline}]: speedup {measured:.1f}x is below the "
+                f"required {min_speedup:.1f}x floor"
+            )
+    return failures

@@ -53,12 +53,19 @@ class SimConfig:
     core: CoreModel = field(default_factory=lambda: DEFAULT_CORE)
     write_buffer_entries: int = 8
     warmup_fraction: float = 0.30
+    #: Kernel selection for the functional pass and timing replay:
+    #: ``"fast"`` (vectorized) or ``"reference"`` (scalar oracle).  The
+    #: two are bit-identical, so this knob is deliberately *excluded*
+    #: from :meth:`substrate_digest` — cached traces are valid across
+    #: kernels.
+    kernel_mode: str = "fast"
 
     def substrate_digest(self) -> str:
         """Hex digest of every knob that changes the functional pass.
 
         Keys persistent trace stores; both configs are frozen dataclasses
         of plain numbers, so their reprs are stable and canonical.
+        ``kernel_mode`` is excluded: kernels are bit-identical.
         """
         payload = repr((
             self.n_instructions,
@@ -154,6 +161,7 @@ class SecureProcessorSim:
                 self.config.hierarchy,
                 self.config.core,
                 warmup_instructions=warmup,
+                mode=self.config.kernel_mode,
             )
 
         return self._cached_pass(key, self._store_key("workload", *key), compute)
@@ -170,7 +178,10 @@ class SecureProcessorSim:
         key = ("__external__", digest)
 
         def compute() -> MissTrace:
-            return simulate_hierarchy(trace, self.config.hierarchy, self.config.core)
+            return simulate_hierarchy(
+                trace, self.config.hierarchy, self.config.core,
+                mode=self.config.kernel_mode,
+            )
 
         return self._cached_pass(key, self._store_key("external", digest), compute)
 
@@ -188,6 +199,7 @@ class SecureProcessorSim:
             scheme,
             write_buffer_entries=self.config.write_buffer_entries,
             record_requests=record_requests,
+            mode=self.config.kernel_mode,
         )
 
     def run_trace(self, trace: MemoryTrace, scheme, record_requests: bool = True) -> SimResult:
@@ -198,6 +210,7 @@ class SecureProcessorSim:
             scheme,
             write_buffer_entries=self.config.write_buffer_entries,
             record_requests=record_requests,
+            mode=self.config.kernel_mode,
         )
 
     def sweep(
@@ -205,9 +218,21 @@ class SecureProcessorSim:
         benchmark: str,
         schemes: list,
         input_name: str | None = None,
+        record_requests: bool = False,
     ) -> dict[str, SimResult]:
-        """Run several schemes over one benchmark (shared functional pass)."""
+        """Run several schemes over one benchmark (shared functional pass).
+
+        ``record_requests`` defaults to aggregates-only: sweeps fan one
+        functional pass out across many schemes, and recording the full
+        per-request arrays for every scheme multiplies memory by the
+        sweep width for data most callers never read.  Pass ``True`` to
+        keep the per-request completion/instruction arrays on each
+        result.
+        """
         return {
-            scheme.name: self.run(benchmark, scheme, input_name=input_name)
+            scheme.name: self.run(
+                benchmark, scheme, input_name=input_name,
+                record_requests=record_requests,
+            )
             for scheme in schemes
         }

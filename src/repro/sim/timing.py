@@ -17,13 +17,43 @@ scheme.  The machine model:
   :class:`~repro.core.controller.UnprotectedController` (base_oram), or
   :class:`~repro.core.controller.TimingProtectedController`
   (static/dynamic) — the latter inserts dummy accesses and rate waits.
+
+Two replay kernels produce **bit-identical** :class:`SimResult`\\ s:
+
+* ``mode="reference"`` — the original scalar loop calling
+  ``controller.serve`` once per request (and, for slot controllers, once
+  per *dummy slot* inside ``_advance``).
+* ``mode="fast"`` (default) — per-controller kernels that do the same
+  arithmetic in bulk.  ``base_dram`` replays as a handful of numpy array
+  ops (the interleaved gap/latency ``np.cumsum`` reproduces the scalar
+  ``+=`` chain exactly, because cumsum is a sequential recurrence) with a
+  vectorized write-buffer-stall check and a reference fallback on the
+  rare full-buffer stall.  Slot controllers (static/dynamic) keep the
+  per-request loop but replace the per-dummy-slot ``_advance`` iteration
+  with closed-form integer slot arithmetic per idle window — the
+  controller timeline never depends on fractional arrival times, only on
+  comparisons against them, so the whole slot/dummy/epoch state machine
+  runs on exact Python integers whose float images match the reference's
+  accumulated floats bit for bit.
+
+``record_observable_trace`` runs always use the reference kernel: the
+adversary-view trace wants one append per access, which is exactly the
+per-event work the fast kernels eliminate.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.cache.write_buffer import WriteBuffer
+from repro.core.controller import (
+    EpochRecord,
+    FlatDramController,
+    TimingProtectedController,
+    UnprotectedController,
+)
 from repro.cpu.trace import MissTrace
 from repro.power.coefficients import PAPER_COEFFICIENTS
 from repro.power.model import (
@@ -40,6 +70,7 @@ def run_timing(
     write_buffer_entries: int = 8,
     record_requests: bool = True,
     record_observable_trace: bool = False,
+    mode: str = "fast",
 ) -> SimResult:
     """Replay ``miss_trace`` under ``scheme``; return the full result.
 
@@ -49,9 +80,49 @@ def run_timing(
     With ``record_observable_trace``, the result carries the start time of
     every memory access an adversary can observe — including dummies for
     slot-enforced schemes (the Section 4.2 capability).
+
+    ``mode`` selects the replay kernel (``"fast"``/``"reference"``); both
+    are bit-identical, enforced by
+    ``tests/sim/test_timing_equivalence.py``.
     """
+    if mode not in ("fast", "reference"):
+        raise ValueError(f"mode must be 'fast' or 'reference', got {mode!r}")
     controller = scheme.build_controller()
     controller.record_trace = record_observable_trace
+    if mode == "fast" and not record_observable_trace:
+        if type(controller) is FlatDramController:
+            replay = _replay_flat_dram(
+                miss_trace, controller, write_buffer_entries, record_requests
+            )
+            if replay is not None:
+                return _finish(miss_trace, scheme, controller, *replay)
+            # Rare full-buffer stall: fall through to the reference loop.
+        elif type(controller) is UnprotectedController:
+            replay = _replay_unprotected(
+                miss_trace, controller, write_buffer_entries, record_requests
+            )
+            return _finish(miss_trace, scheme, controller, *replay)
+        elif type(controller) is TimingProtectedController:
+            replay = _replay_slotted(
+                miss_trace, controller, write_buffer_entries, record_requests
+            )
+            return _finish(miss_trace, scheme, controller, *replay)
+        # Unknown controller types replay through the reference loop.
+    return _replay_reference(
+        miss_trace, scheme, controller, write_buffer_entries,
+        record_requests, record_observable_trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference kernel
+# ----------------------------------------------------------------------
+
+def _replay_reference(
+    miss_trace, scheme, controller, write_buffer_entries,
+    record_requests, record_observable_trace,
+) -> SimResult:
+    """The original scalar replay: one ``serve`` call per request."""
     buffer = WriteBuffer(entries=write_buffer_entries)
 
     gaps = miss_trace.gap_cycles
@@ -79,7 +150,275 @@ def run_timing(
     end_time = max(end_time, buffer.drain_all())
     controller.finalize(end_time)
 
-    cycles = max(end_time, 1.0)
+    return _build_result(
+        miss_trace, scheme, controller, end_time, completions,
+        record_requests, record_observable_trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fast kernels
+# ----------------------------------------------------------------------
+
+def _replay_flat_dram(miss_trace, controller, entries, record_requests):
+    """Vectorized base_dram replay; ``None`` if the write buffer stalls.
+
+    The scalar recurrence is ``core += gap`` then, for blocking requests,
+    ``core += latency`` (the admit path returns ``now`` when the buffer
+    never fills).  Interleaving those terms and taking ``np.cumsum`` —
+    a sequential recurrence — reproduces the float chain exactly.
+    """
+    gaps = miss_trace.gap_cycles
+    blocking = miss_trace.is_blocking
+    n = len(gaps)
+    latency = controller.latency
+    if n == 0:
+        controller.stats.real_accesses = 0
+        end_time = 0.0 + miss_trace.total_compute_cycles
+        end_time = max(end_time, 0.0)
+        return end_time, (np.zeros(0) if record_requests else None)
+
+    inter = np.empty(2 * n)
+    inter[0::2] = gaps
+    inter[1::2] = np.where(blocking, float(latency), 0.0)
+    prefix = np.cumsum(inter)
+    issues = prefix[0::2]
+    core_after = prefix[1::2]
+    completions = issues + latency
+
+    nb = completions[~blocking]
+    if len(nb) > entries:
+        # k-th non-blocking admit stalls iff the (k - entries)-th is
+        # still in flight at its issue time.
+        if (nb[:-entries] > issues[~blocking][entries:]).any():
+            return None  # reference fallback
+
+    controller.stats.real_accesses = n
+    core_end = float(core_after[-1])
+    end_time = core_end + miss_trace.total_compute_cycles
+    drain = float(nb[-1]) if len(nb) else 0.0
+    end_time = max(end_time, drain)
+    return end_time, (completions if record_requests else None)
+
+
+def _replay_unprotected(miss_trace, controller, entries, record_requests):
+    """Lean base_oram replay: single-ported ORAM, no slots, no dummies."""
+    gaps = miss_trace.gap_cycles.tolist()
+    blocking = miss_trace.is_blocking.tolist()
+    n = len(gaps)
+    latency = controller.latency
+    completions = np.zeros(n, dtype=np.float64) if record_requests else None
+
+    core = 0.0
+    prev = 0.0
+    real = 0
+    buffer: deque = deque()
+    buf_pop = buffer.popleft
+    buf_push = buffer.append
+
+    for i in range(n):
+        issue = core + gaps[i]
+        start = issue if issue > prev else prev
+        completion = start + latency
+        prev = completion
+        real += 1
+        if blocking[i]:
+            core = completion
+        else:
+            while buffer and buffer[0] <= issue:
+                buf_pop()
+            proceed = issue
+            while len(buffer) >= entries:
+                oldest = buf_pop()
+                if oldest > proceed:
+                    proceed = oldest
+            buf_push(completion)
+            core = proceed
+        if completions is not None:
+            completions[i] = completion
+
+    controller.stats.real_accesses = real
+    end_time = core + miss_trace.total_compute_cycles
+    drain = buffer[-1] if buffer else 0.0
+    end_time = max(end_time, drain)
+    return float(end_time), completions
+
+
+def _replay_slotted(miss_trace, controller, entries, record_requests):
+    """Slot-controller replay with closed-form dummy-slot arithmetic.
+
+    The controller timeline (slots, dummies, epochs) is integer-valued:
+    every quantity is a sum of ``rate``/``latency`` integers, and arrival
+    times only enter *comparisons*, never the arithmetic.  Keeping the
+    timeline in exact Python integers therefore reproduces the
+    reference's float timeline bit for bit (integer-valued doubles are
+    exact), while an idle window of k dummy slots costs O(1) arithmetic
+    instead of k loop iterations.
+    """
+    gaps = miss_trace.gap_cycles.tolist()
+    blocking = miss_trace.is_blocking.tolist()
+    n = len(gaps)
+    latency = controller.latency
+    schedule = controller.schedule
+    learner = controller.learner
+    counters = controller.counters
+    epochs = controller.epochs
+
+    rate = controller.rate
+    prev = 0  # _completion_prev, exact integer timeline
+    last_was_real = False
+    epoch_index = 0
+    if schedule is not None:
+        epoch_end: int | None = schedule.epoch_length(0)
+    else:
+        epoch_end = None
+
+    # Epoch counters (flushed into `counters` at each learner call).
+    ctr_access = 0
+    ctr_oram = 0.0
+    ctr_waste = 0.0
+    # Run totals (flushed into controller.stats at the end).
+    total_real = 0
+    total_dummy = 0
+    total_waste = 0.0
+
+    def transition() -> None:
+        nonlocal rate, epoch_index, epoch_end, ctr_access, ctr_oram, ctr_waste
+        epoch_cycles = float(schedule.epoch_length(epoch_index))
+        counters.access_count = ctr_access
+        counters.oram_cycles = ctr_oram
+        counters.waste = ctr_waste
+        decision = learner.decide(counters, epoch_cycles)
+        counters.reset()
+        ctr_access = 0
+        ctr_oram = 0.0
+        ctr_waste = 0.0
+        epoch_index += 1
+        epoch_start = epoch_end
+        rate = decision.chosen_rate
+        epochs.append(
+            EpochRecord(
+                index=epoch_index,
+                start_cycle=float(epoch_start),
+                rate=decision.chosen_rate,
+                raw_estimate=decision.raw_estimate,
+            )
+        )
+        nonlocal_epoch_end = epoch_start + schedule.epoch_length(epoch_index)
+        epoch_end = nonlocal_epoch_end
+
+    def advance(until: float) -> None:
+        """Fire every dummy slot starting strictly before ``until``."""
+        nonlocal prev, last_was_real, total_dummy
+        while True:
+            if epoch_end is not None:
+                while prev >= epoch_end:
+                    transition()
+            if prev + rate >= until:
+                return
+            step = rate + latency
+            # Count of dummy slots before `until`: j in [0, k1) with
+            # prev + j*step + rate < until.  Estimate with float division
+            # and correct with exact integer/float comparisons.
+            k1 = int((until - prev - rate) // step) + 1
+            if k1 < 1:
+                k1 = 1
+            while k1 > 0 and prev + (k1 - 1) * step + rate >= until:
+                k1 -= 1
+            while prev + k1 * step + rate < until:
+                k1 += 1
+            if epoch_end is not None:
+                # Dummies may only fire while prev stays inside the
+                # epoch; the transition at the boundary can change rate.
+                span = epoch_end - prev
+                k2 = -(-span // step)
+                if k2 < k1:
+                    k1 = k2
+            if k1 <= 0:
+                continue  # epoch boundary first; transition and retry
+            prev += k1 * step
+            total_dummy += k1
+            last_was_real = False
+
+    completions = np.zeros(n, dtype=np.float64) if record_requests else None
+
+    core = 0.0
+    buffer: deque = deque()
+    buf_pop = buffer.popleft
+    buf_push = buffer.append
+
+    for i in range(n):
+        arrival = core + gaps[i]
+        # ---- serve(arrival) ----
+        advance(arrival)
+        if epoch_end is not None:
+            while prev >= epoch_end:
+                transition()
+        slot = prev + rate
+        if arrival <= prev:
+            if last_was_real:
+                waste = float(rate)  # Req 3
+            else:
+                waste = slot - arrival  # Req 2: dummy remainder + gap
+        else:
+            waste = slot - arrival  # Req 1: idle wait, <= rate
+        ctr_waste += waste
+        total_waste += waste
+        completion = slot + latency
+        ctr_access += 1
+        ctr_oram += latency
+        total_real += 1
+        prev = completion
+        last_was_real = True
+        # ---- core/write-buffer reaction ----
+        if blocking[i]:
+            core = completion
+        else:
+            while buffer and buffer[0] <= arrival:
+                buf_pop()
+            proceed = arrival
+            while len(buffer) >= entries:
+                oldest = buf_pop()
+                if oldest > proceed:
+                    proceed = oldest
+            buf_push(completion)
+            core = proceed
+        if completions is not None:
+            completions[i] = completion
+
+    end_time = core + miss_trace.total_compute_cycles
+    drain = buffer[-1] if buffer else 0.0
+    end_time = float(max(end_time, drain))
+    advance(end_time)  # finalize: trailing dummies
+
+    # Publish the final state back onto the controller.
+    controller.rate = rate
+    counters.access_count = ctr_access
+    counters.oram_cycles = ctr_oram
+    counters.waste = ctr_waste
+    controller.stats.real_accesses = total_real
+    controller.stats.dummy_accesses = total_dummy
+    controller.stats.total_waste = total_waste
+    return end_time, completions
+
+
+# ----------------------------------------------------------------------
+# Shared result assembly
+# ----------------------------------------------------------------------
+
+def _finish(miss_trace, scheme, controller, end_time, completions):
+    return _build_result(
+        miss_trace, scheme, controller, end_time, completions,
+        record_requests=completions is not None,
+        record_observable_trace=False,
+    )
+
+
+def _build_result(
+    miss_trace, scheme, controller, end_time, completions,
+    record_requests, record_observable_trace,
+) -> SimResult:
+    cycles = float(max(end_time, 1.0))
     if scheme.is_oram:
         memory_nj = oram_memory_energy_nj(
             controller.stats.total_accesses, coefficients=PAPER_COEFFICIENTS

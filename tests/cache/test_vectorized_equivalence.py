@@ -1,0 +1,155 @@
+"""Property-based equivalence: vectorized hierarchy pass vs scalar oracle.
+
+The contract is *byte equivalence*: for any trace, configuration, and
+warm-up split, the vectorized kernel must produce a MissTrace whose
+arrays are bit-identical to the scalar reference's and whose scalar
+accounting (compute cycles, instruction counts, energy events) is equal.
+Small cache geometries make evictions, back-invalidations, and dirty
+writebacks dense enough for short random traces to exercise every path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import (
+    HierarchyConfig,
+    simulate_hierarchy,
+    simulate_hierarchy_reference,
+)
+from repro.cache.vectorized import hierarchy_pass_vectorized
+from repro.cpu.core import DEFAULT_CORE
+from repro.cpu.trace import MemoryTrace
+
+#: Tiny hierarchy: 2-set/2-way L1 over 2 sets x 4-way L2, 64 B lines.
+#: A 32-line address pool thrashes it constantly.
+TINY = HierarchyConfig(
+    l1i_bytes=256, l1i_ways=2,
+    l1d_bytes=256, l1d_ways=2,
+    l2_bytes=512, l2_ways=4,
+    line_bytes=64,
+)
+
+
+def make_trace(lines, stores, gaps, name="prop"):
+    n = len(lines)
+    return MemoryTrace(
+        name=name,
+        input_name="x",
+        addresses=np.asarray(lines, dtype=np.uint64) * 64,
+        is_store=np.asarray(stores[:n], dtype=bool),
+        gap_instructions=np.asarray(gaps[:n], dtype=np.int64),
+    )
+
+
+def assert_bit_identical(trace, config, warmup=0, chunk_refs=None):
+    ref = simulate_hierarchy_reference(
+        trace, config, DEFAULT_CORE, warmup_instructions=warmup
+    )
+    if chunk_refs is None:
+        fast = simulate_hierarchy(
+            trace, config, DEFAULT_CORE, warmup_instructions=warmup, mode="fast"
+        )
+    else:
+        fast = hierarchy_pass_vectorized(
+            trace, config, DEFAULT_CORE,
+            warmup_instructions=warmup, chunk_refs=chunk_refs,
+        )
+    assert fast.gap_cycles.tobytes() == ref.gap_cycles.tobytes()
+    assert fast.is_blocking.tobytes() == ref.is_blocking.tobytes()
+    assert fast.instruction_index.tobytes() == ref.instruction_index.tobytes()
+    assert fast.total_compute_cycles == ref.total_compute_cycles
+    assert type(fast.total_compute_cycles) is type(ref.total_compute_cycles)
+    assert fast.n_instructions == ref.n_instructions
+    assert fast.energy == ref.energy
+    assert fast.checksum() == ref.checksum()
+
+
+class TestPropertyEquivalence:
+    @given(
+        lines=st.lists(st.integers(0, 31), min_size=0, max_size=300),
+        stores=st.lists(st.booleans(), min_size=300, max_size=300),
+        gaps=st.lists(st.integers(0, 40), min_size=300, max_size=300),
+        warmup=st.sampled_from([0, 1, 37, 500, 10_000]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_tiny_hierarchy(self, lines, stores, gaps, warmup):
+        trace = make_trace(lines, stores, gaps)
+        assert_bit_identical(trace, TINY, warmup=warmup)
+
+    @given(
+        lines=st.lists(st.integers(0, 31), min_size=1, max_size=200),
+        stores=st.lists(st.booleans(), min_size=200, max_size=200),
+        gaps=st.lists(st.integers(0, 10), min_size=200, max_size=200),
+        chunk_refs=st.sampled_from([1, 3, 7, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_boundaries(self, lines, stores, gaps, chunk_refs):
+        """Chunking must be invisible: any chunk size, same bytes."""
+        trace = make_trace(lines, stores, gaps)
+        assert_bit_identical(trace, TINY, chunk_refs=chunk_refs)
+
+    @given(
+        lines=st.lists(
+            st.one_of(
+                st.integers(0, 7),           # hot set (hits)
+                st.integers(0, 1 << 30),     # cold sweep (misses)
+            ),
+            min_size=0, max_size=400,
+        ),
+        stores=st.lists(st.booleans(), min_size=400, max_size=400),
+        gaps=st.lists(st.integers(0, 100), min_size=400, max_size=400),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_paper_hierarchy_mixed_locality(self, lines, stores, gaps):
+        """Paper-scale geometry with mixed hot/cold reference streams."""
+        trace = make_trace(lines, stores, gaps)
+        assert_bit_identical(trace, None, warmup=0)
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        assert_bit_identical(make_trace([], [], []), TINY)
+
+    def test_single_reference(self):
+        assert_bit_identical(make_trace([5], [True], [3]), TINY)
+
+    def test_trace_ending_on_miss_keeps_float_tail(self):
+        """Regression: an empty post-miss tail must stay float 0.0."""
+        trace = make_trace([1, 2, 3, 4, 5, 6, 7, 8], [False] * 8, [0] * 8)
+        assert_bit_identical(trace, TINY)
+
+    def test_warmup_swallows_everything(self):
+        trace = make_trace([1, 2, 3], [False, True, False], [5, 5, 5])
+        assert_bit_identical(trace, TINY, warmup=10_000)
+
+    def test_warmup_boundary_at_first_reference(self):
+        trace = make_trace([1, 2, 1, 2], [False] * 4, [10, 0, 0, 0])
+        assert_bit_identical(trace, TINY, warmup=1)
+
+    def test_warmup_splits_a_run(self):
+        # Same line on both sides of the warm-up boundary.
+        trace = make_trace([4, 4, 4, 4, 4, 9], [False, True] * 3, [3] * 6)
+        assert_bit_identical(trace, TINY, warmup=9)
+
+    def test_invalid_mode_rejected(self):
+        trace = make_trace([1], [False], [0])
+        with pytest.raises(ValueError, match="mode"):
+            simulate_hierarchy(trace, TINY, DEFAULT_CORE, mode="turbo")
+
+    def test_invalid_chunk_refs_rejected(self):
+        trace = make_trace([1], [False], [0])
+        with pytest.raises(ValueError, match="chunk_refs"):
+            hierarchy_pass_vectorized(trace, TINY, DEFAULT_CORE, chunk_refs=0)
+
+
+class TestWorkloadEquivalence:
+    """Full registry workloads at a reduced budget, both warm-up splits."""
+
+    @pytest.mark.parametrize("workload", ["mcf", "h264ref", "libquantum", "sjeng"])
+    @pytest.mark.parametrize("warmup", [0, 30_000])
+    def test_registry_workload(self, workload, warmup):
+        from repro.workloads.registry import build_trace
+
+        trace = build_trace(workload, seed=0, n_instructions=100_000)
+        assert_bit_identical(trace, None, warmup=warmup)

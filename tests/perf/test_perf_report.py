@@ -1,0 +1,177 @@
+"""Tests for the perf microbenchmark runner and baseline gating."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    FunctionalBench,
+    PerfReport,
+    SweepBench,
+    TimingBench,
+    bench_functional,
+    bench_timing,
+    build_perf_trace,
+)
+from repro.perf.report import (
+    check_against_baseline,
+    load_baseline,
+    report_to_baseline,
+    save_report,
+    write_baseline,
+)
+
+
+def _functional(workload="kernel_stream", rps=1_000_000.0, speedup=6.0, equivalent=True):
+    return FunctionalBench(
+        workload=workload, n_instructions=100_000, n_refs=30_000, n_requests=10,
+        reference_s=0.18, fast_s=0.03, speedup=speedup,
+        refs_per_sec_fast=rps, refs_per_sec_reference=rps / speedup,
+        checksum="abc", equivalent=equivalent,
+    )
+
+
+def _timing(workload="libquantum", scheme="base_dram", rps=5e6, equivalent=True):
+    return TimingBench(
+        workload=workload, scheme=scheme, n_requests=1000,
+        reference_s=0.01, fast_s=0.001, speedup=10.0,
+        requests_per_sec_fast=rps, requests_per_sec_reference=rps / 10,
+        equivalent=equivalent,
+    )
+
+
+def _report(**kwargs):
+    defaults = dict(
+        version=1, quick=True, n_instructions=100_000, repeats=1,
+        functional=[_functional()], timing=[_timing()],
+        sweep=SweepBench(
+            benchmarks=("a",), schemes=("base_dram",), n_instructions=100_000,
+            cells=2, wall_s=0.5, cells_per_sec=4.0,
+        ),
+    )
+    defaults.update(kwargs)
+    return PerfReport(**defaults)
+
+
+class TestBaselineGate:
+    def test_fresh_baseline_always_passes(self):
+        report = _report()
+        assert check_against_baseline(report, report_to_baseline(report)) == []
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        baseline = report_to_baseline(_report())
+        dropped = _report(functional=[_functional(rps=750_000.0)])
+        assert check_against_baseline(dropped, baseline) == []
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        baseline = report_to_baseline(_report())
+        dropped = _report(functional=[_functional(rps=500_000.0)])
+        failures = check_against_baseline(dropped, baseline)
+        assert len(failures) == 1
+        assert "below baseline" in failures[0]
+
+    def test_timing_regression_fails(self):
+        baseline = report_to_baseline(_report())
+        dropped = _report(timing=[_timing(rps=1e6)])
+        failures = check_against_baseline(dropped, baseline)
+        assert any("timing[libquantum/base_dram]" in f for f in failures)
+
+    def test_sweep_regression_fails(self):
+        baseline = report_to_baseline(_report())
+        slow = _report(sweep=SweepBench(
+            benchmarks=("a",), schemes=("base_dram",), n_instructions=100_000,
+            cells=2, wall_s=5.0, cells_per_sec=0.4,
+        ))
+        failures = check_against_baseline(slow, baseline)
+        assert any(f.startswith("sweep:") for f in failures)
+
+    def test_equivalence_mismatch_always_fails(self):
+        baseline = report_to_baseline(_report())
+        broken = _report(functional=[_functional(equivalent=False)])
+        failures = check_against_baseline(broken, baseline)
+        assert any("correctness bug" in f for f in failures)
+
+    def test_headline_speedup_floor(self):
+        baseline = report_to_baseline(_report())
+        # Throughput holds but the speedup collapsed (reference got fast).
+        slow = _report(functional=[_functional(speedup=2.0)])
+        failures = check_against_baseline(slow, baseline)
+        assert any("below the required" in f for f in failures)
+
+    def test_unknown_metrics_in_report_are_ignored(self):
+        baseline = report_to_baseline(_report())
+        extra = _report(
+            functional=[_functional(), _functional(workload="new_workload")]
+        )
+        assert check_against_baseline(extra, baseline) == []
+
+
+class TestSerialization:
+    def test_report_round_trip(self, tmp_path):
+        report = _report()
+        path = tmp_path / "BENCH_perf.json"
+        save_report(report, path)
+        payload = json.loads(path.read_text())
+        assert payload["functional"][0]["workload"] == "kernel_stream"
+        assert payload["sweep"]["cells_per_sec"] == 4.0
+
+    def test_baseline_round_trip(self, tmp_path):
+        report = _report()
+        path = tmp_path / "baselines.json"
+        write_baseline(report, path)
+        baseline = load_baseline(path)
+        assert baseline["headline_workload"] == "kernel_stream"
+        assert baseline["functional"]["kernel_stream"]["refs_per_sec"] == 1_000_000
+        assert check_against_baseline(report, baseline) == []
+
+
+class TestRealBenches:
+    """Tiny real measurements: the equivalence flags must come back true."""
+
+    def test_functional_bench_is_equivalent(self):
+        bench, miss_trace = bench_functional("kernel_stream", 30_000, repeats=1)
+        assert bench.equivalent
+        assert bench.n_refs > 0
+        assert bench.checksum == miss_trace.checksum()
+
+    def test_timing_bench_is_equivalent(self):
+        _, miss_trace = bench_functional("libquantum", 30_000, repeats=1)
+        bench = bench_timing("libquantum", miss_trace, "dynamic:4x4", repeats=1)
+        assert bench.equivalent
+        assert bench.n_requests > 0
+
+    def test_kernel_stream_trace_is_l1_resident(self):
+        trace = build_perf_trace("kernel_stream", 50_000)
+        assert trace.name == "kernel_stream"
+        # 16 KB region / 64 B lines = 256 distinct lines.
+        import numpy as np
+
+        lines = np.unique(np.asarray(trace.addresses) // 64)
+        assert len(lines) <= 256
+
+    def test_unknown_workload_falls_through_to_registry(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_perf_trace("not_a_workload", 10_000)
+
+
+REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[2]
+
+
+class TestCommittedBaseline:
+    """The repository's committed perf artifacts stay loadable and sane."""
+
+    def test_committed_baseline_parses(self):
+        baseline = load_baseline(REPO_ROOT / "benchmarks" / "baselines.json")
+        assert baseline["headline_workload"] == "kernel_stream"
+        assert baseline["min_functional_speedup"] >= 5.0
+        assert 0.0 < baseline["tolerance"] < 1.0
+        assert "kernel_stream" in baseline["functional"]
+
+    def test_committed_report_records_headline_speedup(self):
+        payload = json.loads((REPO_ROOT / "benchmarks" / "BENCH_perf.json").read_text())
+        headline = [
+            b for b in payload["functional"] if b["workload"] == "kernel_stream"
+        ]
+        assert headline and headline[0]["speedup"] >= 5.0
+        assert headline[0]["equivalent"] is True
+        assert payload["n_instructions"] == 1_000_000
