@@ -1,62 +1,92 @@
 """ORAM substrate microbenchmarks: functional throughput and stash behaviour.
 
 Not a paper figure, but the substrate-health numbers an implementation
-paper would report: functional Path ORAM access throughput in this model,
-stash occupancy at Z=3 vs Z=4, and recursive-composition cost.
+paper would report, now measured through the batched array engine
+(:class:`repro.oram.engine.BatchedPathORAM`): functional access
+throughput at two-kernel equivalence, stash-occupancy tails at Z=3 vs
+Z=4 from the exact histogram, and recursive-composition cost in fast
+mode.  The committed BENCH entry for the access burst lives in
+``benchmarks/BENCH_perf.json`` (the ``oram`` tier of ``repro perf``).
 """
 
-import statistics
+import numpy as np
 
 from benchmarks.conftest import emit
+from repro.analysis.stash_scaling import run_stash_scaling_cell
 from repro.oram.config import ORAMConfig, TreeGeometry
+from repro.oram.encryption import NullCipher
+from repro.oram.engine import BatchedPathORAM
 from repro.oram.path_oram import PathORAM
 from repro.oram.recursion import RecursivePathORAM
+from repro.perf.bench import build_oram_trace
 from repro.util.rng import make_rng
 from repro.util.units import KB
 
 
-def _access_burst(oram: PathORAM, n_accesses: int, seed: int = 0) -> None:
+def _burst_trace(n_accesses: int, n_blocks: int, seed: int = 0):
     rng = make_rng(seed, "oram-bench")
-    for index in range(n_accesses):
-        address = int(rng.integers(0, oram.n_blocks))
-        if index % 3 == 0:
-            oram.write(address, b"payload")
-        else:
-            oram.read(address)
+    addresses = rng.integers(0, n_blocks, size=n_accesses).astype(np.int64)
+    is_write = np.arange(n_accesses) % 3 == 0
+    return addresses, is_write
 
 
 def test_bench_functional_oram_throughput(benchmark):
     geometry = TreeGeometry(levels=10, blocks_per_bucket=4, block_bytes=64)
-    oram = PathORAM(geometry, n_blocks=1024, seed=1)
-    benchmark(_access_burst, oram, 200)
+    oram = BatchedPathORAM(geometry, n_blocks=1024, seed=1)
+    addresses, is_write = _burst_trace(2000, oram.n_blocks)
+    benchmark(oram.run_trace, addresses, is_write)
     emit(
-        "ORAM micro: functional access burst",
+        "ORAM micro: batched functional access burst",
         f"  tree {geometry.describe()}\n"
         f"  accesses: {oram.stats.total_accesses}, "
-        f"stash peak: {oram.stats.stash_peak} blocks",
+        f"stash peak: {oram.stats.stash_peak} blocks, "
+        f"stash mean: {oram.stats.stash_mean:.2f}",
     )
     assert oram.stats.stash_peak < 64
 
 
-def _stash_profile(z: int) -> tuple[int, float]:
-    geometry = TreeGeometry(levels=9, blocks_per_bucket=z, block_bytes=64)
-    oram = PathORAM(geometry, n_blocks=min(600, geometry.n_slots // 2), seed=2)
-    _access_burst(oram, 500, seed=3)
-    samples = oram.stats.stash_occupancy_samples
-    return oram.stats.stash_peak, statistics.mean(samples)
+def test_bench_kernel_equivalence(benchmark):
+    """The two-kernel contract at bench scale: state checksums match."""
+    geometry = TreeGeometry(levels=9, blocks_per_bucket=4, block_bytes=64)
+    addresses, is_write = build_oram_trace(600, n_blocks=500, seed=4)
+
+    def run_pair():
+        reference = PathORAM(geometry, n_blocks=500, seed=6, cipher=NullCipher())
+        batched = BatchedPathORAM(geometry, n_blocks=500, seed=6)
+        reference.run_trace(addresses, is_write)
+        batched.run_trace(addresses, is_write)
+        return reference, batched
+
+    reference, batched = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    equivalent = reference.state_checksum() == batched.state_checksum()
+    emit(
+        "ORAM micro: batched vs reference equivalence",
+        f"  {len(addresses)} accesses, tree {geometry.describe()}\n"
+        f"  state checksums match: {equivalent}",
+    )
+    assert equivalent
 
 
 def test_bench_stash_occupancy_z3_vs_z4(benchmark):
     """Z ablation: the paper runs Z=3; larger Z trades bandwidth for stash."""
-    peak_z3, mean_z3 = benchmark.pedantic(_stash_profile, args=(3,), rounds=1,
-                                          iterations=1)
-    peak_z4, mean_z4 = _stash_profile(4)
-    emit(
-        "ORAM micro: stash occupancy, Z=3 vs Z=4",
-        f"  Z=3: peak {peak_z3}, mean {mean_z3:.1f} blocks\n"
-        f"  Z=4: peak {peak_z4}, mean {mean_z4:.1f} blocks",
+    cell_z3 = benchmark.pedantic(
+        run_stash_scaling_cell,
+        args=(3, 9, 20_000),
+        kwargs={"seed": 2},
+        rounds=1,
+        iterations=1,
     )
-    assert peak_z4 <= peak_z3 + 8  # more slots per bucket, smaller stash
+    cell_z4 = run_stash_scaling_cell(4, 9, 20_000, seed=2)
+    emit(
+        "ORAM micro: stash occupancy, Z=3 vs Z=4 (20k accesses)",
+        f"  Z=3: peak {cell_z3.stash_peak}, mean {cell_z3.stash_mean:.2f}, "
+        f"P[>8] {cell_z3.tail(8):.1e}\n"
+        f"  Z=4: peak {cell_z4.stash_peak}, mean {cell_z4.stash_mean:.2f}, "
+        f"P[>8] {cell_z4.tail(8):.1e}",
+    )
+    assert not cell_z3.diverged and not cell_z4.diverged
+    assert cell_z4.stash_mean <= cell_z3.stash_mean
+    assert cell_z4.tail(8) <= cell_z3.tail(8) + 1e-3
 
 
 def test_bench_recursive_composition(benchmark):
@@ -66,7 +96,7 @@ def test_bench_recursive_composition(benchmark):
     )
 
     def run():
-        oram = RecursivePathORAM(config, n_blocks=64, seed=5)
+        oram = RecursivePathORAM(config, n_blocks=64, seed=5, mode="fast")
         for address in range(0, 64, 3):
             oram.write(address, bytes([address]))
         for address in range(0, 64, 3):
@@ -75,7 +105,7 @@ def test_bench_recursive_composition(benchmark):
 
     oram = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
-        "ORAM micro: recursive composition",
+        "ORAM micro: recursive composition (fast mode)",
         f"  {oram.levels} trees; {oram.stats.paths_per_access:.0f} physical "
         f"paths per logical access",
     )

@@ -28,6 +28,14 @@ from repro.analysis.export import (
 from repro.analysis.overhead import BenchmarkRow, SchemeComparison, relative_change
 from repro.analysis.report import FullReport, full_report
 from repro.analysis.seeds import SeededStat, replicate_headline
+from repro.analysis.stash_scaling import (
+    StashScalingCell,
+    StashScalingReport,
+    TimingValidation,
+    run_stash_scaling,
+    run_stash_scaling_cell,
+    validate_timing,
+)
 from repro.analysis.tables import Table, format_value
 
 __all__ = [
@@ -55,6 +63,12 @@ __all__ = [
     "full_report",
     "SeededStat",
     "replicate_headline",
+    "StashScalingCell",
+    "StashScalingReport",
+    "TimingValidation",
+    "run_stash_scaling",
+    "run_stash_scaling_cell",
+    "validate_timing",
     "export_figure2",
     "export_figure5",
     "export_figure6",

@@ -1,0 +1,316 @@
+"""Empirical stash-scaling and timing-constant validation.
+
+The timing models in :mod:`repro.core` consume two things from the ORAM
+substrate on faith: that stash occupancy stays bounded for the
+provisioned Z (so the controller never stalls or violates
+obliviousness), and that the per-access latency/bandwidth/energy
+constants derived in :mod:`repro.oram.timing` reflect what a functional
+controller actually touches.  The batched array engine
+(:mod:`repro.oram.engine`) makes both *measurable* at scale:
+
+* :func:`run_stash_scaling` drives millions of accesses per cell across
+  Z in {2, 3, 4} and a range of tree depths, recording the exact
+  stash-occupancy tail distribution (peak, mean, P[occupancy > k]) from
+  the engine's exact histogram — the empirical counterpart of the
+  Stefanov et al. stash bound the paper's Z = 3 + background-eviction
+  configuration leans on.  Cells whose stash blows past a divergence
+  threshold stop early and are flagged: for Z = 2 at 50% utilization
+  that *is* the expected result, not a failure.
+* :func:`validate_timing` replays a burst through the full recursive
+  composition on the *reference* controller (the kernel with a real
+  :class:`~repro.oram.backend.UntrustedMemory` to count operations at),
+  measures the bucket I/O actually issued per logical access, prices it
+  with the same geometry the derivation uses, and pushes the measured
+  counts through the identical latency/energy chain
+  (:func:`repro.oram.timing.timing_from_counts`).  Agreement means the
+  1488-cycle-style constants rest on geometry the executable protocol
+  reproduces, not just on arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.oram.config import ORAMConfig, TreeGeometry
+from repro.oram.engine import BatchedPathORAM
+from repro.oram.recursion import RecursivePathORAM
+from repro.oram.timing import DramLinkParameters, ORAMTiming, derive_timing, timing_from_counts
+from repro.perf.bench import build_oram_trace
+from repro.util.rng import derive_seed, make_rng
+
+#: Occupancy (in blocks) past which a cell is declared divergent and
+#: stopped early.  Bounded configurations sit one to two orders of
+#: magnitude below this; an unbounded one crosses it quickly.
+DIVERGENCE_THRESHOLD = 4096
+
+#: Tail thresholds reported by default (P[occupancy > k]).
+DEFAULT_TAIL_THRESHOLDS = (4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class StashScalingCell:
+    """Stash statistics for one (Z, levels) configuration."""
+
+    z: int
+    levels: int
+    n_blocks: int
+    n_accesses: int
+    stash_peak: int
+    stash_mean: float
+    tail_thresholds: tuple[int, ...]
+    tail_probabilities: tuple[float, ...]
+    diverged: bool
+    accesses_per_second: float
+
+    def tail(self, threshold: int) -> float:
+        """P[occupancy > threshold] for a reported threshold."""
+        return self.tail_probabilities[self.tail_thresholds.index(threshold)]
+
+
+@dataclass(frozen=True)
+class StashScalingReport:
+    """All cells of a stash-scaling sweep."""
+
+    cells: tuple[StashScalingCell, ...]
+    n_accesses: int
+    seed: int
+
+    def cell(self, z: int, levels: int) -> StashScalingCell:
+        """The cell for one (Z, levels) pair."""
+        for cell in self.cells:
+            if cell.z == z and cell.levels == levels:
+                return cell
+        raise KeyError(f"no cell for Z={z}, levels={levels}")
+
+    def render(self) -> str:
+        """Human-readable sweep table."""
+        thresholds = self.cells[0].tail_thresholds if self.cells else ()
+        columns = ["Z", "levels", "blocks", "accesses", "peak", "mean"] + [
+            f"P[>{k}]" for k in thresholds
+        ] + ["acc/s", "verdict"]
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                [str(cell.z), str(cell.levels), str(cell.n_blocks),
+                 str(cell.n_accesses), str(cell.stash_peak),
+                 f"{cell.stash_mean:.2f}"]
+                + [f"{p:.2e}" if p else "0" for p in cell.tail_probabilities]
+                + [f"{cell.accesses_per_second:,.0f}",
+                   "DIVERGED" if cell.diverged else "bounded"]
+            )
+        return Table(
+            f"Stash scaling ({self.n_accesses:,} accesses/cell, seed {self.seed})",
+            columns,
+            rows,
+        ).render()
+
+
+def _trace_for(n_accesses: int, n_blocks: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """The canonical pinned ORAM mix, under this module's RNG stream."""
+    return build_oram_trace(
+        n_accesses, n_blocks, seed=seed, rng_label="stash-scaling.trace"
+    )
+
+
+def run_stash_scaling_cell(
+    z: int,
+    levels: int,
+    n_accesses: int,
+    seed: int = 0,
+    block_bytes: int = 64,
+    utilization: float = 0.5,
+    tail_thresholds: tuple[int, ...] = DEFAULT_TAIL_THRESHOLDS,
+    divergence_threshold: int = DIVERGENCE_THRESHOLD,
+    batch_size: int = 8192,
+) -> StashScalingCell:
+    """Measure one (Z, levels) cell with the batched engine.
+
+    The tree is utilized to ``utilization`` of its own slot capacity (so
+    each Z is judged against its own provisioning, the way the design
+    space is framed in Ren et al.).  Early-stops with ``diverged=True``
+    when the stash crosses ``divergence_threshold``.
+    """
+    geometry = TreeGeometry(levels=levels, blocks_per_bucket=z, block_bytes=block_bytes)
+    n_blocks = max(1, int(geometry.n_slots * utilization))
+    oram = BatchedPathORAM(
+        geometry, n_blocks=n_blocks, seed=derive_seed(seed, f"cell-z{z}-l{levels}")
+    )
+    addresses, is_write = _trace_for(n_accesses, n_blocks, seed)
+    diverged = False
+    start = time.perf_counter()
+    for begin in range(0, n_accesses, batch_size):
+        stop = begin + batch_size
+        oram.run_trace(addresses[begin:stop], is_write[begin:stop], batch_size=batch_size)
+        if len(oram.stash) > divergence_threshold:
+            diverged = True
+            break
+    elapsed = time.perf_counter() - start
+    stats = oram.stats
+    completed = stats.total_accesses
+    return StashScalingCell(
+        z=z,
+        levels=levels,
+        n_blocks=n_blocks,
+        n_accesses=completed,
+        stash_peak=stats.stash_peak,
+        stash_mean=stats.stash_mean,
+        tail_thresholds=tuple(tail_thresholds),
+        tail_probabilities=tuple(
+            stats.stash_tail_probability(k) for k in tail_thresholds
+        ),
+        diverged=diverged,
+        accesses_per_second=completed / elapsed if elapsed > 0 else 0.0,
+    )
+
+
+def run_stash_scaling(
+    z_values: tuple[int, ...] = (2, 3, 4),
+    levels_values: tuple[int, ...] = (11,),
+    n_accesses: int = 1_000_000,
+    seed: int = 0,
+    block_bytes: int = 64,
+    utilization: float = 0.5,
+    tail_thresholds: tuple[int, ...] = DEFAULT_TAIL_THRESHOLDS,
+) -> StashScalingReport:
+    """Sweep Z x tree depth, measuring exact stash-occupancy tails."""
+    cells = tuple(
+        run_stash_scaling_cell(
+            z,
+            levels,
+            n_accesses,
+            seed=seed,
+            block_bytes=block_bytes,
+            utilization=utilization,
+            tail_thresholds=tail_thresholds,
+        )
+        for z in z_values
+        for levels in levels_values
+    )
+    return StashScalingReport(cells=cells, n_accesses=n_accesses, seed=seed)
+
+
+@dataclass(frozen=True)
+class TimingValidation:
+    """Derived vs functionally-measured per-access cost constants."""
+
+    n_blocks: int
+    recursion_levels: int
+    logical_accesses: int
+    measured_buckets_per_access: float
+    derived_buckets_per_access: int
+    measured: ORAMTiming
+    derived: ORAMTiming
+
+    @property
+    def latency_error(self) -> float:
+        """Relative latency disagreement (0 = the chain is validated)."""
+        return abs(self.measured.latency_cycles - self.derived.latency_cycles) / max(
+            1, self.derived.latency_cycles
+        )
+
+    @property
+    def bytes_error(self) -> float:
+        """Relative bytes-per-access disagreement."""
+        return abs(
+            self.measured.bytes_per_access - self.derived.bytes_per_access
+        ) / max(1, self.derived.bytes_per_access)
+
+    @property
+    def energy_error(self) -> float:
+        """Relative energy disagreement."""
+        return abs(self.measured.energy_nj - self.derived.energy_nj) / max(
+            1e-9, self.derived.energy_nj
+        )
+
+    def render(self) -> str:
+        """Side-by-side derived vs measured constants."""
+        rows = [
+            ["bytes/access", str(self.derived.bytes_per_access),
+             str(round(self.measured.bytes_per_access)), f"{self.bytes_error:.2%}"],
+            ["latency (cycles)", str(self.derived.latency_cycles),
+             str(self.measured.latency_cycles), f"{self.latency_error:.2%}"],
+            ["DRAM cycles", str(self.derived.dram_cycles_per_access),
+             str(self.measured.dram_cycles_per_access), "-"],
+            ["energy (nJ)", f"{self.derived.energy_nj:.1f}",
+             f"{self.measured.energy_nj:.1f}", f"{self.energy_error:.2%}"],
+            ["buckets/access", str(self.derived_buckets_per_access),
+             f"{self.measured_buckets_per_access:.2f}", "-"],
+        ]
+        return Table(
+            f"Timing validation ({self.logical_accesses} logical accesses, "
+            f"{self.recursion_levels} recursion levels)",
+            ["constant", "derived", "measured", "error"],
+            rows,
+        ).render()
+
+
+def validate_timing(
+    config: ORAMConfig | None = None,
+    n_accesses: int = 256,
+    seed: int = 0,
+    link: DramLinkParameters | None = None,
+) -> TimingValidation:
+    """Validate the derived timing constants against functional traffic.
+
+    Runs a logical-access burst through the full recursive composition
+    on the **reference** controller and counts bucket reads/writes at
+    each tree's :class:`~repro.oram.backend.UntrustedMemory` interface —
+    the actual memory operations the controller issued, not a formula —
+    then prices those counts with each tree's geometry and feeds them
+    through the same DRAM-link chain as
+    :func:`~repro.oram.timing.derive_timing`.  A controller that
+    over- or under-touched buckets (a recursion walking extra paths, a
+    write-back skipping levels) would surface here as a nonzero error;
+    agreement certifies that the per-access constants rest on path
+    geometry the executable protocol actually generates.  The default
+    config is a scaled-down recursive ORAM (the paper-scale tree does
+    not fit a functional run); the *chain* being validated is
+    scale-independent.
+    """
+    if config is None:
+        config = ORAMConfig(
+            capacity_bytes=256 * 1024,
+            block_bytes=64,
+            blocks_per_bucket=4,
+            recursion_levels=2,
+            recursive_block_bytes=32,
+        )
+    # Build at exactly config.n_blocks so the recursion instantiates the
+    # very geometries derive_timing prices — the comparison is then
+    # exact, not approximate.  Reference mode keeps real bucket-level
+    # memory operations to count.
+    n_blocks = config.n_blocks
+    oram = RecursivePathORAM(config, n_blocks=n_blocks, seed=seed, mode="reference")
+    # The posmap bootstrap wrote through the trees; count a clean burst.
+    baseline_ops = [tree.memory.reads + tree.memory.writes for tree in oram._orams]
+    baseline_logical = oram.stats.logical_accesses
+    rng = make_rng(seed, "timing-validation.trace")
+    addresses = rng.integers(0, n_blocks, size=n_accesses).astype(np.int64)
+    is_write = rng.random(n_accesses) < 0.5
+    oram.run_trace(addresses, is_write)
+
+    logical = oram.stats.logical_accesses - baseline_logical
+    measured_bytes = 0.0
+    measured_buckets = 0.0
+    for tree, already in zip(oram._orams, baseline_ops):
+        ops = tree.memory.reads + tree.memory.writes - already
+        buckets = ops / logical
+        measured_buckets += buckets
+        measured_bytes += buckets * tree.geometry.bucket_bytes
+    measured = timing_from_counts(
+        int(round(measured_bytes)), int(round(measured_buckets)), link=link
+    )
+    derived = derive_timing(config, link=link)
+    return TimingValidation(
+        n_blocks=n_blocks,
+        recursion_levels=config.recursion_levels,
+        logical_accesses=logical,
+        measured_buckets_per_access=measured_buckets,
+        derived_buckets_per_access=2 * sum(g.levels for g in config.all_geometries()),
+        measured=measured,
+        derived=derived,
+    )

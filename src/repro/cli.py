@@ -10,9 +10,13 @@ Installed as the ``repro`` console script and runnable as
 - ``leakage`` — the paper's leakage accounting, or the bound for one
   (|R|, growth) configuration against an optional bit budget.
 - ``perf`` — the kernel microbenchmark suite: times the functional cache
-  pass and the timing replay (fast vs reference, byte-equivalence
-  checked) plus an end-to-end sweep, writes ``BENCH_perf.json``, and can
-  gate against / refresh ``benchmarks/baselines.json``.
+  pass, the timing replay, and the functional ORAM access burst (fast vs
+  reference, byte-equivalence checked) plus an end-to-end sweep, writes
+  ``BENCH_perf.json``, and can gate against / refresh
+  ``benchmarks/baselines.json``.
+- ``stash-scaling`` — million-access stash-occupancy tails across Z and
+  tree depth on the batched ORAM engine, plus the functional validation
+  of the derived timing constants.
 """
 
 from __future__ import annotations
@@ -190,6 +194,32 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stash_scaling(args: argparse.Namespace) -> int:
+    from repro.analysis.stash_scaling import run_stash_scaling, validate_timing
+
+    report = run_stash_scaling(
+        z_values=tuple(int(z) for z in _split_csv(args.z)),
+        levels_values=tuple(int(lv) for lv in _split_csv(args.levels)),
+        n_accesses=args.accesses,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.validate_timing:
+        validation = validate_timing(seed=args.seed)
+        print()
+        print(validation.render())
+        worst = max(
+            validation.bytes_error, validation.latency_error, validation.energy_error
+        )
+        if worst > 0.02:
+            print(
+                f"\nTIMING VALIDATION FAILED: worst relative error {worst:.2%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -260,6 +290,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite this baselines.json from the fresh measurements",
     )
     perf.set_defaults(func=_cmd_perf)
+
+    stash = sub.add_parser(
+        "stash-scaling",
+        help="stash-occupancy tails across Z / tree depth on the batched engine",
+    )
+    stash.add_argument(
+        "--z", default="2,3,4", help='comma-separated Z values (default "2,3,4")'
+    )
+    stash.add_argument(
+        "--levels", default="11", help='comma-separated tree depths (default "11")'
+    )
+    stash.add_argument(
+        "--accesses", type=int, default=1_000_000,
+        help="accesses per cell (default 1000000)",
+    )
+    stash.add_argument("--seed", type=int, default=0, help="trace seed (default 0)")
+    stash.add_argument(
+        "--validate-timing", action="store_true",
+        help="also validate derived timing constants against functional traffic",
+    )
+    stash.set_defaults(func=_cmd_stash_scaling)
 
     return parser
 

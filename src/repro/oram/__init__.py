@@ -11,9 +11,18 @@ from repro.oram.backend import UntrustedMemory
 from repro.oram.background_eviction import BackgroundEvictingORAM, EvictionStats
 from repro.oram.block import Block, DUMMY_ADDRESS
 from repro.oram.config import ORAMConfig, PAPER_ORAM_CONFIG, TEST_ORAM_CONFIG, TreeGeometry
-from repro.oram.encryption import CHUNK_BYTES, ProbabilisticCipher, chunk_count
+from repro.oram.encryption import CHUNK_BYTES, NullCipher, ProbabilisticCipher, chunk_count
+from repro.oram.engine import BatchedPathORAM
 from repro.oram.integrity import MerkleTree, TamperDetectedError, VerifiedPathORAM
-from repro.oram.path_oram import AccessStats, PathORAM, make_path_oram
+from repro.oram.path_oram import (
+    AccessStats,
+    PathORAM,
+    assign_levels,
+    default_payload,
+    digest_state,
+    make_path_oram,
+    normalize_payloads,
+)
 from repro.oram.position_map import FlatPositionMap
 from repro.oram.recursion import RecursivePathORAM
 from repro.oram.stash import Stash, StashOverflowError
@@ -23,6 +32,7 @@ from repro.oram.timing import (
     PAPER_ORAM_TIMING,
     derive_timing,
     paper_timing,
+    timing_from_counts,
 )
 
 __all__ = [
@@ -36,14 +46,20 @@ __all__ = [
     "TEST_ORAM_CONFIG",
     "TreeGeometry",
     "CHUNK_BYTES",
+    "NullCipher",
     "ProbabilisticCipher",
     "chunk_count",
+    "BatchedPathORAM",
     "MerkleTree",
     "TamperDetectedError",
     "VerifiedPathORAM",
     "AccessStats",
     "PathORAM",
+    "assign_levels",
+    "default_payload",
+    "digest_state",
     "make_path_oram",
+    "normalize_payloads",
     "FlatPositionMap",
     "RecursivePathORAM",
     "Stash",
@@ -53,4 +69,5 @@ __all__ = [
     "PAPER_ORAM_TIMING",
     "derive_timing",
     "paper_timing",
+    "timing_from_counts",
 ]

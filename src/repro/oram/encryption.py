@@ -26,8 +26,41 @@ CHUNK_BYTES = 16
 _NONCE_BYTES = 8
 
 
+class NullCipher:
+    """Zero-cost identity cipher for simulation-mode ORAM runs.
+
+    The batched simulation engine (:mod:`repro.oram.engine`) and the
+    throughput microbenchmarks care about data movement and stash
+    dynamics, not ciphertext freshness; running the keystream there
+    would only measure SHA-256.  ``NullCipher`` plugs into the same
+    cipher slot with identity transforms and zero expansion, so the
+    reference controller can be timed on equal footing with the array
+    engine.  It is *never* a substitute for :class:`ProbabilisticCipher`
+    in the security demos — a null-ciphered tree leaks bucket contents
+    to the probe adversary by construction.
+    """
+
+    #: Marks ciphers whose ciphertext equals the plaintext (no freshness).
+    is_null = True
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Ciphertext expansion (none)."""
+        return 0
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Identity."""
+        return bytes(plaintext)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Identity."""
+        return bytes(ciphertext)
+
+
 class ProbabilisticCipher:
     """Nonce-based stream cipher with fresh randomness per encryption."""
+
+    is_null = False
 
     def __init__(self, key: bytes) -> None:
         if not key:

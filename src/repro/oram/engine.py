@@ -1,0 +1,451 @@
+"""Batched array-backed Path ORAM engine (the fast kernel).
+
+``BatchedPathORAM`` is the vectorized sibling of
+:class:`~repro.oram.path_oram.PathORAM` (which stays as the
+``mode="reference"`` oracle, mirroring the cache/timing kernel pairs).
+Instead of serialized, encrypted :class:`~repro.oram.block.Block` lists
+it stores the tree as flat numpy arrays — per-bucket-slot address and
+leaf label (validity = address >= 0) — and services whole access batches
+with a small, fixed number of array operations per access:
+
+* **batch precompute** — one RNG call draws every access's uniform leaf
+  (the same random stream as the reference's per-access draws), a scalar
+  sweep resolves position-map reads/updates (sequentially dependent when
+  a batch repeats an address), and one vectorized heap walk produces all
+  path bucket indices (:func:`~repro.oram.tree.path_bucket_indices_batch`)
+  plus the flattened slot indices of every path;
+* **path read** — one ``take`` gathers the path's ``levels x Z`` slot
+  metadata and a mask moves the real blocks into the stash;
+* **write-back** — the canonical greedy placement (the
+  :func:`~repro.oram.path_oram.assign_levels` pointer walk over
+  common-prefix depths sorted (depth descending, address ascending)) is
+  computed on the stash — which Path ORAM keeps tiny by construction,
+  so plain-int ``bit_length`` arithmetic beats array ops there — and
+  lands in the tree as one masked clear plus one scatter per metadata
+  array.  The greedy decisions are the *same* as the reference's, block
+  for block and slot for slot.
+
+Two structural facts make this fast:
+
+1. **Payloads never move.**  A block's bytes are only mutated by write/
+   update accesses, never by path movement, so the engine keeps one
+   payload slot per address (``_block_data``) and path reads/evictions
+   shuffle 16 bytes of metadata per slot instead of copying block
+   payloads around.  The per-(bucket, slot) payload demanded by the
+   state digest is reconstructed through the address indirection.
+2. **The stash is small with overwhelming probability** (the Path ORAM
+   guarantee itself), so per-access stash work is O(stash) scalar ops,
+   while all O(tree) state lives in numpy arrays.
+
+The engine does not keep ciphertext: it is the simulation kernel, with
+an implicit null cipher (the reference accepts
+:class:`~repro.oram.encryption.NullCipher` for apples-to-apples
+benchmarking).  Security demos that probe ciphertexts keep using the
+reference controller's :class:`~repro.oram.backend.UntrustedMemory`.
+
+Equivalence contract (enforced by ``tests/oram/test_equivalence.py`` and
+the ``repro perf`` gate): after any access sequence, ``state_checksum()``
+— position map, stash, and per-bucket slot-ordered plaintext blocks —
+is bit-identical between the two kernels, as are returned block values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.oram.block import Block, DUMMY_ADDRESS
+from repro.oram.config import TreeGeometry
+from repro.oram.path_oram import (
+    AccessStats,
+    PathORAM,
+    assign_levels,
+    default_payload,
+    digest_state,
+    normalize_payloads,
+)
+from repro.oram.position_map import FlatPositionMap
+from repro.oram.stash import StashOverflowError
+from repro.oram.tree import path_bucket_indices, path_bucket_indices_batch
+
+
+class _StashView:
+    """Read-only dict-like view over the engine's stash.
+
+    Keeps stash-consuming code (:mod:`repro.oram.background_eviction`,
+    tests, examples) working unchanged against the array engine.
+    """
+
+    def __init__(self, engine: "BatchedPathORAM") -> None:
+        self._engine = engine
+
+    def __len__(self) -> int:
+        return len(self._engine._stash)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._engine._stash
+
+    def addresses(self) -> list[int]:
+        """Stashed addresses (ascending, the canonical order)."""
+        return sorted(self._engine._stash)
+
+    def blocks(self) -> list[Block]:
+        """Snapshot of stashed blocks (ascending address order)."""
+        engine = self._engine
+        return [
+            Block(address=address, leaf=leaf, data=engine._payload(address))
+            for address, leaf in sorted(engine._stash.items())
+        ]
+
+
+class BatchedPathORAM:
+    """Array-backed Path ORAM servicing accesses in vectorized batches.
+
+    Drop-in for :class:`~repro.oram.path_oram.PathORAM` at the logical
+    level: same constructor shape, same scalar ``read``/``write``/
+    ``update``/``dummy_access`` surface, same ``stats``, plus the batch
+    surface (``access_batch``/``run_trace``) this engine exists for.
+
+    Args:
+        geometry: Tree shape (levels, Z, block size).
+        n_blocks: Number of addressable program blocks; must fit the tree.
+        seed: Seed for leaf remapping randomness (same stream as the
+            reference kernel at equal seed).
+        stash_capacity: Optional hard stash bound (raises on overflow).
+    """
+
+    mode = "fast"
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        n_blocks: int,
+        seed: int = 0,
+        stash_capacity: int | None = None,
+    ) -> None:
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        if n_blocks > geometry.n_slots:
+            raise ValueError(
+                f"{n_blocks} blocks exceed tree capacity of {geometry.n_slots} slots"
+            )
+        self.geometry = geometry
+        self.n_blocks = n_blocks
+        self.position_map = FlatPositionMap(n_blocks, geometry.n_leaves, seed=seed)
+        self.stats = AccessStats()
+        self._stash_capacity = stash_capacity
+        z = geometry.blocks_per_bucket
+        # Flat (n_buckets * Z) slot metadata; slot s of bucket b lives at
+        # b * Z + s.  Validity is address >= 0.
+        self._slot_addr = np.full(geometry.n_buckets * z, DUMMY_ADDRESS, dtype=np.int64)
+        self._slot_leaf = np.zeros(geometry.n_buckets * z, dtype=np.int64)
+        # One payload slot per address (None = still the zero block);
+        # path movement never touches payloads.
+        self._block_data: list[bytes | None] = [None] * n_blocks
+        self._zero_block = bytes(geometry.block_bytes)
+        self._stash: dict[int, int] = {}  # address -> current leaf
+        self.stash = _StashView(self)
+
+    # ------------------------------------------------------------------
+    # Scalar surface (drop-in for the reference controller)
+    # ------------------------------------------------------------------
+
+    def read(self, address: int) -> bytes:
+        """Read one block; performs a full path access."""
+        result = self.access_batch(np.asarray([address], dtype=np.int64))
+        return result[0].tobytes()
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write one block; performs a full path access."""
+        row = np.frombuffer(bytes(data), dtype=np.uint8).reshape(1, -1)
+        self.access_batch(
+            np.asarray([address], dtype=np.int64),
+            is_write=np.asarray([True]),
+            payloads=row,  # validated and zero-padded by normalize_payloads
+        )
+
+    def update(self, address: int, mutate) -> bytes:
+        """Read-modify-write one block in a single path access."""
+        result = self._access_batch_core(
+            np.asarray([address], dtype=np.int64),
+            writes=np.asarray([True]),
+            payloads=None,
+            mutators=[mutate],
+            collect=True,
+        )
+        return result[0].tobytes()
+
+    def dummy_access(self) -> None:
+        """Indistinguishable dummy access: read+write a random path."""
+        self.access_batch(np.asarray([DUMMY_ADDRESS], dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Batch surface
+    # ------------------------------------------------------------------
+
+    def access_batch(
+        self,
+        addresses: np.ndarray,
+        is_write: np.ndarray | None = None,
+        payloads: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Service a batch of accesses; returns the resulting block values.
+
+        Same contract as :meth:`repro.oram.path_oram.PathORAM.access_batch`:
+        ``DUMMY_ADDRESS`` rows are dummy accesses, ``is_write`` flags
+        writes, ``payloads`` (``(n, block_bytes)`` uint8) defaults to
+        :func:`~repro.oram.path_oram.default_payload` per written
+        address, and the result rows are the blocks' values after the
+        access (zeros for dummies).
+        """
+        return self._access_batch_core(
+            addresses, is_write, payloads, mutators=None, collect=True
+        )
+
+    # Chunking loop shared with the reference kernel; only the per-chunk
+    # hook differs (the engine can skip materializing result rows).
+    run_trace = PathORAM.run_trace
+
+    def _access_batch_collect(
+        self,
+        addresses: np.ndarray,
+        is_write: np.ndarray | None,
+        payloads: np.ndarray | None,
+        collect: bool,
+    ) -> np.ndarray | None:
+        return self._access_batch_core(
+            addresses, is_write, payloads, mutators=None, collect=collect
+        )
+
+    # ------------------------------------------------------------------
+    # State inspection (equivalence contract + tests)
+    # ------------------------------------------------------------------
+
+    def state_checksum(self) -> str:
+        """Canonical digest of position map + stash + tree state."""
+        z = self.geometry.blocks_per_bucket
+        bucket_addr = self._slot_addr.reshape(-1, z)
+        bucket_leaf = self._slot_leaf.reshape(-1, z)
+        real = self._slot_addr[self._slot_addr >= 0]  # row-major = (bucket, slot)
+        bucket_data = self._payload_matrix(real.tolist())
+        stash_items = sorted(self._stash.items())
+        stash_addr = np.asarray([a for a, _ in stash_items], dtype=np.int64)
+        stash_leaf = np.asarray([leaf for _, leaf in stash_items], dtype=np.int64)
+        stash_data = self._payload_matrix([a for a, _ in stash_items])
+        return digest_state(
+            self.geometry,
+            self.n_blocks,
+            self.position_map.snapshot(),
+            stash_addr,
+            stash_leaf,
+            stash_data,
+            bucket_addr,
+            bucket_leaf,
+            bucket_data,
+        )
+
+    def bucket_blocks(self, bucket_index: int) -> list[Block]:
+        """Real blocks currently held by one bucket, in slot order."""
+        z = self.geometry.blocks_per_bucket
+        base = bucket_index * z
+        blocks = []
+        for slot in range(z):
+            address = int(self._slot_addr[base + slot])
+            if address >= 0:
+                blocks.append(
+                    Block(
+                        address=address,
+                        leaf=int(self._slot_leaf[base + slot]),
+                        data=self._payload(address),
+                    )
+                )
+        return blocks
+
+    def check_invariant(self) -> None:
+        """Verify the Path ORAM invariant for every block (test hook)."""
+        z = self.geometry.blocks_per_bucket
+        positions = np.nonzero(self._slot_addr >= 0)[0]
+        located = {
+            int(self._slot_addr[pos]): int(pos) // z for pos in positions.tolist()
+        }
+        for address in range(self.n_blocks):
+            if address in self._stash:
+                continue
+            bucket_index = located.get(address)
+            if bucket_index is None:
+                continue
+            leaf = self.position_map.lookup(address)
+            path = path_bucket_indices(self.geometry, leaf)
+            if bucket_index not in path:
+                raise AssertionError(
+                    f"block {address} (leaf {leaf}) found in off-path bucket "
+                    f"{bucket_index}"
+                )
+
+    # ------------------------------------------------------------------
+    # Core batch machinery
+    # ------------------------------------------------------------------
+
+    def _access_batch_core(
+        self,
+        addresses: np.ndarray,
+        writes: np.ndarray | None,
+        payloads: np.ndarray | None,
+        mutators: list | None,
+        collect: bool,
+    ) -> np.ndarray | None:
+        geometry = self.geometry
+        levels = geometry.levels
+        z = geometry.blocks_per_bucket
+        block_bytes = geometry.block_bytes
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.shape[0]
+        out = np.zeros((n, block_bytes), dtype=np.uint8) if collect else None
+        if n == 0:
+            return out
+        real = addresses != DUMMY_ADDRESS
+        bad = real & ((addresses < 0) | (addresses >= self.n_blocks))
+        if np.any(bad):
+            raise KeyError(
+                f"address {int(addresses[bad][0])} outside [0, {self.n_blocks})"
+            )
+        write_list = (
+            [False] * n
+            if writes is None
+            else np.asarray(writes, dtype=bool).tolist()
+        )
+        if payloads is not None:
+            payloads = normalize_payloads(payloads, n, block_bytes)
+
+        # Phase 1: one RNG call for every access's uniform leaf, then a
+        # scalar sweep to resolve path leaves (position-map reads are
+        # sequentially dependent when a batch repeats an address), then
+        # one vectorized heap walk for all path bucket indices and the
+        # flattened slot index window of every path.
+        draws = self.position_map.draw_leaves(n)
+        draw_list = draws.tolist()
+        path_leaves = np.empty(n, dtype=np.int64)
+        address_list = addresses.tolist()
+        replace = self.position_map.replace
+        for i, address in enumerate(address_list):
+            if address == DUMMY_ADDRESS:
+                path_leaves[i] = draw_list[i]
+            else:
+                path_leaves[i] = replace(address, draw_list[i])
+        paths = path_bucket_indices_batch(geometry, path_leaves)
+        flat_slots = (paths[:, :, None] * z + np.arange(z, dtype=np.int64)).reshape(
+            n, levels * z
+        )
+        path_rows = paths.tolist()
+        leaf_list = path_leaves.tolist()
+
+        # Phase 2: per-access path read + canonical greedy write-back.
+        # All O(tree) state is touched through a handful of array ops;
+        # the O(stash) bookkeeping runs on plain ints (the stash is tiny
+        # by the Path ORAM guarantee, where array-call overhead loses).
+        slot_addr = self._slot_addr
+        slot_leaf = self._slot_leaf
+        stash = self._stash
+        capacity = self._stash_capacity
+        level_top = levels - 1
+        occupancies = []
+        for i, address in enumerate(address_list):
+            window = flat_slots[i]
+            # --- path read: gather slot metadata, stash the real blocks
+            window_addr = slot_addr.take(window)
+            present = np.nonzero(window_addr >= 0)[0]
+            if present.size:
+                stash.update(
+                    zip(
+                        window_addr.take(present).tolist(),
+                        slot_leaf.take(window.take(present)).tolist(),
+                    )
+                )
+            # --- serve the request out of the stash
+            if address != DUMMY_ADDRESS:
+                stash[address] = draw_list[i]  # remap to the fresh leaf
+                mutate = mutators[i] if mutators is not None else None
+                if mutate is not None:
+                    current = self._payload(address)
+                    new_data = mutate(current)
+                    if len(new_data) > block_bytes:
+                        raise ValueError(
+                            f"payload of {len(new_data)} bytes exceeds block "
+                            f"size {block_bytes}"
+                        )
+                    self._block_data[address] = bytes(new_data).ljust(
+                        block_bytes, b"\x00"
+                    )
+                    self.stats.writes += 1
+                elif write_list[i]:
+                    if payloads is not None:
+                        self._block_data[address] = payloads[i].tobytes()
+                    else:
+                        self._block_data[address] = default_payload(
+                            address, block_bytes
+                        )
+                    self.stats.writes += 1
+                else:
+                    self.stats.reads += 1
+                if collect:
+                    out[i] = np.frombuffer(self._payload(address), dtype=np.uint8)
+            else:
+                self.stats.dummies += 1
+            if capacity is not None and len(stash) > capacity:
+                raise StashOverflowError(
+                    f"stash exceeded capacity of {capacity} blocks"
+                )
+            # --- canonical greedy write-back (shared contract with the
+            # reference kernel: depth descending, address ascending)
+            slot_addr[window] = DUMMY_ADDRESS
+            if stash:
+                leaf = leaf_list[i]
+                entries = []
+                for block_address, block_leaf in stash.items():
+                    differing = leaf ^ block_leaf
+                    depth = (
+                        level_top
+                        if differing == 0
+                        else level_top - differing.bit_length()
+                    )
+                    entries.append((-depth, block_address))
+                entries.sort()
+                placement = assign_levels(
+                    [-negdepth for negdepth, _ in entries], levels, z
+                )
+                rows = path_rows[i]
+                positions = []
+                placed_addr = []
+                placed_leaf = []
+                slot = 0
+                previous_level = -1
+                for (_, block_address), level in zip(entries, placement):
+                    if level < 0:
+                        break  # depths are sorted: the rest stay stashed too
+                    slot = slot + 1 if level == previous_level else 0
+                    previous_level = level
+                    positions.append(rows[level] * z + slot)
+                    placed_addr.append(block_address)
+                    placed_leaf.append(stash.pop(block_address))
+                if positions:
+                    slot_addr[positions] = placed_addr
+                    slot_leaf[positions] = placed_leaf
+            occupancies.append(len(stash))
+        self.stats.buckets_touched += 2 * levels * n
+        self.stats.record_stash_batch(np.asarray(occupancies, dtype=np.int64))
+        return out
+
+    # ------------------------------------------------------------------
+    # Payload pool helpers
+    # ------------------------------------------------------------------
+
+    def _payload(self, address: int) -> bytes:
+        data = self._block_data[address]
+        return self._zero_block if data is None else data
+
+    def _payload_matrix(self, addresses: list[int]) -> np.ndarray:
+        rows = np.zeros((len(addresses), self.geometry.block_bytes), dtype=np.uint8)
+        for row, address in enumerate(addresses):
+            data = self._block_data[address]
+            if data is not None:
+                rows[row] = np.frombuffer(data, dtype=np.uint8)
+        return rows

@@ -7,43 +7,296 @@ block, and greedily writing the path back.  Dummy accesses — reads/writes
 of a uniformly random path — are first-class citizens because the timing
 protection schemes in :mod:`repro.core` depend on them.
 
+This module is the **reference kernel** of the two-kernel ORAM
+architecture (mirroring :mod:`repro.cache.vectorized` /
+:mod:`repro.sim.timing`): the batched array engine in
+:mod:`repro.oram.engine` produces bit-identical stash, position-map, and
+bucket state while running the per-access work in numpy.  The contract
+between them is pinned down by three shared pieces:
+
+* the **canonical greedy write-back** (:func:`assign_levels`): eligible
+  stash blocks ordered by (eligibility depth descending, address
+  ascending) fill path buckets deepest-first — a deterministic rule both
+  kernels implement exactly;
+* the **RNG stream**: one uniform leaf draw per access, in access order,
+  from the position map's generator (a batched ``integers(size=n)`` call
+  consumes the identical stream);
+* the **state digest** (:func:`digest_state`): a canonical serialization
+  of position map + stash + per-bucket slot-ordered plaintext blocks,
+  compared by the equivalence suites and the perf gate.
+
 The timing models elsewhere in the repository do not execute this
-controller per access (that would be needlessly slow); they use the latency
-and energy constants derived from its geometry in :mod:`repro.oram.timing`.
-This module exists to (a) demonstrate the substrate end-to-end, (b) back
-the security demos (probe adversary, malicious program), and (c) anchor the
-property tests for the Path ORAM invariant.
+controller per access; they use the latency and energy constants derived
+from its geometry in :mod:`repro.oram.timing` — and the batched engine
+is what lets :mod:`repro.analysis.stash_scaling` validate those
+constants (and the stash-occupancy assumption) at millions of accesses.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.oram.backend import UntrustedMemory
-from repro.oram.block import Block, deserialize_bucket, serialize_bucket
+from repro.oram.block import Block, DUMMY_ADDRESS, deserialize_bucket, serialize_bucket
 from repro.oram.config import ORAMConfig, TreeGeometry
 from repro.oram.encryption import ProbabilisticCipher
 from repro.oram.position_map import FlatPositionMap
 from repro.oram.stash import Stash
 from repro.oram.tree import common_prefix_level, path_bucket_indices
+from repro.util.rng import make_rng
+
+#: Default reservoir size for stash-occupancy samples (satellite of the
+#: exact peak/mean/histogram counters, which are unbounded-safe).
+STASH_RESERVOIR_SIZE = 1024
 
 
 @dataclass
 class AccessStats:
-    """Counters accumulated by a :class:`PathORAM` instance."""
+    """Counters accumulated by a :class:`PathORAM` instance.
+
+    Stash occupancy is tracked three ways, all bounded in memory no
+    matter how many accesses run:
+
+    * **exact counters** — :attr:`stash_peak`, :attr:`stash_sum` /
+      :attr:`stash_samples_seen` (so :attr:`stash_mean` is exact);
+    * **exact histogram** — :meth:`stash_histogram`, one counter per
+      occupancy value, the input to tail-probability analysis;
+    * **reservoir sample** — :attr:`stash_occupancy_samples`, a uniform
+      ``reservoir_size``-element sample of the full occupancy stream for
+      consumers that want raw samples (quantiles, plots).
+    """
 
     reads: int = 0
     writes: int = 0
     dummies: int = 0
     buckets_touched: int = 0
     stash_peak: int = 0
-    stash_occupancy_samples: list[int] = field(default_factory=list)
+    stash_sum: int = 0
+    stash_samples_seen: int = 0
+    reservoir_size: int = STASH_RESERVOIR_SIZE
+    _reservoir: list[int] = field(default_factory=list, repr=False, compare=False)
+    _hist: np.ndarray = field(
+        default_factory=lambda: np.zeros(64, dtype=np.int64), repr=False, compare=False
+    )
+    _rng: np.random.Generator = field(
+        default_factory=lambda: make_rng(0, "stash-reservoir"),
+        repr=False,
+        compare=False,
+    )
 
     @property
     def total_accesses(self) -> int:
         """Real plus dummy accesses."""
         return self.reads + self.writes + self.dummies
+
+    @property
+    def stash_mean(self) -> float:
+        """Exact mean stash occupancy over every sampled access."""
+        if self.stash_samples_seen == 0:
+            return 0.0
+        return self.stash_sum / self.stash_samples_seen
+
+    @property
+    def stash_occupancy_samples(self) -> list[int]:
+        """Uniform reservoir sample of per-access stash occupancy.
+
+        Until ``reservoir_size`` accesses have run this is the complete
+        sample list (so small-run consumers see exactly what they did
+        before the reservoir existed); past that it stays a fixed-size
+        uniform subsample instead of growing per access.
+        """
+        return list(self._reservoir)
+
+    def stash_histogram(self) -> np.ndarray:
+        """Exact occupancy histogram: ``hist[k]`` = accesses with stash == k."""
+        top = int(np.max(np.nonzero(self._hist)[0])) if self._hist.any() else 0
+        return self._hist[: top + 1].copy()
+
+    def stash_tail_probability(self, threshold: int) -> float:
+        """Fraction of sampled accesses with occupancy > ``threshold`` (exact)."""
+        if self.stash_samples_seen == 0:
+            return 0.0
+        hist = self._hist
+        if threshold + 1 >= hist.size:
+            return 0.0
+        return float(hist[threshold + 1 :].sum()) / self.stash_samples_seen
+
+    def record_stash(self, occupancy: int) -> None:
+        """Record one post-access stash occupancy sample.
+
+        Scalar counterpart of :meth:`record_stash_batch` (same counters,
+        same one-uniform-draw-per-sample reservoir schedule) kept
+        allocation-free: the reference kernel calls this once per
+        access, where per-sample numpy temporaries would tax the very
+        oracle the speedup floors are measured against.
+        """
+        occupancy = int(occupancy)
+        if occupancy > self.stash_peak:
+            self.stash_peak = occupancy
+        self.stash_sum += occupancy
+        if occupancy >= self._hist.size:
+            grown = np.zeros(max(occupancy + 1, 2 * self._hist.size), dtype=np.int64)
+            grown[: self._hist.size] = self._hist
+            self._hist = grown
+        self._hist[occupancy] += 1
+        self.stash_samples_seen += 1
+        reservoir = self._reservoir
+        if len(reservoir) < self.reservoir_size:
+            reservoir.append(occupancy)
+            return
+        slot = int(self._rng.random() * self.stash_samples_seen)
+        if slot < self.reservoir_size:
+            reservoir[slot] = occupancy
+
+    def record_stash_batch(self, occupancies: np.ndarray) -> None:
+        """Record a batch of occupancy samples (exact counters + reservoir)."""
+        occ = np.asarray(occupancies, dtype=np.int64)
+        if occ.size == 0:
+            return
+        peak = int(occ.max())
+        self.stash_peak = max(self.stash_peak, peak)
+        self.stash_sum += int(occ.sum())
+        if peak >= self._hist.size:
+            grown = np.zeros(max(peak + 1, 2 * self._hist.size), dtype=np.int64)
+            grown[: self._hist.size] = self._hist
+            self._hist = grown
+        self._hist += np.bincount(occ, minlength=self._hist.size)
+        start = self.stash_samples_seen
+        self.stash_samples_seen += occ.size
+        reservoir = self._reservoir
+        fill = min(max(self.reservoir_size - len(reservoir), 0), occ.size)
+        if fill:
+            reservoir.extend(int(v) for v in occ[:fill])
+        if fill >= occ.size:
+            return
+        # Algorithm R over the remainder: sample t is kept with
+        # probability size/t, replacing a uniform slot.  Vectorized: one
+        # uniform draw per sample, scalar writes only for the acceptances
+        # (O(size * log) expected over a long stream).
+        rest = occ[fill:]
+        totals = start + fill + np.arange(1, rest.size + 1, dtype=np.int64)
+        slots = (self._rng.random(rest.size) * totals).astype(np.int64)
+        hits = np.nonzero(slots < self.reservoir_size)[0]
+        for k in hits.tolist():
+            reservoir[int(slots[k])] = int(rest[k])
+
+
+def default_payload(address: int, block_bytes: int) -> bytes:
+    """Canonical write payload for trace-driven accesses without data.
+
+    Both kernels stamp the block address little-endian into the payload,
+    so trace replays produce checkable block contents without the caller
+    shipping a payload array.
+    """
+    return (address & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "little")[:block_bytes].ljust(
+        block_bytes, b"\x00"
+    )
+
+
+def normalize_payloads(payloads, n: int, block_bytes: int) -> np.ndarray:
+    """Validate and zero-pad a payload batch to ``(n, block_bytes)`` uint8.
+
+    Shared by both kernels so malformed payload batches fail identically:
+    wrong row count or an over-wide payload raises ``ValueError``; narrow
+    payloads are padded with zeros (the array counterpart of the scalar
+    path's ``ljust``).
+    """
+    rows = np.asarray(payloads, dtype=np.uint8)
+    if rows.ndim != 2 or rows.shape[0] != n:
+        raise ValueError(
+            f"payloads must have shape ({n}, <= {block_bytes}), got {rows.shape}"
+        )
+    if rows.shape[1] > block_bytes:
+        raise ValueError(
+            f"payload of {rows.shape[1]} bytes exceeds block size {block_bytes}"
+        )
+    if rows.shape[1] < block_bytes:
+        padded = np.zeros((n, block_bytes), dtype=np.uint8)
+        padded[:, : rows.shape[1]] = rows
+        rows = padded
+    return rows
+
+
+def assign_levels(depths: Sequence[int], levels: int, z: int) -> list[int]:
+    """Canonical greedy write-back placement (the shared kernel contract).
+
+    ``depths`` are the deepest eligible path levels of the stash blocks,
+    **sorted descending** (ties broken by ascending block address before
+    calling).  Returns the assigned path level per block, or ``-1`` for
+    blocks that stay in the stash.
+
+    Equivalent to the textbook per-level greedy — level ``levels-1``
+    down to the root, each taking up to ``z`` not-yet-placed blocks with
+    ``depth >= level`` in canonical order — because with descending
+    depths each level's eligible set is a prefix of the order, so a
+    single pointer walk reproduces the per-level selection exactly.
+    """
+    assigned: list[int] = []
+    level = levels - 1
+    capacity = z
+    for depth in depths:
+        if depth < level:
+            level = depth
+            capacity = z
+        if level < 0:
+            assigned.append(-1)
+            continue
+        assigned.append(level)
+        capacity -= 1
+        if capacity == 0:
+            level -= 1
+            capacity = z
+    return assigned
+
+
+def digest_state(
+    geometry: TreeGeometry,
+    n_blocks: int,
+    posmap_leaves: np.ndarray,
+    stash_addr: np.ndarray,
+    stash_leaf: np.ndarray,
+    stash_data: np.ndarray,
+    bucket_addr: np.ndarray,
+    bucket_leaf: np.ndarray,
+    bucket_real_data: np.ndarray,
+) -> str:
+    """Canonical digest of full controller state (the equivalence contract).
+
+    Covers the position map, the stash (sorted by address), and every
+    real block in the tree in (bucket, slot) order — address, leaf, and
+    payload bytes each.  Two controllers with equal digests hold
+    bit-identical logical state; ciphertext bytes are deliberately
+    outside the contract (the probabilistic cipher is fresh per write).
+
+    ``stash_*`` must already be sorted by address; ``bucket_addr`` and
+    ``bucket_leaf`` have shape ``(n_buckets, z)`` with ``DUMMY_ADDRESS``
+    marking empty slots, and ``bucket_real_data`` carries only the real
+    blocks' payload rows, in (bucket, slot) order — one row per valid
+    slot, row-major.
+    """
+    h = hashlib.sha256()
+    header = np.asarray(
+        [geometry.levels, geometry.blocks_per_bucket, geometry.block_bytes, n_blocks],
+        dtype=np.int64,
+    )
+    h.update(header.tobytes())
+    h.update(np.ascontiguousarray(posmap_leaves, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(stash_addr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(stash_leaf, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(stash_data, dtype=np.uint8).tobytes())
+    mask = bucket_addr >= 0
+    rows, slots = np.nonzero(mask)  # row-major: (bucket, slot) order
+    h.update(rows.astype(np.int64).tobytes())
+    h.update(slots.astype(np.int64).tobytes())
+    h.update(np.ascontiguousarray(bucket_addr[mask], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(bucket_leaf[mask], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(bucket_real_data, dtype=np.uint8).tobytes())
+    return h.hexdigest()
 
 
 class PathORAM:
@@ -55,6 +308,11 @@ class PathORAM:
         key: Encryption key for bucket ciphertexts (random if omitted).
         seed: Seed for leaf remapping randomness.
         stash_capacity: Optional hard stash bound (raises on overflow).
+        cipher: Bucket cipher; defaults to a fresh
+            :class:`~repro.oram.encryption.ProbabilisticCipher` (the
+            security demos need ciphertext freshness).  Pass a
+            :class:`~repro.oram.encryption.NullCipher` for simulation
+            runs where only data movement matters.
     """
 
     def __init__(
@@ -64,6 +322,7 @@ class PathORAM:
         key: bytes | None = None,
         seed: int = 0,
         stash_capacity: int | None = None,
+        cipher=None,
     ) -> None:
         if n_blocks <= 0:
             raise ValueError(f"n_blocks must be positive, got {n_blocks}")
@@ -73,7 +332,9 @@ class PathORAM:
             )
         self.geometry = geometry
         self.n_blocks = n_blocks
-        self._cipher = ProbabilisticCipher(key if key is not None else os.urandom(16))
+        if cipher is None:
+            cipher = ProbabilisticCipher(key if key is not None else os.urandom(16))
+        self._cipher = cipher
         self.position_map = FlatPositionMap(n_blocks, geometry.n_leaves, seed=seed)
         self.stash = Stash(capacity_blocks=stash_capacity)
         self.memory = UntrustedMemory(geometry.n_buckets)
@@ -115,6 +376,130 @@ class PathORAM:
         self._write_path(leaf)
         self.stats.dummies += 1
         self._sample_stash()
+
+    def access_batch(
+        self,
+        addresses: np.ndarray,
+        is_write: np.ndarray | None = None,
+        payloads: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Service a batch of accesses; returns the resulting block values.
+
+        ``addresses`` is an int array where :data:`~repro.oram.block.DUMMY_ADDRESS`
+        (-1) marks a dummy access; ``is_write`` flags writes (ignored for
+        dummies); ``payloads`` optionally carries write data as a
+        ``(n, block_bytes)`` uint8 array, defaulting to
+        :func:`default_payload` per address.  The result is a
+        ``(n, block_bytes)`` uint8 array — zeros for dummy rows.
+
+        The reference kernel services the batch as a scalar loop; the
+        batched engine overrides this with the array implementation.
+        The *outputs and final state* are identical by contract.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        writes = (
+            np.zeros(addresses.shape[0], dtype=bool)
+            if is_write is None
+            else np.asarray(is_write, dtype=bool)
+        )
+        block_bytes = self.geometry.block_bytes
+        if payloads is not None:
+            payloads = normalize_payloads(payloads, addresses.shape[0], block_bytes)
+        out = np.zeros((addresses.shape[0], block_bytes), dtype=np.uint8)
+        for i, address in enumerate(addresses.tolist()):
+            if address == DUMMY_ADDRESS:
+                self.dummy_access()
+                continue
+            if writes[i]:
+                if payloads is not None:
+                    data = bytes(payloads[i])
+                else:
+                    data = default_payload(address, block_bytes)
+                self.write(address, data)
+                out[i] = np.frombuffer(data.ljust(block_bytes, b"\x00"), dtype=np.uint8)
+            else:
+                out[i] = np.frombuffer(self.read(address), dtype=np.uint8)
+        return out
+
+    def run_trace(
+        self,
+        addresses: np.ndarray,
+        is_write: np.ndarray | None = None,
+        payloads: np.ndarray | None = None,
+        batch_size: int = 4096,
+        collect: bool = False,
+    ) -> np.ndarray | None:
+        """Replay a whole access trace through :meth:`access_batch`.
+
+        Processes ``addresses`` in ``batch_size`` chunks; with
+        ``collect=True`` returns the concatenated block values (memory
+        proportional to the trace — leave False for million-access runs
+        and read :attr:`stats` instead).  Shared verbatim by the batched
+        engine, which overrides :meth:`_access_batch_collect` to skip
+        materializing result rows entirely when not collecting.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for start in range(0, addresses.shape[0], batch_size):
+            stop = start + batch_size
+            result = self._access_batch_collect(
+                addresses[start:stop],
+                None if is_write is None else is_write[start:stop],
+                None if payloads is None else payloads[start:stop],
+                collect,
+            )
+            if collect:
+                chunks.append(result)
+        if not collect:
+            return None
+        if not chunks:
+            return np.zeros((0, self.geometry.block_bytes), dtype=np.uint8)
+        return np.concatenate(chunks, axis=0)
+
+    def _access_batch_collect(
+        self,
+        addresses: np.ndarray,
+        is_write: np.ndarray | None,
+        payloads: np.ndarray | None,
+        collect: bool,
+    ) -> np.ndarray | None:
+        """One trace chunk; ``collect=False`` may skip building results."""
+        result = self.access_batch(addresses, is_write, payloads)
+        return result if collect else None
+
+    def state_checksum(self) -> str:
+        """Canonical digest of position map + stash + tree (see :func:`digest_state`)."""
+        geometry = self.geometry
+        z = geometry.blocks_per_bucket
+        block_bytes = geometry.block_bytes
+        bucket_addr = np.full((geometry.n_buckets, z), DUMMY_ADDRESS, dtype=np.int64)
+        bucket_leaf = np.zeros((geometry.n_buckets, z), dtype=np.int64)
+        real_rows: list[bytes] = []
+        for bucket in range(geometry.n_buckets):
+            for slot, block in enumerate(self._load_bucket(bucket)):
+                bucket_addr[bucket, slot] = block.address
+                bucket_leaf[bucket, slot] = block.leaf
+                real_rows.append(block.data)
+        bucket_data = np.zeros((len(real_rows), block_bytes), dtype=np.uint8)
+        for row, data in enumerate(real_rows):
+            bucket_data[row] = np.frombuffer(data, dtype=np.uint8)
+        stash_blocks = sorted(self.stash.blocks(), key=lambda b: b.address)
+        stash_addr = np.asarray([b.address for b in stash_blocks], dtype=np.int64)
+        stash_leaf = np.asarray([b.leaf for b in stash_blocks], dtype=np.int64)
+        stash_data = np.zeros((len(stash_blocks), block_bytes), dtype=np.uint8)
+        for row, block in enumerate(stash_blocks):
+            stash_data[row] = np.frombuffer(block.data, dtype=np.uint8)
+        return digest_state(
+            geometry,
+            self.n_blocks,
+            self.position_map.snapshot(),
+            stash_addr,
+            stash_leaf,
+            stash_data,
+            bucket_addr,
+            bucket_leaf,
+            bucket_data,
+        )
 
     def check_invariant(self) -> None:
         """Verify the Path ORAM invariant for every block (test hook).
@@ -181,30 +566,29 @@ class PathORAM:
             self.stats.buckets_touched += 1
 
     def _write_path(self, leaf: int) -> None:
-        """Greedy write-back: deepest buckets grab eligible blocks first."""
+        """Canonical greedy write-back (see :func:`assign_levels`)."""
         path = path_bucket_indices(self.geometry, leaf)
-        # Group stashed blocks by the deepest level they may occupy on this
-        # path (the common-prefix level of their leaf with the access leaf).
-        eligible_by_level: dict[int, list[Block]] = {}
-        for block in self.stash.blocks():
-            depth = common_prefix_level(self.geometry, leaf, block.leaf)
-            eligible_by_level.setdefault(depth, []).append(block)
-        placed_addresses: list[int] = []
+        blocks = self.stash.blocks()
+        depths = [
+            common_prefix_level(self.geometry, leaf, block.leaf) for block in blocks
+        ]
+        order = sorted(
+            range(len(blocks)), key=lambda i: (-depths[i], blocks[i].address)
+        )
+        placement = assign_levels(
+            [depths[i] for i in order],
+            self.geometry.levels,
+            self.geometry.blocks_per_bucket,
+        )
+        chosen: list[list[Block]] = [[] for _ in range(self.geometry.levels)]
+        for rank, level in zip(order, placement):
+            if level >= 0:
+                chosen[level].append(blocks[rank])
         for level in range(self.geometry.levels - 1, -1, -1):
-            chosen: list[Block] = []
-            # A block whose deepest eligible level is >= this level fits here.
-            for depth in range(self.geometry.levels - 1, level - 1, -1):
-                candidates = eligible_by_level.get(depth)
-                while candidates and len(chosen) < self.geometry.blocks_per_bucket:
-                    chosen.append(candidates.pop())
-                if len(chosen) >= self.geometry.blocks_per_bucket:
-                    break
-            for block in chosen:
-                placed_addresses.append(block.address)
-            self._store_bucket(path[level], chosen)
+            for block in chosen[level]:
+                self.stash.remove(block.address)
+            self._store_bucket(path[level], chosen[level])
             self.stats.buckets_touched += 1
-        for address in placed_addresses:
-            self.stash.remove(address)
 
     # ------------------------------------------------------------------
     # Bucket (de)serialization + encryption
@@ -231,9 +615,7 @@ class PathORAM:
         self.memory.write(bucket_index, self._cipher.encrypt(plaintext))
 
     def _sample_stash(self) -> None:
-        occupancy = len(self.stash)
-        self.stats.stash_peak = max(self.stats.stash_peak, occupancy)
-        self.stats.stash_occupancy_samples.append(occupancy)
+        self.stats.record_stash(len(self.stash))
 
 
 def make_path_oram(
@@ -241,12 +623,20 @@ def make_path_oram(
     n_blocks: int | None = None,
     seed: int = 0,
     stash_capacity: int | None = None,
-) -> PathORAM:
+    mode: str = "reference",
+    cipher=None,
+):
     """Convenience constructor from an :class:`ORAMConfig`.
 
     Uses the data-ORAM geometry with a flat position map (no recursion);
     see :mod:`repro.oram.recursion` for the recursive composition.
+    ``mode`` selects the kernel: ``"reference"`` (default, the scalar
+    controller above — required by the security demos, which probe its
+    encrypted :class:`~repro.oram.backend.UntrustedMemory`) or ``"fast"``
+    (the batched array engine in :mod:`repro.oram.engine`).
     """
+    if mode not in ("fast", "reference"):
+        raise ValueError(f"mode must be 'fast' or 'reference', got {mode!r}")
     if config is None:
         from repro.oram.config import TEST_ORAM_CONFIG
 
@@ -254,4 +644,17 @@ def make_path_oram(
     geometry = config.data_geometry()
     if n_blocks is None:
         n_blocks = min(config.n_blocks, geometry.n_slots // 2)
-    return PathORAM(geometry, n_blocks, seed=seed, stash_capacity=stash_capacity)
+    if mode == "fast":
+        if cipher is not None and not getattr(cipher, "is_null", False):
+            raise ValueError(
+                "mode='fast' keeps no ciphertext (implicit null cipher); pass "
+                "cipher=None / a NullCipher, or use mode='reference'"
+            )
+        from repro.oram.engine import BatchedPathORAM
+
+        return BatchedPathORAM(
+            geometry, n_blocks, seed=seed, stash_capacity=stash_capacity
+        )
+    return PathORAM(
+        geometry, n_blocks, seed=seed, stash_capacity=stash_capacity, cipher=cipher
+    )

@@ -55,6 +55,40 @@ class FlatPositionMap:
         """A uniform leaf label (used for dummy accesses)."""
         return int(self._rng.integers(0, self._n_leaves))
 
+    # ------------------------------------------------------------------
+    # Batched surface (the array engine's access path).  numpy draws a
+    # sized ``integers`` request element-by-element with the same bounded
+    # generator as repeated scalar calls, so one ``draw_leaves(n)`` call
+    # consumes the *identical* random stream as ``n`` scalar
+    # ``remap``/``random_leaf`` calls — the property the batched/reference
+    # kernel equivalence rests on.
+    # ------------------------------------------------------------------
+
+    def draw_leaves(self, n: int) -> np.ndarray:
+        """Draw ``n`` uniform leaf labels in one call (advances the RNG)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return self._rng.integers(0, self._n_leaves, size=n, dtype=np.int64)
+
+    def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Current leaf labels for an address array (no remapping)."""
+        return self._leaves[addresses]
+
+    def replace(self, address: int, new_leaf: int) -> int:
+        """Install a caller-drawn leaf; return the old one.
+
+        This is :meth:`remap` with the randomness hoisted out so a batch
+        engine can pre-draw all of a batch's leaves with one RNG call.
+        """
+        self._check(address)
+        old_leaf = int(self._leaves[address])
+        self._leaves[address] = new_leaf
+        return old_leaf
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full leaf array (for state checksums)."""
+        return self._leaves.copy()
+
     def _check(self, address: int) -> None:
         if not 0 <= address < len(self._leaves):
             raise KeyError(f"address {address} outside [0, {len(self._leaves)})")

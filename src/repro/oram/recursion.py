@@ -11,12 +11,22 @@ direction and the 1488-cycle latency come from.
 instances so the full access protocol can be executed and tested
 end-to-end.  Leaf labels for level ``i`` are packed
 ``labels_per_recursive_block`` to a block in the level ``i+1`` ORAM.
+
+``mode="fast"`` swaps every tree for the batched array engine
+(:class:`~repro.oram.engine.BatchedPathORAM`): the per-level position-map
+read-modify-writes and the data access all run on the vectorized kernel,
+and :meth:`RecursivePathORAM.run_trace` replays whole logical traces
+that way.  Both modes draw from identical RNG streams, so final state is
+bit-identical between them (same contract as the flat kernels).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.oram.block import DUMMY_ADDRESS
 from repro.oram.config import ORAMConfig, TreeGeometry
 from repro.oram.path_oram import PathORAM
 from repro.util.bitops import ceil_div
@@ -47,24 +57,29 @@ class RecursivePathORAM:
     ``i+1`` stores the leaf labels of ``fan_out`` blocks at level ``i``.
     """
 
-    def __init__(self, config: ORAMConfig, n_blocks: int, seed: int = 0) -> None:
+    def __init__(
+        self, config: ORAMConfig, n_blocks: int, seed: int = 0, mode: str = "reference"
+    ) -> None:
         if config.recursion_levels < 1:
             raise ValueError("RecursivePathORAM requires recursion_levels >= 1")
         if n_blocks <= 0:
             raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        if mode not in ("fast", "reference"):
+            raise ValueError(f"mode must be 'fast' or 'reference', got {mode!r}")
         self.config = config
         self.n_blocks = n_blocks
+        self.mode = mode
         self.fan_out = config.labels_per_recursive_block
         self._rng = make_rng(seed, "recursive-oram")
         self.stats = RecursiveStats()
 
         # Build data ORAM + one posmap ORAM per recursion level.  Block
         # counts shrink by fan_out at each level.
-        self._orams: list[PathORAM] = []
+        self._orams: list = []
         level_blocks = n_blocks
         geometries = self._geometries_for(n_blocks)
         for level, geometry in enumerate(geometries):
-            oram = PathORAM(
+            oram = self._build_tree(
                 geometry,
                 n_blocks=level_blocks,
                 seed=derive_seed(seed, f"oram-level-{level}"),
@@ -88,9 +103,22 @@ class RecursivePathORAM:
         return len(self._orams)
 
     @property
-    def data_oram(self) -> PathORAM:
+    def data_oram(self):
         """The level-0 (data) ORAM."""
         return self._orams[0]
+
+    def state_checksum(self) -> str:
+        """Digest over every tree's state plus the on-chip map.
+
+        The recursive arm of the fast/reference equivalence contract.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for oram in self._orams:
+            h.update(bytes.fromhex(oram.state_checksum()))
+        h.update(np.asarray(self._onchip_map, dtype=np.int64).tobytes())
+        return h.hexdigest()
 
     def read(self, address: int) -> bytes:
         """Read a data block, walking the full recursion."""
@@ -107,7 +135,43 @@ class RecursivePathORAM:
             self.stats.physical_path_accesses += 1
         self.stats.logical_accesses += 1
 
+    def run_trace(
+        self, addresses: np.ndarray, is_write: np.ndarray | None = None
+    ) -> None:
+        """Replay a logical access trace through the full recursion.
+
+        ``addresses`` uses :data:`~repro.oram.block.DUMMY_ADDRESS` rows
+        for dummy accesses; ``is_write`` flags writes (default payloads
+        per :func:`~repro.oram.path_oram.default_payload`).  Each logical
+        access still walks every recursion level in protocol order — the
+        speedup comes from every tree being the batched engine in
+        ``mode="fast"``.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        writes = (
+            np.zeros(addresses.shape[0], dtype=bool)
+            if is_write is None
+            else np.asarray(is_write, dtype=bool)
+        )
+        from repro.oram.path_oram import default_payload
+
+        block_bytes = self._orams[0].geometry.block_bytes
+        for i, address in enumerate(addresses.tolist()):
+            if address == DUMMY_ADDRESS:
+                self.dummy_access()
+            elif writes[i]:
+                self.write(address, default_payload(address, block_bytes))
+            else:
+                self.read(address)
+
     # ------------------------------------------------------------------
+
+    def _build_tree(self, geometry: TreeGeometry, n_blocks: int, seed: int):
+        if self.mode == "fast":
+            from repro.oram.engine import BatchedPathORAM
+
+            return BatchedPathORAM(geometry, n_blocks=n_blocks, seed=seed)
+        return PathORAM(geometry, n_blocks=n_blocks, seed=seed)
 
     def _geometries_for(self, n_blocks: int) -> list[TreeGeometry]:
         geometries = [

@@ -67,6 +67,45 @@ class ORAMTiming:
         )
 
 
+def timing_from_counts(
+    total_bytes: int,
+    buckets_touched: int,
+    link: DramLinkParameters | None = None,
+    aes_nj_per_chunk: float = 0.416,
+    stash_nj_per_chunk: float = 0.134,
+    dram_ctrl_nj_per_cycle: float = 0.076,
+) -> ORAMTiming:
+    """Latency/energy chain from per-access byte and bucket counts.
+
+    This is steps 2-4 of the derivation (DRAM cycles from pin bandwidth
+    plus per-bucket row overhead, clock-domain conversion, Table 2
+    energy), factored out so the counts can come either from the
+    configured geometry (:func:`derive_timing`) or from *measured*
+    functional-engine traffic
+    (:func:`repro.analysis.stash_scaling.validate_timing`) — the
+    calibration that checks the constants the timing simulator takes on
+    faith against what the executable substrate actually touches.
+    """
+    if link is None:
+        link = DramLinkParameters()
+    transfer_cycles = ceil_div(total_bytes, link.bytes_per_dram_cycle)
+    dram_cycles = transfer_cycles + int(
+        round(buckets_touched * link.row_overhead_cycles_per_bucket)
+    )
+    cpu_cycles = int(round(dram_cycles * link.cpu_cycles_per_dram_cycle))
+    chunks = chunk_count(total_bytes)
+    energy_nj = (
+        chunks * (aes_nj_per_chunk + stash_nj_per_chunk)
+        + dram_cycles * dram_ctrl_nj_per_cycle
+    )
+    return ORAMTiming(
+        latency_cycles=cpu_cycles,
+        bytes_per_access=total_bytes,
+        dram_cycles_per_access=dram_cycles,
+        energy_nj=energy_nj,
+    )
+
+
 def derive_timing(
     config: ORAMConfig | None = None,
     link: DramLinkParameters | None = None,
@@ -87,30 +126,18 @@ def derive_timing(
     """
     if config is None:
         config = PAPER_ORAM_CONFIG
-    if link is None:
-        link = DramLinkParameters()
 
     geometries = config.all_geometries()
     path_bytes_one_way = sum(geometry.path_bytes for geometry in geometries)
     total_bytes = 2 * path_bytes_one_way
     buckets_touched = 2 * sum(geometry.levels for geometry in geometries)
-
-    transfer_cycles = ceil_div(total_bytes, link.bytes_per_dram_cycle)
-    dram_cycles = transfer_cycles + int(
-        round(buckets_touched * link.row_overhead_cycles_per_bucket)
-    )
-    cpu_cycles = int(round(dram_cycles * link.cpu_cycles_per_dram_cycle))
-
-    chunks = chunk_count(total_bytes)
-    energy_nj = (
-        chunks * (aes_nj_per_chunk + stash_nj_per_chunk)
-        + dram_cycles * dram_ctrl_nj_per_cycle
-    )
-    return ORAMTiming(
-        latency_cycles=cpu_cycles,
-        bytes_per_access=total_bytes,
-        dram_cycles_per_access=dram_cycles,
-        energy_nj=energy_nj,
+    return timing_from_counts(
+        total_bytes,
+        buckets_touched,
+        link=link,
+        aes_nj_per_chunk=aes_nj_per_chunk,
+        stash_nj_per_chunk=stash_nj_per_chunk,
+        dram_ctrl_nj_per_cycle=dram_ctrl_nj_per_cycle,
     )
 
 

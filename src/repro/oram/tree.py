@@ -9,6 +9,8 @@ level ``k``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.oram.config import TreeGeometry
 
 
@@ -56,6 +58,26 @@ def common_prefix_level(geometry: TreeGeometry, leaf_a: int, leaf_b: int) -> int
     # diverge (counting from the bit below the root).
     first_divergence = geometry.levels - 1 - differing.bit_length()
     return first_divergence
+
+
+def path_bucket_indices_batch(geometry: TreeGeometry, leaves: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`path_bucket_indices` for a whole access batch.
+
+    ``leaves`` is an int array of shape ``(n,)``; the result has shape
+    ``(n, levels)`` with row ``i`` equal to
+    ``path_bucket_indices(geometry, leaves[i])``.
+    """
+    leaves = np.asarray(leaves, dtype=np.int64)
+    if leaves.size and (leaves.min() < 0 or leaves.max() >= geometry.n_leaves):
+        bad = leaves[(leaves < 0) | (leaves >= geometry.n_leaves)][0]
+        raise ValueError(f"leaf must be in [0, {geometry.n_leaves}), got {int(bad)}")
+    out = np.zeros((leaves.shape[0], geometry.levels), dtype=np.int64)
+    node = np.zeros(leaves.shape[0], dtype=np.int64)
+    for level in range(1, geometry.levels):
+        take_right = (leaves >> (geometry.levels - 1 - level)) & 1
+        node = 2 * node + 1 + take_right
+        out[:, level] = node
+    return out
 
 
 def leaf_of_bucket(geometry: TreeGeometry, bucket: int) -> tuple[int, int]:

@@ -1,19 +1,23 @@
 """Performance tracking: microbenchmarks, reports, and baseline gating.
 
-``python -m repro perf`` times the repository's two hot kernels — the
-functional cache pass and the timing replay — plus an end-to-end engine
-sweep, on pinned deterministic workloads.  Every timed fast-path run is
-byte-equivalence-checked against the scalar reference path, so a perf
-report doubles as a correctness certificate for the vectorized kernels.
+``python -m repro perf`` times the repository's three kernel pairs — the
+functional cache pass, the timing replay, and the functional Path ORAM
+access burst — plus an end-to-end engine sweep, on pinned deterministic
+workloads.  Every timed fast-path run is byte-equivalence-checked
+against the scalar reference path, so a perf report doubles as a
+correctness certificate for the vectorized kernels.
 
 Reports serialize to ``BENCH_perf.json``; :func:`check_against_baseline`
 gates a report against the committed ``benchmarks/baselines.json`` (CI
 fails on throughput regressions beyond the tolerance, broken
-equivalence, or a functional-pass speedup below the floor).
+equivalence, or a headline speedup below its floor — 5x for the cache
+pass, 10x for the ORAM burst).
 """
 
 from repro.perf.bench import (
     PERF_WORKLOADS,
+    bench_oram,
+    build_oram_trace,
     build_perf_trace,
     run_perf_suite,
 )
@@ -25,6 +29,8 @@ from repro.perf.report import (
 
 __all__ = [
     "PERF_WORKLOADS",
+    "bench_oram",
+    "build_oram_trace",
     "build_perf_trace",
     "run_perf_suite",
     "check_against_baseline",

@@ -1,6 +1,6 @@
 """Microbenchmark runner for the simulation kernels.
 
-Three tiers, mirroring the layers this repository's runtime is spent in:
+Four tiers, mirroring the layers this repository's runtime is spent in:
 
 * **functional** — :func:`repro.cache.hierarchy.simulate_hierarchy` on a
   pinned trace, fast kernel vs scalar reference, with a
@@ -8,6 +8,11 @@ Three tiers, mirroring the layers this repository's runtime is spent in:
 * **timing** — :func:`repro.sim.timing.run_timing` replays of that trace
   under representative schemes, fast vs reference, with a
   :class:`~repro.sim.result.SimResult` equivalence check;
+* **oram** — a functional Path ORAM access burst (2^14 blocks, null
+  cipher, mixed reads/writes/dummies): the batched array engine
+  (:class:`repro.oram.engine.BatchedPathORAM`) vs the scalar reference
+  controller, with a ``state_checksum()`` equivalence check over
+  position map + stash + tree;
 * **sweep** — an end-to-end :class:`repro.api.engine.Engine` sweep
   (trace build + functional pass + timing replays), timed as cells/sec.
 
@@ -57,6 +62,13 @@ PERF_SCHEMES: tuple[str, ...] = ("base_dram", "base_oram", "static:300", "dynami
 #: Post-warm-up instruction budgets.
 FULL_INSTRUCTIONS = 1_000_000
 QUICK_INSTRUCTIONS = 300_000
+
+#: The pinned ORAM access-burst workload: 2^14 addressable blocks, Z=4,
+#: 64-byte lines, uniform addresses with 10% dummies and 1/3 writes.
+ORAM_WORKLOAD = "oram_burst"
+ORAM_BLOCKS = 1 << 14
+ORAM_FULL_ACCESSES = 4_000
+ORAM_QUICK_ACCESSES = 1_200
 
 
 def build_perf_trace(name: str, n_instructions: int, seed: int = 0) -> MemoryTrace:
@@ -123,6 +135,24 @@ class TimingBench:
 
 
 @dataclass
+class OramBench:
+    """One functional-ORAM burst measurement (batched engine vs reference)."""
+
+    workload: str
+    n_blocks: int
+    levels: int
+    z: int
+    n_accesses: int
+    reference_s: float
+    fast_s: float
+    speedup: float
+    accesses_per_sec_fast: float
+    accesses_per_sec_reference: float
+    checksum: str
+    equivalent: bool
+
+
+@dataclass
 class SweepBench:
     """End-to-end engine sweep measurement."""
 
@@ -144,18 +174,28 @@ class PerfReport:
     repeats: int
     functional: list[FunctionalBench] = field(default_factory=list)
     timing: list[TimingBench] = field(default_factory=list)
+    oram: list[OramBench] = field(default_factory=list)
     sweep: SweepBench | None = None
 
     @property
     def all_equivalent(self) -> bool:
         """True when every fast-path run matched its reference bit-for-bit."""
-        return all(b.equivalent for b in self.functional) and all(
-            b.equivalent for b in self.timing
+        return (
+            all(b.equivalent for b in self.functional)
+            and all(b.equivalent for b in self.timing)
+            and all(b.equivalent for b in self.oram)
         )
 
     def functional_speedup(self, workload: str) -> float | None:
         """Measured functional-pass speedup for one workload."""
         for bench in self.functional:
+            if bench.workload == workload:
+                return bench.speedup
+        return None
+
+    def oram_speedup(self, workload: str) -> float | None:
+        """Measured ORAM-burst speedup for one workload."""
+        for bench in self.oram:
             if bench.workload == workload:
                 return bench.speedup
         return None
@@ -189,6 +229,14 @@ class PerfReport:
             lines.append(
                 f"  {b.workload:>14} {b.scheme:>12}: {b.requests_per_sec_fast:>12,.0f} fast"
                 f"  {b.requests_per_sec_reference:>12,.0f} ref"
+                f"  {b.speedup:5.1f}x  [{flag}]"
+            )
+        lines.append("functional ORAM (accesses/sec):")
+        for b in self.oram:
+            flag = "ok" if b.equivalent else "MISMATCH"
+            lines.append(
+                f"  {b.workload:>14}: {b.accesses_per_sec_fast:>12,.0f} fast"
+                f"  {b.accesses_per_sec_reference:>12,.0f} ref"
                 f"  {b.speedup:5.1f}x  [{flag}]"
             )
         if self.sweep is not None:
@@ -284,6 +332,79 @@ def bench_timing(
     )
 
 
+def build_oram_trace(
+    n_accesses: int,
+    n_blocks: int = ORAM_BLOCKS,
+    seed: int = 0,
+    rng_label: str = "perf.oram_burst",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pinned ORAM access mix: uniform addresses, 10% dummies, 1/3 writes.
+
+    The one canonical mix for ORAM throughput/stash measurement; other
+    harnesses (``repro.analysis.stash_scaling``) reuse it under their
+    own ``rng_label`` to keep their streams independent but the mix
+    definition single-sourced.
+    """
+    rng = make_rng(seed, rng_label)
+    addresses = rng.integers(0, n_blocks, size=n_accesses).astype(np.int64)
+    addresses[rng.random(n_accesses) < 0.10] = -1
+    is_write = rng.random(n_accesses) < (1.0 / 3.0)
+    return addresses, is_write
+
+
+def bench_oram(n_accesses: int, repeats: int) -> OramBench:
+    """Time the functional ORAM burst, batched engine vs scalar reference.
+
+    Both kernels run the identical pinned trace from a fresh controller
+    (accesses mutate state, so each repeat rebuilds; construction is
+    outside the timed region) under the null cipher, and the final
+    position-map/stash/tree state must hash identically.
+    """
+    from repro.oram.config import TreeGeometry
+    from repro.oram.encryption import NullCipher
+    from repro.oram.engine import BatchedPathORAM
+    from repro.oram.path_oram import PathORAM
+
+    geometry = TreeGeometry.for_block_count(
+        n_blocks=ORAM_BLOCKS, blocks_per_bucket=4, block_bytes=64
+    )
+    addresses, is_write = build_oram_trace(n_accesses)
+
+    def time_kernel(build, runs: int) -> tuple[float, object]:
+        best = float("inf")
+        oram = None
+        for _ in range(runs):
+            oram = build()
+            t0 = time.perf_counter()
+            oram.run_trace(addresses, is_write)
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed)
+        return best, oram
+
+    ref_s, reference = time_kernel(
+        lambda: PathORAM(geometry, ORAM_BLOCKS, seed=1, cipher=NullCipher()),
+        max(1, repeats // 2),
+    )
+    fast_s, batched = time_kernel(
+        lambda: BatchedPathORAM(geometry, ORAM_BLOCKS, seed=1), repeats
+    )
+    checksum = batched.state_checksum()
+    return OramBench(
+        workload=ORAM_WORKLOAD,
+        n_blocks=ORAM_BLOCKS,
+        levels=geometry.levels,
+        z=geometry.blocks_per_bucket,
+        n_accesses=n_accesses,
+        reference_s=ref_s,
+        fast_s=fast_s,
+        speedup=ref_s / fast_s,
+        accesses_per_sec_fast=n_accesses / fast_s,
+        accesses_per_sec_reference=n_accesses / ref_s,
+        checksum=checksum,
+        equivalent=checksum == reference.state_checksum(),
+    )
+
+
 def bench_sweep(n_instructions: int) -> SweepBench:
     """Time an end-to-end engine sweep (fast kernels, serial backend)."""
     from repro.api.engine import Engine
@@ -313,12 +434,12 @@ def bench_sweep(n_instructions: int) -> SweepBench:
 
 
 def run_perf_suite(quick: bool = False, repeats: int | None = None) -> PerfReport:
-    """Run the full suite: functional x workloads, timing x schemes, sweep."""
+    """Run the full suite: functional x workloads, timing x schemes, ORAM, sweep."""
     n_instructions = QUICK_INSTRUCTIONS if quick else FULL_INSTRUCTIONS
     if repeats is None:
         repeats = 3 if quick else 5
     report = PerfReport(
-        version=1, quick=quick, n_instructions=n_instructions, repeats=repeats
+        version=2, quick=quick, n_instructions=n_instructions, repeats=repeats
     )
     miss_traces: dict[str, MissTrace] = {}
     for workload in PERF_WORKLOADS:
@@ -333,5 +454,7 @@ def run_perf_suite(quick: bool = False, repeats: int | None = None) -> PerfRepor
             report.timing.append(
                 bench_timing(workload, miss_traces[workload], scheme_spec, repeats)
             )
+    oram_accesses = ORAM_QUICK_ACCESSES if quick else ORAM_FULL_ACCESSES
+    report.oram.append(bench_oram(oram_accesses, repeats))
     report.sweep = bench_sweep(n_instructions)
     return report

@@ -8,11 +8,14 @@ failures; CI fails the perf job when that list is non-empty.
 Gating rules:
 
 * every fast-path measurement must be byte-equivalent to its reference
-  (a mismatch is a correctness bug, never tolerated);
+  (a mismatch is a correctness bug, never tolerated) — for the ORAM
+  tier the contract is the ``state_checksum()`` over position map,
+  stash, and tree;
 * throughput must stay within ``tolerance`` (default 30%) of the
   committed baseline, metric by metric;
 * the functional-pass speedup on the headline workload must stay above
-  ``min_functional_speedup``.
+  ``min_functional_speedup``, and the ORAM-burst speedup above
+  ``min_oram_speedup`` (the batched engine's 10x acceptance floor).
 
 Updating the baseline after an intentional change:
 
@@ -33,6 +36,10 @@ DEFAULT_TOLERANCE = 0.30
 HEADLINE_WORKLOAD = "kernel_stream"
 DEFAULT_MIN_SPEEDUP = 5.0
 
+#: The ORAM access-burst workload and the batched engine's speedup floor.
+ORAM_HEADLINE_WORKLOAD = "oram_burst"
+DEFAULT_MIN_ORAM_SPEEDUP = 10.0
+
 
 def save_report(report: PerfReport, path: str | Path) -> None:
     """Write a report as pretty-printed JSON (BENCH_perf.json)."""
@@ -45,6 +52,8 @@ def report_to_baseline(report: PerfReport) -> dict:
         "tolerance": DEFAULT_TOLERANCE,
         "min_functional_speedup": DEFAULT_MIN_SPEEDUP,
         "headline_workload": HEADLINE_WORKLOAD,
+        "min_oram_speedup": DEFAULT_MIN_ORAM_SPEEDUP,
+        "oram_headline_workload": ORAM_HEADLINE_WORKLOAD,
         "functional": {
             b.workload: {
                 "refs_per_sec": round(b.refs_per_sec_fast),
@@ -58,6 +67,13 @@ def report_to_baseline(report: PerfReport) -> dict:
                 "speedup": round(b.speedup, 2),
             }
             for b in report.timing
+        },
+        "oram": {
+            b.workload: {
+                "accesses_per_sec": round(b.accesses_per_sec_fast),
+                "speedup": round(b.speedup, 2),
+            }
+            for b in report.oram
         },
         "sweep": {"cells_per_sec": round(report.sweep.cells_per_sec, 2)}
         if report.sweep
@@ -96,6 +112,12 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
                 f"timing[{bench.workload}/{bench.scheme}]: fast replay "
                 "diverges from the reference (correctness bug)"
             )
+    for bench in report.oram:
+        if not bench.equivalent:
+            failures.append(
+                f"oram[{bench.workload}]: batched engine state diverges "
+                "from the reference controller (correctness bug)"
+            )
 
     for bench in report.functional:
         base = baseline.get("functional", {}).get(bench.workload)
@@ -120,6 +142,18 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
                 f"than {tolerance:.0%} below baseline {base['requests_per_sec']:,} req/s"
             )
 
+    for bench in report.oram:
+        base = baseline.get("oram", {}).get(bench.workload)
+        if base is None:
+            continue
+        required = base["accesses_per_sec"] * floor
+        if bench.accesses_per_sec_fast < required:
+            failures.append(
+                f"oram[{bench.workload}]: {bench.accesses_per_sec_fast:,.0f} acc/s "
+                f"is more than {tolerance:.0%} below baseline "
+                f"{base['accesses_per_sec']:,} acc/s"
+            )
+
     sweep_base = baseline.get("sweep", {}).get("cells_per_sec")
     if sweep_base is not None and report.sweep is not None:
         if report.sweep.cells_per_sec < sweep_base * floor:
@@ -138,5 +172,17 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
             failures.append(
                 f"functional[{headline}]: speedup {measured:.1f}x is below the "
                 f"required {min_speedup:.1f}x floor"
+            )
+
+    min_oram = float(baseline.get("min_oram_speedup", 0.0))
+    oram_headline = baseline.get("oram_headline_workload", ORAM_HEADLINE_WORKLOAD)
+    if min_oram > 0:
+        measured = report.oram_speedup(oram_headline)
+        if measured is None:
+            failures.append(f"oram[{oram_headline}]: headline workload not measured")
+        elif measured < min_oram:
+            failures.append(
+                f"oram[{oram_headline}]: speedup {measured:.1f}x is below the "
+                f"required {min_oram:.1f}x floor"
             )
     return failures

@@ -1,0 +1,106 @@
+"""Tests for the stash-scaling analysis and timing-constant validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stash_scaling import (
+    run_stash_scaling,
+    run_stash_scaling_cell,
+    validate_timing,
+)
+from repro.oram.config import ORAMConfig
+
+
+class TestStashScaling:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_stash_scaling(
+            z_values=(2, 3, 4), levels_values=(8,), n_accesses=8000
+        )
+
+    def test_cells_cover_sweep(self, report):
+        assert len(report.cells) == 3
+        assert {cell.z for cell in report.cells} == {2, 3, 4}
+
+    def test_larger_z_shrinks_the_tail(self, report):
+        """The design-space fact the paper's Z choice rests on."""
+        z2, z3, z4 = (report.cell(z, 8) for z in (2, 3, 4))
+        assert z4.stash_mean <= z3.stash_mean <= z2.stash_mean
+        assert z4.tail(4) <= z3.tail(4) <= z2.tail(4)
+
+    def test_z4_tail_bounded(self, report):
+        cell = report.cell(4, 8)
+        assert not cell.diverged
+        assert cell.n_accesses == 8000
+        assert cell.tail(32) == 0.0
+
+    def test_tail_is_monotone_in_threshold(self, report):
+        for cell in report.cells:
+            probabilities = list(cell.tail_probabilities)
+            assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_render_mentions_every_cell(self, report):
+        text = report.render()
+        for cell in report.cells:
+            assert str(cell.n_blocks) in text
+        assert "P[>4]" in text
+
+    def test_divergence_guard_stops_early(self):
+        """A pathological threshold trips the guard immediately."""
+        cell = run_stash_scaling_cell(
+            z=2, levels=8, n_accesses=5000, divergence_threshold=0, batch_size=256
+        )
+        assert cell.diverged
+        assert cell.n_accesses < 5000
+
+    def test_report_cell_lookup_raises(self, report):
+        with pytest.raises(KeyError):
+            report.cell(7, 8)
+
+
+class TestTimingValidation:
+    @pytest.fixture(scope="class")
+    def validation(self):
+        return validate_timing(n_accesses=128)
+
+    def test_functional_geometry_matches_derivation_exactly(self, validation):
+        """Measured traffic reproduces the derived constants to the cycle."""
+        assert validation.measured.bytes_per_access == validation.derived.bytes_per_access
+        assert validation.measured.latency_cycles == validation.derived.latency_cycles
+        assert validation.measured.energy_nj == pytest.approx(
+            validation.derived.energy_nj
+        )
+        assert validation.bytes_error == 0.0
+        assert validation.latency_error == 0.0
+
+    def test_buckets_per_access_is_two_paths_per_tree(self, validation):
+        assert validation.measured_buckets_per_access == pytest.approx(
+            validation.derived_buckets_per_access
+        )
+
+    def test_render_contains_constants(self, validation):
+        text = validation.render()
+        assert "latency (cycles)" in text
+        assert "0.00%" in text
+
+    def test_custom_config(self):
+        config = ORAMConfig(
+            capacity_bytes=64 * 1024,
+            block_bytes=32,
+            blocks_per_bucket=3,
+            recursion_levels=1,
+            recursive_block_bytes=16,
+        )
+        validation = validate_timing(config=config, n_accesses=64)
+        assert validation.recursion_levels == 1
+        assert validation.latency_error == 0.0
+
+
+class TestHistogramConsistency:
+    def test_tail_matches_samples(self):
+        """Exact tail probabilities agree with a recount from the histogram."""
+        cell = run_stash_scaling_cell(z=3, levels=7, n_accesses=4000)
+        assert cell.n_accesses == 4000
+        total = np.asarray(cell.tail_probabilities)
+        assert np.all(total >= 0.0)
+        assert np.all(total <= 1.0)

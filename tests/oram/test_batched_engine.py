@@ -1,0 +1,166 @@
+"""Unit tests for the batched array engine's own surface.
+
+Equivalence against the reference kernel lives in test_equivalence.py;
+these cover the engine as a standalone controller: basic operation, the
+invariant, the stash view, capacity enforcement, trace replay, and the
+factory plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.oram.block import DUMMY_ADDRESS
+from repro.oram.config import TEST_ORAM_CONFIG, TreeGeometry
+from repro.oram.engine import BatchedPathORAM
+from repro.oram.path_oram import PathORAM, default_payload, make_path_oram
+from repro.oram.stash import StashOverflowError
+
+GEOMETRY = TreeGeometry(levels=5, blocks_per_bucket=4, block_bytes=32)
+N_BLOCKS = 24
+
+
+@pytest.fixture
+def engine() -> BatchedPathORAM:
+    return BatchedPathORAM(GEOMETRY, n_blocks=N_BLOCKS, seed=11)
+
+
+class TestBasicOperation:
+    def test_unwritten_block_reads_zero(self, engine):
+        assert engine.read(0) == bytes(GEOMETRY.block_bytes)
+
+    def test_read_your_write(self, engine):
+        engine.write(3, b"hello")
+        assert engine.read(3).rstrip(b"\x00") == b"hello"
+
+    def test_writes_do_not_interfere(self, engine):
+        for address in range(8):
+            engine.write(address, bytes([address]) * 8)
+        for address in range(8):
+            assert engine.read(address)[:8] == bytes([address]) * 8
+
+    def test_out_of_range_address(self, engine):
+        with pytest.raises(KeyError):
+            engine.read(N_BLOCKS)
+        with pytest.raises(KeyError):
+            engine.access_batch(np.asarray([0, N_BLOCKS], dtype=np.int64))
+
+    def test_oversize_payload(self, engine):
+        with pytest.raises(ValueError):
+            engine.write(0, b"x" * (GEOMETRY.block_bytes + 1))
+
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedPathORAM(GEOMETRY, n_blocks=GEOMETRY.n_slots + 1)
+
+    def test_invariant_after_warmup(self, engine):
+        for address in range(N_BLOCKS):
+            engine.write(address, bytes([address]))
+        engine.check_invariant()
+
+    def test_access_counters(self, engine):
+        engine.read(0)
+        engine.write(1, b"x")
+        engine.dummy_access()
+        stats = engine.stats
+        assert (stats.reads, stats.writes, stats.dummies) == (1, 1, 1)
+        assert stats.total_accesses == 3
+        assert stats.buckets_touched == 3 * 2 * GEOMETRY.levels
+
+
+class TestBatchSurface:
+    def test_empty_batch(self, engine):
+        result = engine.access_batch(np.zeros(0, dtype=np.int64))
+        assert result.shape == (0, GEOMETRY.block_bytes)
+        assert engine.stats.total_accesses == 0
+
+    def test_dummy_rows_return_zeros(self, engine):
+        engine.write(0, b"real")
+        result = engine.access_batch(np.asarray([DUMMY_ADDRESS, 0], dtype=np.int64))
+        assert not result[0].any()
+        assert result[1, :4].tobytes() == b"real"
+
+    def test_default_payload_stamping(self, engine):
+        addresses = np.asarray([5, 9], dtype=np.int64)
+        result = engine.access_batch(addresses, is_write=np.asarray([True, True]))
+        for row, address in enumerate(addresses.tolist()):
+            assert result[row].tobytes() == default_payload(
+                address, GEOMETRY.block_bytes
+            )
+
+    def test_run_trace_collect(self, engine):
+        addresses = np.asarray([1, 2, 1], dtype=np.int64)
+        writes = np.asarray([True, False, False])
+        collected = engine.run_trace(addresses, writes, batch_size=2, collect=True)
+        assert collected.shape == (3, GEOMETRY.block_bytes)
+        assert collected[2].tobytes() == default_payload(1, GEOMETRY.block_bytes)
+
+    def test_run_trace_no_collect_returns_none(self, engine):
+        assert engine.run_trace(np.asarray([0, 1], dtype=np.int64)) is None
+        assert engine.stats.total_accesses == 2
+
+
+class TestBucketInspection:
+    def test_bucket_blocks_match_invariant_scan(self, engine):
+        for address in range(N_BLOCKS):
+            engine.write(address, bytes([address]))
+        found = {}
+        for bucket in range(GEOMETRY.n_buckets):
+            for block in engine.bucket_blocks(bucket):
+                found[block.address] = block
+        for address in engine.stash.addresses():
+            assert address not in found
+        for address, block in found.items():
+            assert block.data[:1] == bytes([address])
+        assert len(found) + len(engine.stash) == N_BLOCKS
+
+
+class TestStashView:
+    def test_view_tracks_occupancy(self, engine):
+        assert len(engine.stash) == 0
+        engine.write(0, b"a")
+        addresses = engine.stash.addresses()
+        assert addresses == sorted(addresses)
+        for block in engine.stash.blocks():
+            assert block.address in engine.stash
+
+    def test_capacity_enforced(self):
+        oram = BatchedPathORAM(GEOMETRY, n_blocks=N_BLOCKS, seed=1, stash_capacity=0)
+        with pytest.raises(StashOverflowError):
+            for index in range(50):
+                oram.write(index % N_BLOCKS, b"x")
+
+
+class TestStatsBounds:
+    def test_histogram_and_tail(self, engine):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, N_BLOCKS, size=200).astype(np.int64)
+        engine.run_trace(addresses)
+        hist = engine.stats.stash_histogram()
+        assert hist.sum() == 200
+        assert engine.stats.stash_tail_probability(-1) == 1.0
+        assert engine.stats.stash_tail_probability(engine.stats.stash_peak) == 0.0
+        mean = float(np.arange(hist.size) @ hist) / 200
+        assert mean == pytest.approx(engine.stats.stash_mean)
+
+
+class TestFactory:
+    def test_make_path_oram_fast(self):
+        oram = make_path_oram(mode="fast")
+        assert isinstance(oram, BatchedPathORAM)
+        oram.write(0, b"ok")
+        assert oram.read(0)[:2] == b"ok"
+
+    def test_make_path_oram_reference_default(self):
+        assert isinstance(make_path_oram(TEST_ORAM_CONFIG), PathORAM)
+
+    def test_make_path_oram_bad_mode(self):
+        with pytest.raises(ValueError):
+            make_path_oram(mode="warp")
+
+    def test_fast_mode_rejects_real_cipher(self):
+        """A discarded cipher would silently drop ciphertext freshness."""
+        from repro.oram.encryption import NullCipher, ProbabilisticCipher
+
+        with pytest.raises(ValueError, match="null cipher"):
+            make_path_oram(mode="fast", cipher=ProbabilisticCipher(b"k"))
+        assert isinstance(make_path_oram(mode="fast", cipher=NullCipher()), BatchedPathORAM)

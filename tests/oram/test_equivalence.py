@@ -1,0 +1,218 @@
+"""Property-based equivalence of the batched engine vs the reference kernel.
+
+The two-kernel contract (mirroring tests/cache and tests/sim): for any
+geometry, seed, access mix (reads/writes/dummies, arbitrary batch
+splits), the batched array engine and the scalar reference controller
+return identical block values and end in bit-identical logical state —
+position map, stash, and per-bucket slot-ordered plaintext blocks, as
+pinned by ``state_checksum()``.  The cipher is outside the contract
+(checksums are plaintext-level), which the mixed-cipher test asserts
+directly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.oram.block import DUMMY_ADDRESS
+from repro.oram.config import ORAMConfig, TreeGeometry
+from repro.oram.encryption import NullCipher
+from repro.oram.engine import BatchedPathORAM
+from repro.oram.path_oram import PathORAM
+from repro.oram.recursion import RecursivePathORAM
+
+
+@st.composite
+def geometry_and_ops(draw):
+    """A random small tree plus a random access mix and batch split."""
+    levels = draw(st.integers(min_value=2, max_value=6))
+    z = draw(st.integers(min_value=2, max_value=5))
+    block_bytes = draw(st.sampled_from([16, 24, 32]))
+    geometry = TreeGeometry(levels=levels, blocks_per_bucket=z, block_bytes=block_bytes)
+    n_blocks = draw(st.integers(min_value=1, max_value=min(48, geometry.n_slots)))
+    n_ops = draw(st.integers(min_value=1, max_value=80))
+    addresses = draw(
+        st.lists(
+            st.one_of(
+                st.just(DUMMY_ADDRESS),
+                st.integers(min_value=0, max_value=n_blocks - 1),
+            ),
+            min_size=n_ops,
+            max_size=n_ops,
+        )
+    )
+    writes = draw(st.lists(st.booleans(), min_size=n_ops, max_size=n_ops))
+    batch_size = draw(st.integers(min_value=1, max_value=n_ops))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return geometry, n_blocks, addresses, writes, batch_size, seed
+
+
+def build_pair(geometry, n_blocks, seed):
+    reference = PathORAM(geometry, n_blocks=n_blocks, seed=seed, cipher=NullCipher())
+    batched = BatchedPathORAM(geometry, n_blocks=n_blocks, seed=seed)
+    return reference, batched
+
+
+class TestFlatEquivalence:
+    @settings(
+        max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(case=geometry_and_ops())
+    def test_batched_matches_reference(self, case):
+        geometry, n_blocks, addresses, writes, batch_size, seed = case
+        reference, batched = build_pair(geometry, n_blocks, seed)
+        assert reference.state_checksum() == batched.state_checksum()
+        addresses = np.asarray(addresses, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        ref_out = []
+        fast_out = []
+        for start in range(0, addresses.shape[0], batch_size):
+            stop = start + batch_size
+            ref_out.append(
+                reference.access_batch(addresses[start:stop], writes[start:stop])
+            )
+            fast_out.append(
+                batched.access_batch(addresses[start:stop], writes[start:stop])
+            )
+        assert np.array_equal(np.concatenate(ref_out), np.concatenate(fast_out))
+        assert reference.state_checksum() == batched.state_checksum()
+        batched.check_invariant()
+
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(case=geometry_and_ops())
+    def test_stats_and_occupancy_match(self, case):
+        geometry, n_blocks, addresses, writes, batch_size, seed = case
+        reference, batched = build_pair(geometry, n_blocks, seed)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        reference.run_trace(addresses, writes, batch_size=batch_size)
+        batched.run_trace(addresses, writes, batch_size=batch_size)
+        assert reference.stats.reads == batched.stats.reads
+        assert reference.stats.writes == batched.stats.writes
+        assert reference.stats.dummies == batched.stats.dummies
+        assert reference.stats.buckets_touched == batched.stats.buckets_touched
+        assert reference.stats.stash_peak == batched.stats.stash_peak
+        assert reference.stats.stash_sum == batched.stats.stash_sum
+        assert np.array_equal(
+            reference.stats.stash_histogram(), batched.stats.stash_histogram()
+        )
+
+    def test_cipher_outside_the_contract(self):
+        """Reference under the probabilistic cipher matches the engine too."""
+        geometry = TreeGeometry(levels=5, blocks_per_bucket=4, block_bytes=32)
+        reference = PathORAM(geometry, n_blocks=24, seed=3)  # real cipher
+        batched = BatchedPathORAM(geometry, n_blocks=24, seed=3)
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 24, size=120).astype(np.int64)
+        addresses[rng.random(120) < 0.25] = DUMMY_ADDRESS
+        writes = rng.random(120) < 0.5
+        ref_out = reference.access_batch(addresses, writes)
+        fast_out = batched.access_batch(addresses, writes)
+        assert np.array_equal(ref_out, fast_out)
+        assert reference.state_checksum() == batched.state_checksum()
+
+    def test_explicit_payloads_match(self):
+        geometry = TreeGeometry(levels=4, blocks_per_bucket=3, block_bytes=16)
+        reference, batched = build_pair(geometry, 12, seed=9)
+        addresses = np.asarray([0, 5, 0, 11, 5], dtype=np.int64)
+        writes = np.asarray([True, True, False, True, False])
+        payloads = np.arange(5 * 16, dtype=np.uint8).reshape(5, 16)
+        ref_out = reference.access_batch(addresses, writes, payloads)
+        fast_out = batched.access_batch(addresses, writes, payloads)
+        assert np.array_equal(ref_out, fast_out)
+        assert reference.state_checksum() == batched.state_checksum()
+
+    def test_narrow_payloads_padded_identically(self):
+        """Rows narrower than the block are zero-padded by both kernels."""
+        geometry = TreeGeometry(levels=4, blocks_per_bucket=3, block_bytes=16)
+        reference, batched = build_pair(geometry, 12, seed=9)
+        addresses = np.asarray([2, 7], dtype=np.int64)
+        writes = np.asarray([True, True])
+        payloads = np.asarray([[1, 2, 3, 4], [5, 6, 7, 8]], dtype=np.uint8)
+        ref_out = reference.access_batch(addresses, writes, payloads)
+        fast_out = batched.access_batch(addresses, writes, payloads)
+        assert np.array_equal(ref_out, fast_out)
+        assert fast_out[0].tobytes() == bytes([1, 2, 3, 4]) + bytes(12)
+        assert reference.state_checksum() == batched.state_checksum()
+
+    def test_malformed_payloads_rejected_by_both(self):
+        geometry = TreeGeometry(levels=4, blocks_per_bucket=3, block_bytes=16)
+        reference, batched = build_pair(geometry, 12, seed=9)
+        addresses = np.asarray([0], dtype=np.int64)
+        writes = np.asarray([True])
+        oversize = np.zeros((1, 17), dtype=np.uint8)
+        wrong_rows = np.zeros((2, 16), dtype=np.uint8)
+        for oram in (reference, batched):
+            with pytest.raises(ValueError, match="exceeds block size"):
+                oram.access_batch(addresses, writes, oversize)
+            with pytest.raises(ValueError, match="shape"):
+                oram.access_batch(addresses, writes, wrong_rows)
+
+    def test_update_matches(self):
+        geometry = TreeGeometry(levels=5, blocks_per_bucket=4, block_bytes=32)
+        reference, batched = build_pair(geometry, 20, seed=5)
+        reference.write(4, b"seed")
+        batched.write(4, b"seed")
+
+        def mutate(data: bytes) -> bytes:
+            return bytes(b ^ 0x5A for b in data[:8]) + data[8:]
+
+        assert reference.update(4, mutate) == batched.update(4, mutate)
+        assert reference.state_checksum() == batched.state_checksum()
+
+    def test_scalar_and_batch_surfaces_agree(self):
+        """One engine, same ops via scalar calls vs one batch call."""
+        geometry = TreeGeometry(levels=5, blocks_per_bucket=4, block_bytes=32)
+        scalar = BatchedPathORAM(geometry, n_blocks=16, seed=21)
+        batch = BatchedPathORAM(geometry, n_blocks=16, seed=21)
+        scalar.write(2, b"two")
+        scalar.read(2)
+        scalar.dummy_access()
+        scalar.read(7)
+        addresses = np.asarray([2, 2, DUMMY_ADDRESS, 7], dtype=np.int64)
+        writes = np.asarray([True, False, False, False])
+        payload = np.zeros((4, 32), dtype=np.uint8)
+        payload[0, :3] = np.frombuffer(b"two", dtype=np.uint8)
+        batch.access_batch(addresses, writes, payload)
+        assert scalar.state_checksum() == batch.state_checksum()
+
+
+class TestRecursiveEquivalence:
+    CONFIG = ORAMConfig(
+        capacity_bytes=16 * 1024,
+        block_bytes=32,
+        blocks_per_bucket=4,
+        recursion_levels=2,
+        recursive_block_bytes=16,
+    )
+
+    def test_modes_bit_identical(self):
+        reference = RecursivePathORAM(self.CONFIG, n_blocks=48, seed=13)
+        fast = RecursivePathORAM(self.CONFIG, n_blocks=48, seed=13, mode="fast")
+        assert reference.state_checksum() == fast.state_checksum()
+        rng = np.random.default_rng(1)
+        addresses = rng.integers(0, 48, size=40).astype(np.int64)
+        addresses[rng.random(40) < 0.2] = DUMMY_ADDRESS
+        writes = rng.random(40) < 0.4
+        reference.run_trace(addresses, writes)
+        fast.run_trace(addresses, writes)
+        assert reference.state_checksum() == fast.state_checksum()
+        assert reference.stats.logical_accesses == fast.stats.logical_accesses
+        assert (
+            reference.stats.physical_path_accesses
+            == fast.stats.physical_path_accesses
+        )
+
+    def test_fast_mode_reads_back_writes(self):
+        fast = RecursivePathORAM(self.CONFIG, n_blocks=32, seed=2, mode="fast")
+        for address in range(0, 32, 5):
+            fast.write(address, bytes([address]))
+        for address in range(0, 32, 5):
+            assert fast.read(address)[0] == address
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RecursivePathORAM(self.CONFIG, n_blocks=8, mode="turbo")

@@ -163,6 +163,68 @@ class TestStashBehaviour:
         assert len(small_oram.stats.stash_occupancy_samples) == 1
 
 
+class TestAccessStatsSampling:
+    """Occupancy tracking stays exact *and* memory-bounded (reservoir)."""
+
+    def test_reservoir_is_bounded(self):
+        from repro.oram.path_oram import AccessStats
+
+        stats = AccessStats(reservoir_size=16)
+        for occupancy in range(1000):
+            stats.record_stash(occupancy % 7)
+        assert len(stats.stash_occupancy_samples) == 16
+        assert stats.stash_samples_seen == 1000
+        assert all(0 <= v < 7 for v in stats.stash_occupancy_samples)
+
+    def test_exact_counters_survive_subsampling(self):
+        from repro.oram.path_oram import AccessStats
+
+        stats = AccessStats(reservoir_size=8)
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]
+        for value in values:
+            stats.record_stash(value)
+        assert stats.stash_peak == max(values)
+        assert stats.stash_mean == pytest.approx(sum(values) / len(values))
+        assert stats.stash_samples_seen == len(values)
+        hist = stats.stash_histogram()
+        assert hist.sum() == len(values)
+        assert hist[9] == values.count(9)
+
+    def test_batch_and_scalar_recording_agree_on_exact_stats(self):
+        import numpy as np
+
+        from repro.oram.path_oram import AccessStats
+
+        scalar = AccessStats()
+        batched = AccessStats()
+        values = list(range(40)) * 3
+        for value in values:
+            scalar.record_stash(value)
+        batched.record_stash_batch(np.asarray(values))
+        assert scalar.stash_peak == batched.stash_peak
+        assert scalar.stash_sum == batched.stash_sum
+        assert np.array_equal(scalar.stash_histogram(), batched.stash_histogram())
+
+    def test_small_runs_keep_complete_samples(self):
+        """Below the reservoir size consumers see every sample, as before."""
+        from repro.oram.path_oram import AccessStats
+
+        stats = AccessStats()
+        for value in [2, 0, 1]:
+            stats.record_stash(value)
+        assert stats.stash_occupancy_samples == [2, 0, 1]
+
+    def test_tail_probability(self):
+        from repro.oram.path_oram import AccessStats
+
+        stats = AccessStats()
+        for value in [0, 0, 0, 5, 10]:
+            stats.record_stash(value)
+        assert stats.stash_tail_probability(4) == pytest.approx(2 / 5)
+        assert stats.stash_tail_probability(10) == 0.0
+        assert AccessStats().stash_tail_probability(0) == 0.0
+
+
 class TestMakePathORAM:
     def test_default_test_config(self):
         oram = make_path_oram()

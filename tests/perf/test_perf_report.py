@@ -6,11 +6,14 @@ import pytest
 
 from repro.perf.bench import (
     FunctionalBench,
+    OramBench,
     PerfReport,
     SweepBench,
     TimingBench,
     bench_functional,
+    bench_oram,
     bench_timing,
+    build_oram_trace,
     build_perf_trace,
 )
 from repro.perf.report import (
@@ -40,10 +43,19 @@ def _timing(workload="libquantum", scheme="base_dram", rps=5e6, equivalent=True)
     )
 
 
+def _oram(aps=50_000.0, speedup=15.0, equivalent=True):
+    return OramBench(
+        workload="oram_burst", n_blocks=1 << 14, levels=14, z=4, n_accesses=2000,
+        reference_s=0.6, fast_s=0.6 / speedup, speedup=speedup,
+        accesses_per_sec_fast=aps, accesses_per_sec_reference=aps / speedup,
+        checksum="def", equivalent=equivalent,
+    )
+
+
 def _report(**kwargs):
     defaults = dict(
-        version=1, quick=True, n_instructions=100_000, repeats=1,
-        functional=[_functional()], timing=[_timing()],
+        version=2, quick=True, n_instructions=100_000, repeats=1,
+        functional=[_functional()], timing=[_timing()], oram=[_oram()],
         sweep=SweepBench(
             benchmarks=("a",), schemes=("base_dram",), n_instructions=100_000,
             cells=2, wall_s=0.5, cells_per_sec=4.0,
@@ -105,6 +117,30 @@ class TestBaselineGate:
         )
         assert check_against_baseline(extra, baseline) == []
 
+    def test_oram_equivalence_mismatch_fails(self):
+        baseline = report_to_baseline(_report())
+        broken = _report(oram=[_oram(equivalent=False)])
+        failures = check_against_baseline(broken, baseline)
+        assert any("oram[oram_burst]" in f and "correctness bug" in f for f in failures)
+
+    def test_oram_throughput_regression_fails(self):
+        baseline = report_to_baseline(_report())
+        dropped = _report(oram=[_oram(aps=20_000.0)])
+        failures = check_against_baseline(dropped, baseline)
+        assert any("oram[oram_burst]" in f and "below baseline" in f for f in failures)
+
+    def test_oram_speedup_floor(self):
+        baseline = report_to_baseline(_report())
+        slow = _report(oram=[_oram(speedup=6.0)])
+        failures = check_against_baseline(slow, baseline)
+        assert any("oram[oram_burst]" in f and "10.0x floor" in f for f in failures)
+
+    def test_missing_oram_headline_fails(self):
+        baseline = report_to_baseline(_report())
+        missing = _report(oram=[])
+        failures = check_against_baseline(missing, baseline)
+        assert any("not measured" in f for f in failures)
+
 
 class TestSerialization:
     def test_report_round_trip(self, tmp_path):
@@ -153,6 +189,20 @@ class TestRealBenches:
         with pytest.raises(ValueError, match="unknown workload"):
             build_perf_trace("not_a_workload", 10_000)
 
+    def test_oram_bench_is_equivalent_and_fast(self):
+        bench = bench_oram(n_accesses=300, repeats=1)
+        assert bench.equivalent
+        assert bench.speedup > 1.0  # full 10x is asserted at bench scale in CI
+        assert bench.n_blocks == 1 << 14
+
+    def test_oram_trace_mix(self):
+        addresses, is_write = build_oram_trace(10_000)
+        import numpy as np
+
+        dummy_fraction = float(np.mean(addresses == -1))
+        assert 0.05 < dummy_fraction < 0.15
+        assert 0.25 < float(np.mean(is_write)) < 0.40
+
 
 REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[2]
 
@@ -166,6 +216,17 @@ class TestCommittedBaseline:
         assert baseline["min_functional_speedup"] >= 5.0
         assert 0.0 < baseline["tolerance"] < 1.0
         assert "kernel_stream" in baseline["functional"]
+
+    def test_committed_baseline_gates_oram(self):
+        baseline = load_baseline(REPO_ROOT / "benchmarks" / "baselines.json")
+        assert baseline["min_oram_speedup"] >= 10.0
+        assert "oram_burst" in baseline["oram"]
+
+    def test_committed_report_records_oram_speedup(self):
+        payload = json.loads((REPO_ROOT / "benchmarks" / "BENCH_perf.json").read_text())
+        oram = [b for b in payload["oram"] if b["workload"] == "oram_burst"]
+        assert oram and oram[0]["speedup"] >= 10.0
+        assert oram[0]["equivalent"] is True
 
     def test_committed_report_records_headline_speedup(self):
         payload = json.loads((REPO_ROOT / "benchmarks" / "BENCH_perf.json").read_text())
