@@ -1,0 +1,57 @@
+"""Frontier: the leakage–efficiency trade-off curve the figures sample.
+
+Sweeps the full dynamic design-space grid (112 configurations: |R| in
+2..8, epoch growth 2..9, both learners) plus the static anchors across
+one benchmark per memory-behaviour class, then computes exact Pareto
+sets.  Shape checks:
+
+* the grid spans the paper's sampled points (Figures 8a/8b live inside
+  it) with the exact closed-form leakage bounds;
+* every per-benchmark and aggregate frontier is antitone — leaked bits
+  strictly increase while slowdown strictly decreases along the front;
+* the dynamic family survives power-aware pruning everywhere (the
+  Section 9.3 story: static anchors buy zero leakage with Watts).
+
+The pinned full-scale artifact lives in ``benchmarks/BENCH_frontier.json``
+(regeneration command in EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import bench_instructions, emit
+from repro.analysis.frontier import frontier_from_resultset
+from repro.frontier import DEFAULT_FRONTIER_BENCHMARKS, FrontierConfig
+
+
+def test_bench_frontier(benchmark, engine):
+    config = FrontierConfig(
+        benchmarks=DEFAULT_FRONTIER_BENCHMARKS,
+        seeds=(0,),
+        n_instructions=bench_instructions(),
+    )
+    spec = config.spec()
+    assert config.n_candidates >= 100, "grid must span >= 100 configurations"
+    results = benchmark.pedantic(engine.run, args=(spec,), rounds=1, iterations=1)
+    report = frontier_from_resultset(results)
+
+    # Closed-form anchor points: the grid contains Figures 8a/8b's samples.
+    by_spec = {p.scheme_spec: p for p in report.aggregate.points}
+    assert by_spec["dynamic:4x2"].leakage_bits == 64.0
+    assert by_spec["dynamic:4x4"].leakage_bits == 32.0
+    assert by_spec["dynamic:2x2"].leakage_bits == 32.0
+    assert by_spec["static:300"].leakage_bits == 0.0
+
+    frontiers = dict(report.benchmarks)
+    frontiers["aggregate"] = report.aggregate
+    for name, bf in frontiers.items():
+        assert bf.front, f"empty frontier for {name}"
+        for left, right in zip(bf.front, bf.front[1:]):
+            assert left.leakage_bits < right.leakage_bits, name
+            assert left.slowdown > right.slowdown, name
+        # The paper's design point family must survive once power counts.
+        assert any(
+            p.scheme_spec.startswith("dynamic:") for p in bf.power_survivors
+        ), f"no dynamic configuration survives power-aware pruning for {name}"
+
+    emit(
+        "Frontier: leakage vs slowdown across the dynamic design space",
+        report.render(per_benchmark=True),
+    )

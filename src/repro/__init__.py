@@ -72,14 +72,17 @@ from repro.core import (
     TimingProtectedController,
     dynamic,
     dynamic_timing_leakage_bits,
+    expand_scheme_grid,
     lg_spaced_rates,
     paper_baselines,
     paper_schedule,
+    parse_scheme_grid,
     scheme_from_spec,
     sim_schedule,
     termination_leakage_bits,
     total_leakage_bits,
 )
+from repro.frontier import FrontierConfig, FrontierSweepResult, run_frontier
 from repro.oram import (
     ORAMConfig,
     PAPER_ORAM_CONFIG,
@@ -131,12 +134,17 @@ __all__ = [
     "TimingProtectedController",
     "dynamic",
     "dynamic_timing_leakage_bits",
+    "expand_scheme_grid",
     "lg_spaced_rates",
     "paper_baselines",
     "paper_schedule",
+    "parse_scheme_grid",
     "sim_schedule",
     "termination_leakage_bits",
     "total_leakage_bits",
+    "FrontierConfig",
+    "FrontierSweepResult",
+    "run_frontier",
     "ORAMConfig",
     "PAPER_ORAM_CONFIG",
     "PAPER_ORAM_TIMING",

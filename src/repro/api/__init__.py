@@ -43,6 +43,7 @@ from repro.api.figures import (
     figure7_spec,
     figure8a_spec,
     figure8b_spec,
+    frontier_spec,
 )
 from repro.api.records import ResultSet, RunRecord
 from repro.api.spec import CACHE_SCHEMA_VERSION, Cell, ExperimentSpec, split_benchmark
@@ -71,6 +72,7 @@ __all__ = [
     "figure7_spec",
     "figure8a_spec",
     "figure8b_spec",
+    "frontier_spec",
     "run_spec",
     "split_benchmark",
     "warm_local_sims",

@@ -26,7 +26,7 @@ import tempfile
 from pathlib import Path
 
 from repro.api.records import RunRecord
-from repro.api.spec import CACHE_SCHEMA_VERSION
+from repro.api.spec import TRACE_SCHEMA_VERSION
 from repro.cpu.trace import MissTrace
 
 #: Environment variable overriding the default cache location.
@@ -69,9 +69,11 @@ class TraceCache:
 
     def _path(self, key: str) -> Path:
         # The simulator computes keys without knowledge of the api-layer
-        # schema version, so it is folded in here: bumping
-        # CACHE_SCHEMA_VERSION orphans trace entries too, not just results.
-        return self.root / f"v{CACHE_SCHEMA_VERSION}-{key}.pkl"
+        # schema, so the trace schema version is folded in here.  Traces
+        # version independently of results (TRACE_SCHEMA_VERSION vs
+        # CACHE_SCHEMA_VERSION): a result-shape change must not orphan
+        # the expensive functional passes.
+        return self.root / f"v{TRACE_SCHEMA_VERSION}-{key}.pkl"
 
     def get(self, key: str) -> MissTrace | None:
         """Load a trace, or None on miss/corruption."""
@@ -90,6 +92,15 @@ class TraceCache:
     def has(self, key: str) -> bool:
         """Cheap existence check (no deserialization)."""
         return self._path(key).is_file()
+
+    def entry_count(self) -> int:
+        """Number of persisted traces (= functional passes ever computed).
+
+        The frontier sweep reads this before/after a run to *prove* the
+        one-functional-pass-per-(benchmark, seed) invariant: the delta is
+        exactly how many passes the sweep paid for.
+        """
+        return len(list(self.root.glob("*.pkl"))) if self.root.is_dir() else 0
 
 
 class ResultCache:

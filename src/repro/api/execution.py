@@ -141,6 +141,7 @@ def execute_cell(
         )
         transitions = tuple(int(v) for v in epoch_transition_instructions(result))
 
+    epochs_expended = len(result.epochs)
     return RunRecord(
         benchmark=cell.benchmark,
         input_name=cell.input_name,
@@ -158,6 +159,8 @@ def execute_cell(
         dummy_fraction=float(result.dummy_fraction),
         oram_timing_leakage_bits=float(leakage.oram_timing_bits),
         termination_leakage_bits=float(leakage.termination_bits),
+        epochs_expended=epochs_expended,
+        expended_leakage_bits=float(scheme.expended_leakage_bits(epochs_expended)),
         epoch_rates=tuple(int(record.rate) for record in result.epochs),
         epoch_transitions=transitions,
         ipc_windows=ipc_series,

@@ -36,8 +36,12 @@ class RunRecord:
 
     ``label`` is the simulator's ``"name/input"`` tag; ``input_name`` is
     the spec's requested input (``None`` means the workload default).
-    Leakage bits come from the scheme's provable bound, not measurement;
-    unprotected baselines report ``inf``.
+    Two leakage views are carried (docs/tradeoffs.md defines both):
+    ``oram_timing_leakage_bits`` / ``termination_leakage_bits`` are the
+    scheme's provable *bound* (program-independent; ``inf`` for the
+    unprotected baselines), while ``expended_leakage_bits`` is the part
+    of that budget this bounded run actually spent — ``lg |R|`` bits per
+    epoch entered (``epochs_expended`` of them).
     """
 
     benchmark: str
@@ -56,6 +60,8 @@ class RunRecord:
     dummy_fraction: float
     oram_timing_leakage_bits: float
     termination_leakage_bits: float
+    epochs_expended: int = 0
+    expended_leakage_bits: float = 0.0
     epoch_rates: tuple[int, ...] = ()
     epoch_transitions: tuple[int, ...] = ()
     ipc_windows: tuple[float, ...] = ()
@@ -65,6 +71,11 @@ class RunRecord:
     def total_accesses(self) -> int:
         """Real + dummy ORAM/DRAM accesses."""
         return self.real_accesses + self.dummy_accesses
+
+    @property
+    def total_leakage_bits(self) -> float:
+        """Bound across both channels: ORAM timing + termination."""
+        return self.oram_timing_leakage_bits + self.termination_leakage_bits
 
     @property
     def final_rate(self) -> int | None:
@@ -84,7 +95,11 @@ class RunRecord:
         all reject).
         """
         payload = asdict(self)
-        for key in ("oram_timing_leakage_bits", "termination_leakage_bits"):
+        for key in (
+            "oram_timing_leakage_bits",
+            "termination_leakage_bits",
+            "expended_leakage_bits",
+        ):
             if not math.isfinite(payload[key]):
                 payload[key] = repr(payload[key])
         return payload
@@ -96,6 +111,8 @@ class RunRecord:
         data = {k: v for k, v in payload.items() if k in known}
         for key in ("oram_timing_leakage_bits", "termination_leakage_bits"):
             data[key] = float(data[key])
+        data["expended_leakage_bits"] = float(data.get("expended_leakage_bits", 0.0))
+        data["epochs_expended"] = int(data.get("epochs_expended", 0))
         for key in ("epoch_rates", "epoch_transitions"):
             data[key] = tuple(int(v) for v in data.get(key, ()))
         for key in ("ipc_windows", "access_windows"):
@@ -230,6 +247,8 @@ class ResultSet:
                 row.pop(series)
             row["total_accesses"] = record.total_accesses
             row["final_rate"] = record.final_rate
+            total = record.total_leakage_bits
+            row["total_leakage_bits"] = total if math.isfinite(total) else repr(total)
             rows.append(row)
         return rows
 

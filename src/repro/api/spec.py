@@ -20,12 +20,18 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Iterator
 
-from repro.core.scheme import scheme_from_spec
+from repro.core.scheme import expand_scheme_grid, is_grid_spec, scheme_from_spec
 from repro.util.validation import check_in_range, check_positive
 from repro.workloads.registry import get_workload
 
-#: Bump to invalidate every persisted cache entry after a semantics change.
-CACHE_SCHEMA_VERSION = 1
+#: Bump to invalidate persisted *result* entries after a semantics change.
+#: v2: RunRecord gained epochs_expended / expended_leakage_bits.
+CACHE_SCHEMA_VERSION = 2
+
+#: Bump to invalidate persisted *trace* entries.  Kept separate from the
+#: result schema: traces are the expensive artifact, and a result-shape
+#: change (like v2's new RunRecord fields) leaves them byte-identical.
+TRACE_SCHEMA_VERSION = 1
 
 
 def split_benchmark(entry: str) -> tuple[str, str | None]:
@@ -81,6 +87,10 @@ class ExperimentSpec:
         benchmarks: Entries ``"name"`` or ``"name/input"``; validated
             against the workload registry at construction.
         schemes: Scheme spec strings (``scheme_from_spec`` grammar).
+            ``grid:`` entries expand in place to their concrete schemes
+            (``expand_scheme_grid``); entries are canonicalized through
+            ``.spec`` and duplicates (including alias spellings) are
+            dropped.
         seeds: Workload-generation seeds; one full sweep runs per seed.
         n_instructions: Post-warmup instruction budget per run.
         warmup_fraction: Extra cache-warming prefix (excluded from timing).
@@ -105,9 +115,22 @@ class ExperimentSpec:
 
     def __post_init__(self) -> None:
         # Accept any iterable for the axes; normalize to tuples so the
-        # spec stays hashable.
+        # spec stays hashable.  Grid specs (``"grid:dynamic:..."``) are
+        # macro entries: each expands in place to its concrete scheme
+        # strings, so cells — and therefore cache keys — only ever see
+        # single-scheme specs.  Scheme entries are canonicalized through
+        # ``scheme_from_spec(...).spec`` before dedup, so alias
+        # spellings ("dynamic:4x4:avg") cannot produce duplicate cells
+        # or cache entries; parsing here also raises early for bad specs.
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
-        object.__setattr__(self, "schemes", tuple(self.schemes))
+        schemes: list[str] = []
+        for entry in self.schemes:
+            expanded = expand_scheme_grid(entry) if is_grid_spec(entry) else (entry,)
+            for scheme in expanded:
+                canonical = scheme_from_spec(scheme).spec
+                if canonical not in schemes:
+                    schemes.append(canonical)
+        object.__setattr__(self, "schemes", tuple(schemes))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         if not self.benchmarks:
             raise ValueError("ExperimentSpec needs at least one benchmark")
@@ -129,8 +152,6 @@ class ExperimentSpec:
                 raise ValueError(
                     f"{bench} has inputs {workload.inputs}, not {input_name!r}"
                 )
-        for scheme in self.schemes:
-            scheme_from_spec(scheme)  # raises with the grammar for bad specs
 
     @property
     def n_cells(self) -> int:

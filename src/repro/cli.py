@@ -17,6 +17,10 @@ Installed as the ``repro`` console script and runnable as
 - ``stash-scaling`` — million-access stash-occupancy tails across Z and
   tree depth on the batched ORAM engine, plus the functional validation
   of the derived timing constants.
+- ``frontier`` — sweep a ``grid:dynamic:...`` design space (default: 112
+  configurations plus the static anchors) across benchmarks and seeds on
+  the process pool, then print/export the exact Pareto frontier of
+  leaked bits versus slowdown (docs/tradeoffs.md walks through a run).
 """
 
 from __future__ import annotations
@@ -220,6 +224,63 @@ def _cmd_stash_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.core.scheme import DEFAULT_DYNAMIC_GRID
+    from repro.frontier import (
+        DEFAULT_FRONTIER_BENCHMARKS,
+        FrontierConfig,
+        run_frontier,
+    )
+
+    grid = args.grid
+    if grid in ("dynamic", "default"):
+        grid = DEFAULT_DYNAMIC_GRID
+    statics: tuple[int, ...] = ()
+    if args.static != "none":
+        statics = tuple(int(rate) for rate in _split_csv(args.static))
+    config = FrontierConfig(
+        grid=grid,
+        benchmarks=(
+            _split_csv(args.benchmarks)
+            if args.benchmarks
+            else DEFAULT_FRONTIER_BENCHMARKS
+        ),
+        seeds=tuple(int(s) for s in _split_csv(args.seeds)),
+        n_instructions=args.instructions,
+        budget_bits=args.budget,
+        static_anchors=statics,
+    )
+    # A grid sweep is hundreds of independent replays: the pool is the
+    # default, --serial opts out (mutually exclusive with --workers).
+    backend = (
+        SerialBackend()
+        if args.serial
+        else ProcessPoolBackend(max_workers=args.workers)
+    )
+    cache = ExperimentCache(args.cache_dir) if args.cache_dir else None
+    engine = Engine(backend=backend, cache=cache)
+    sweep = run_frontier(config, engine=engine, use_cache=not args.no_cache_read)
+    print(sweep.render(per_benchmark=args.per_benchmark))
+    if args.save:
+        sweep.results.save(args.save)
+        print(f"raw ResultSet saved to {args.save}")
+    if args.out:
+        sweep.report.save_json(args.out)
+        print(f"frontier report saved to {args.out}")
+    if args.csv:
+        sweep.report.save_csv(args.csv)
+        print(f"flat CSV saved to {args.csv}")
+    if sweep.meta.get("passes_verified") is False:
+        print(
+            "error: functional-pass invariant violated "
+            f"({sweep.meta['functional_passes']} passes for "
+            f"{sweep.meta['expected_passes']} benchmark-seed pairs)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -311,6 +372,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="also validate derived timing constants against functional traffic",
     )
     stash.set_defaults(func=_cmd_stash_scaling)
+
+    frontier = sub.add_parser(
+        "frontier",
+        help="sweep a dynamic design-space grid and print its Pareto frontier",
+    )
+    frontier.add_argument(
+        "--grid", default="dynamic",
+        help='grid spec, e.g. "grid:dynamic:{rates=2..6}x{epochs=3..6}:'
+             '{learner=avg,threshold}"; "dynamic" selects the 112-point default',
+    )
+    frontier.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmarks (default: one per memory-behaviour class)",
+    )
+    frontier.add_argument("--seeds", default="0", help='comma-separated seeds (default "0")')
+    frontier.add_argument(
+        "--budget", type=float, default=None,
+        help="prune grid points whose ORAM-timing bound exceeds this many bits",
+    )
+    frontier.add_argument(
+        "--static", default="300,500,1300",
+        help='zero-leakage static anchors to include ("none" to disable)',
+    )
+    frontier.add_argument(
+        "--per-benchmark", action="store_true",
+        help="print every per-benchmark frontier, not just the aggregate",
+    )
+    frontier.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the frontier report (points, fronts, knees) as JSON",
+    )
+    frontier.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="also write the flat candidate table as CSV",
+    )
+    backend_group = frontier.add_mutually_exclusive_group()
+    backend_group.add_argument(
+        "--serial", action="store_true",
+        help="run in-process instead of on the process pool",
+    )
+    backend_group.add_argument(
+        "--workers", type=int, default=None,
+        help="process pool size (default: cpu count)",
+    )
+    frontier.add_argument(
+        "-n", "--instructions", type=int, default=200_000,
+        help="post-warmup instruction budget per run (default 200000)",
+    )
+    frontier.add_argument(
+        "--cache-dir", default=None,
+        help="root a persistent trace/result cache there; also enables the "
+             "functional-pass verification in the summary",
+    )
+    frontier.add_argument(
+        "--no-cache-read", action="store_true",
+        help="recompute results even when cached (still reuses traces)",
+    )
+    frontier.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also write the raw ResultSet as JSON to PATH",
+    )
+    frontier.set_defaults(func=_cmd_frontier)
 
     return parser
 

@@ -46,14 +46,19 @@ from repro.core.monitor import (
 )
 from repro.core.rates import INITIAL_RATE, PAPER_RATES, RateSet, lg_spaced_rates
 from repro.core.scheme import (
+    DEFAULT_DYNAMIC_GRID,
     SCHEME_SPEC_FORMS,
     BaseDramScheme,
     BaseOramScheme,
     DynamicScheme,
     ObliviousDramScheme,
+    SchemeGrid,
     StaticScheme,
     dynamic,
+    expand_scheme_grid,
+    is_grid_spec,
     paper_baselines,
+    parse_scheme_grid,
     scheme_from_spec,
 )
 
@@ -97,11 +102,16 @@ __all__ = [
     "MonitoredLearner",
     "BaseDramScheme",
     "BaseOramScheme",
+    "DEFAULT_DYNAMIC_GRID",
     "DynamicScheme",
     "ObliviousDramScheme",
+    "SchemeGrid",
     "StaticScheme",
     "SCHEME_SPEC_FORMS",
     "dynamic",
+    "expand_scheme_grid",
+    "is_grid_spec",
     "paper_baselines",
+    "parse_scheme_grid",
     "scheme_from_spec",
 ]

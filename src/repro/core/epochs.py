@@ -59,10 +59,15 @@ class EpochSchedule:
 
     @property
     def max_epochs(self) -> int:
-        """Epochs expended by a program running to Tmax.
+        """Epochs expended by a program running to Tmax (Section 6).
 
         The paper's accounting: ``(lg Tmax - lg first) / lg growth``,
         rounded up — 32 for (2^30, x2, 2^62), 16 for (2^30, x4, 2^62).
+
+        >>> paper_schedule(growth=2).max_epochs
+        32
+        >>> paper_schedule(growth=4).max_epochs
+        16
         """
         lg_span = math.log2(self.tmax_cycles) - math.log2(self.first_epoch_cycles)
         lg_growth = math.log2(self.growth)
@@ -126,6 +131,11 @@ def sim_schedule(growth: int = 4, first_epoch_lg: int = SIM_FIRST_EPOCH_LG) -> E
     the same factor, so ``max_epochs`` — and therefore the ORAM-timing
     leakage bound ``|E| * lg |R|`` — is identical to the paper-scale
     schedule's (32 bits for R4/E4, etc.).
+
+    >>> sim_schedule(growth=4).max_epochs == paper_schedule(growth=4).max_epochs
+    True
+    >>> sim_schedule(growth=2).first_epoch_cycles
+    32768
     """
     tmax_lg = PAPER_TMAX_LG - PAPER_FIRST_EPOCH_LG + first_epoch_lg
     return EpochSchedule(

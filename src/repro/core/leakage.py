@@ -37,6 +37,11 @@ def dynamic_timing_leakage_bits(n_epochs: int, n_rates: int) -> float:
 
     Section 2.2.1: |R|^|E| rate schedules.  The *values* in R and the
     learner's choices do not appear — only the counts (Section 2.2.2).
+
+    >>> dynamic_timing_leakage_bits(16, 4)   # R4/E4, Section 9.3
+    32.0
+    >>> dynamic_timing_leakage_bits(32, 4)   # R4/E2, Example 6.1
+    64.0
     """
     check_positive(n_epochs, "n_epochs")
     check_positive(n_rates, "n_rates")
@@ -51,6 +56,11 @@ def termination_leakage_bits(
     With no discretization (granularity 1) this is the paper's 62 bits for
     Tmax = 2^62.  Rounding termination up to the next 2^30 cycles leaves
     lg(2^32) = 32 bits (Section 6).
+
+    >>> termination_leakage_bits()
+    62.0
+    >>> termination_leakage_bits(discretize_to_cycles=2**30)
+    32.0
     """
     check_positive(tmax_cycles, "tmax_cycles")
     check_positive(discretize_to_cycles, "discretize_to_cycles")
@@ -69,6 +79,10 @@ def total_leakage_bits(
     Section 6.1: the trace count is bounded by (number of epoch schedules)
     x (number of termination times), so the bits add:
     ``|E|*lg|R| + lg Tmax``.
+
+    >>> from repro.core.epochs import paper_schedule
+    >>> total_leakage_bits(paper_schedule(growth=4), 4)   # 32 + 62, Section 9.3
+    94.0
     """
     return dynamic_timing_leakage_bits(schedule.max_epochs, n_rates) + (
         termination_leakage_bits(schedule.tmax_cycles, discretize_to_cycles)
@@ -167,6 +181,10 @@ def compose_channels(channels: list[ChannelTraceCount]) -> float:
 
     Section 10: N channels generating |T_i| traces each yield
     ``prod |T_i|`` combinations, i.e. ``sum lg |T_i|`` bits.
+
+    >>> compose_channels([ChannelTraceCount("oram-timing", 32.0),
+    ...                   ChannelTraceCount("termination", 62.0)])
+    94.0
     """
     if not channels:
         return 0.0

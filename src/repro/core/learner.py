@@ -89,7 +89,14 @@ class AveragingLearner:
         Implemented exactly as the hardware would: right-shift the
         numerator once per halving of the rounded count.  Worst case takes
         bit-width-of-AccessCount iterations, which the controller hides by
-        starting before the epoch boundary (Section 7.2).
+        starting before the epoch boundary (Section 7.2).  The strict
+        rounding (even exact powers of two round up) biases the rate
+        underset by at most 2x:
+
+        >>> AveragingLearner._shift_divide(4096, 3)   # /4, not /3
+        1024.0
+        >>> AveragingLearner._shift_divide(4096, 4)   # /8, not /4 (strict)
+        512.0
         """
         if numerator < 0:
             raise ValueError(f"numerator must be >= 0, got {numerator}")

@@ -133,6 +133,7 @@ class MonitoredLearner:
         return self._pinned
 
     def decide(self, counters, epoch_cycles: float):
+        """Delegate to the wrapped learner unless the budget pinned the rate."""
         from repro.core.learner import RateDecision
 
         if self._pinned:

@@ -61,6 +61,11 @@ class RateSet:
         |R| is small (2-16), so the hardware does this as a sequential
         scan; ties break toward the faster rate, which errs on the side of
         performance rather than power.
+
+        >>> RateSet((256, 1290, 6501, 32768)).nearest(900)
+        1290
+        >>> RateSet((256, 1290, 6501, 32768)).nearest(500)
+        256
         """
         best = self.rates[0]
         best_distance = abs(raw_rate - best)
@@ -94,7 +99,16 @@ class RateSet:
 def lg_spaced_rates(n_rates: int, fastest: int = 256, slowest: int = 32768) -> RateSet:
     """Build |R| candidates spaced evenly on a lg scale (Section 9.2).
 
-    ``lg_spaced_rates(4)`` returns the paper's {256, 1290, 6501, 32768}.
+    The extreme rates are the paper's empirically chosen endpoints
+    (256 at the fast end, 32768 at the slow end); intermediate
+    candidates fall at equal lg intervals, truncated to integers.
+
+    >>> lg_spaced_rates(4).rates
+    (256, 1290, 6501, 32768)
+    >>> lg_spaced_rates(2).rates
+    (256, 32768)
+    >>> len(lg_spaced_rates(8))
+    8
     """
     check_positive(n_rates, "n_rates")
     check_positive(fastest, "fastest")

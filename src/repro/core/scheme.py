@@ -1,15 +1,28 @@
-"""Scheme configurations: the baselines and the dynamic proposal.
+"""Scheme configurations: the baselines, the dynamic proposal, and the grid grammar.
 
 Section 9.1.6 defines the comparison points: ``base_dram`` (insecure
 DRAM), ``base_oram`` (Path ORAM, no timing protection), ``static_300/500/
 1300`` (single periodic rate, the Ascend-style zero-timing-leakage
 strawman), and the paper's ``dynamic_R<n>_E<g>`` configurations.  Each
-scheme knows how to build the controller the timing simulator drives and
-how to report its leakage.
+scheme knows how to build the controller the timing simulator drives,
+how to report its leakage bound, and how to print itself back as the
+spec string that rebuilds it (:func:`scheme_from_spec` / ``.spec``).
+
+Two grammar layers live here:
+
+* **Scheme specs** (:func:`scheme_from_spec`) name one configuration:
+  ``"dynamic:4x4"``, ``"static:300"``, ``"dynamic:6x2:threshold"``, ...
+* **Grid specs** (:func:`expand_scheme_grid`) name a whole *design
+  space* — the cross product of rate-set sizes, epoch growths, and
+  learner variants the frontier sweep explores (Sections 9.5 and 9.6),
+  optionally pruned by a leakage budget:
+  ``"grid:dynamic:{rates=2..6}x{epochs=3..6}:{learner=avg,threshold}"``.
 """
 
 from __future__ import annotations
 
+import math
+import re
 from dataclasses import dataclass, field
 
 from repro.core.controller import (
@@ -36,6 +49,11 @@ class BaseDramScheme:
         return "base_dram"
 
     @property
+    def spec(self) -> str:
+        """Canonical spec string (inverse of :func:`scheme_from_spec`)."""
+        return "base_dram"
+
+    @property
     def is_oram(self) -> bool:
         """Whether memory requests cost ORAM energy/latency."""
         return False
@@ -43,6 +61,10 @@ class BaseDramScheme:
     def build_controller(self):
         """Construct the memory controller for a run."""
         return FlatDramController(latency=self.latency)
+
+    def expended_leakage_bits(self, n_epochs: int) -> float:
+        """Leakage realized by a bounded run: unbounded (no protection)."""
+        return float("inf")
 
     def leakage(self) -> LeakageReport:
         """No protection at all: unbounded timing leakage.
@@ -70,6 +92,11 @@ class BaseOramScheme:
         return "base_oram"
 
     @property
+    def spec(self) -> str:
+        """Canonical spec string (inverse of :func:`scheme_from_spec`)."""
+        return "base_oram"
+
+    @property
     def is_oram(self) -> bool:
         """ORAM-backed."""
         return True
@@ -77,6 +104,10 @@ class BaseOramScheme:
     def build_controller(self):
         """Construct the memory controller for a run."""
         return UnprotectedController(oram_latency=self.oram_latency)
+
+    def expended_leakage_bits(self, n_epochs: int) -> float:
+        """Leakage realized by a bounded run: unbounded (timing unprotected)."""
+        return float("inf")
 
     def leakage(self) -> LeakageReport:
         """Timing unprotected: unbounded ORAM-timing leakage."""
@@ -105,6 +136,11 @@ class StaticScheme:
         return f"static_{self.rate}"
 
     @property
+    def spec(self) -> str:
+        """Canonical spec string (inverse of :func:`scheme_from_spec`)."""
+        return f"static:{self.rate}"
+
+    @property
     def is_oram(self) -> bool:
         """ORAM-backed."""
         return True
@@ -119,6 +155,10 @@ class StaticScheme:
     def leakage(self) -> LeakageReport:
         """One trace over the ORAM channel: 0 bits (+ termination)."""
         return report_for_static()
+
+    def expended_leakage_bits(self, n_epochs: int) -> float:
+        """A static rate generates exactly one trace: 0 bits, always."""
+        return 0.0
 
 
 @dataclass(frozen=True)
@@ -151,8 +191,20 @@ class DynamicScheme:
 
     @property
     def name(self) -> str:
-        """Scheme label, e.g. ``dynamic_R4_E4``."""
-        return f"dynamic_R{len(self.rates)}_E{self.schedule.growth}"
+        """Scheme label: ``dynamic_R4_E4``, ``dynamic_R4_E4_threshold``."""
+        base = f"dynamic_R{len(self.rates)}_E{self.schedule.growth}"
+        return base if self.learner_kind == "averaging" else f"{base}_{self.learner_kind}"
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string (inverse of :func:`scheme_from_spec`).
+
+        Canonical for grammar-built schemes: the averaging learner is the
+        default and stays implicit (``"dynamic:4x4"``), other learners
+        are appended (``"dynamic:4x4:threshold"``).
+        """
+        base = f"dynamic:{len(self.rates)}x{self.schedule.growth}"
+        return base if self.learner_kind == "averaging" else f"{base}:{self.learner_kind}"
 
     @property
     def is_oram(self) -> bool:
@@ -188,6 +240,18 @@ class DynamicScheme:
         """``|E| * lg |R|`` ORAM-timing bits plus termination bits."""
         return report_for_dynamic(self.schedule, len(self.rates))
 
+    def expended_leakage_bits(self, n_epochs: int) -> float:
+        """Leakage realized by a run that entered ``n_epochs`` epochs.
+
+        The bound charges ``lg |R|`` bits per epoch *entered* (Section
+        6): a run shorter than Tmax expends only part of its
+        ``|E| * lg |R|`` budget.  Which rates the learner picked never
+        appears — only the counts (Section 2.2.2).
+        """
+        if n_epochs < 0:
+            raise ValueError(f"n_epochs must be >= 0, got {n_epochs}")
+        return n_epochs * math.log2(len(self.rates))
+
 
 @dataclass(frozen=True)
 class ObliviousDramScheme:
@@ -217,6 +281,18 @@ class ObliviousDramScheme:
         return f"oblivious_dram_R{len(self.rates)}_E{self.schedule.growth}"
 
     @property
+    def spec(self) -> str:
+        """Canonical spec string (inverse of :func:`scheme_from_spec`).
+
+        The bare default prints as ``"oblivious_dram"`` — its hand-pinned
+        rate set (323) differs from the lg-spaced reconstruction (322)
+        that the parameterized form would rebuild.
+        """
+        if self == ObliviousDramScheme():
+            return "oblivious_dram"
+        return f"oblivious_dram:{len(self.rates)}x{self.schedule.growth}"
+
+    @property
     def is_oram(self) -> bool:
         """Accesses cost DRAM (not ORAM) energy and latency."""
         return False
@@ -234,9 +310,21 @@ class ObliviousDramScheme:
         """Same |E| * lg |R| arithmetic — the bound is substrate-agnostic."""
         return report_for_dynamic(self.schedule, len(self.rates))
 
+    def expended_leakage_bits(self, n_epochs: int) -> float:
+        """``lg |R|`` bits per epoch entered, as for the ORAM-backed scheme."""
+        if n_epochs < 0:
+            raise ValueError(f"n_epochs must be >= 0, got {n_epochs}")
+        return n_epochs * math.log2(len(self.rates))
+
 
 def dynamic(n_rates: int = 4, growth: int = 4, **kwargs) -> DynamicScheme:
-    """Convenience builder: ``dynamic(4, 4)`` is the paper's headline config."""
+    """Convenience builder: ``dynamic(4, 4)`` is the paper's headline config.
+
+    >>> dynamic(4, 4).name
+    'dynamic_R4_E4'
+    >>> dynamic(4, 4).leakage().oram_timing_bits
+    32.0
+    """
     return DynamicScheme(
         rates=lg_spaced_rates(n_rates),
         schedule=sim_schedule(growth=growth),
@@ -249,9 +337,17 @@ SCHEME_SPEC_FORMS = (
     "base_dram",
     "base_oram",
     "static:<rate>",
-    "dynamic:<|R|>x<growth>",
+    "dynamic:<|R|>x<growth>[:<learner>]",
     "oblivious_dram[:<|R|>x<growth>]",
+    "grid:dynamic:{rates=..}x{epochs=..}[:{learner=..}][:{budget=..}]  (expand_scheme_grid)",
 )
+
+#: Learner-segment aliases accepted by the ``dynamic:`` spec grammar.
+LEARNER_ALIASES = {
+    "avg": "averaging",
+    "averaging": "averaging",
+    "threshold": "threshold",
+}
 
 
 def _parse_rates_x_growth(arg: str, spec: str) -> tuple[int, int]:
@@ -272,6 +368,17 @@ def _parse_rates_x_growth(arg: str, spec: str) -> tuple[int, int]:
     return n_rates, growth
 
 
+def _parse_learner(arg: str, spec: str) -> str:
+    """Resolve a learner-segment alias (``avg``/``averaging``/``threshold``)."""
+    try:
+        return LEARNER_ALIASES[arg]
+    except KeyError:
+        raise ValueError(
+            f"scheme spec {spec!r}: unknown learner {arg!r}; "
+            f"accepted: {', '.join(sorted(LEARNER_ALIASES))}"
+        )
+
+
 def scheme_from_spec(spec: str):
     """Build a scheme from a compact spec string.
 
@@ -282,7 +389,22 @@ def scheme_from_spec(spec: str):
     - ``"base_oram"`` — Path ORAM without timing protection
     - ``"static:300"`` — static rate of 300 cycles
     - ``"dynamic:4x4"`` — the paper's dynamic scheme, |R|=4, epoch growth 4
+    - ``"dynamic:4x4:threshold"`` — same lattice point, the Section 7.3
+      threshold learner instead of the default averaging learner
     - ``"oblivious_dram"`` / ``"oblivious_dram:4x4"`` — Section 10 extension
+
+    Every scheme prints itself back via ``.spec``, and
+    ``scheme_from_spec(s).spec == s`` for canonical strings (averaging
+    learner implicit, ``avg`` normalized away):
+
+    >>> scheme_from_spec("dynamic:4x4").name
+    'dynamic_R4_E4'
+    >>> scheme_from_spec("dynamic:4x4:avg").spec
+    'dynamic:4x4'
+    >>> scheme_from_spec("dynamic:6x2:threshold").name
+    'dynamic_R6_E2_threshold'
+    >>> scheme_from_spec("static:300").leakage().oram_timing_bits
+    0.0
 
     Raises ValueError with the accepted grammar for anything else.
     """
@@ -300,8 +422,10 @@ def scheme_from_spec(spec: str):
             raise ValueError(f"scheme spec {spec!r}: static rate must be an integer")
         return StaticScheme(rate)
     if head == "dynamic":
-        n_rates, growth = _parse_rates_x_growth(arg, spec)
-        return dynamic(n_rates, growth)
+        lattice, _, learner_arg = arg.partition(":")
+        n_rates, growth = _parse_rates_x_growth(lattice, spec)
+        learner = _parse_learner(learner_arg, spec) if learner_arg else "averaging"
+        return dynamic(n_rates, growth, learner_kind=learner)
     if head == "oblivious_dram":
         if not arg:
             return ObliviousDramScheme()
@@ -313,9 +437,245 @@ def scheme_from_spec(spec: str):
             ),
             schedule=sim_schedule(growth=growth),
         )
+    if head == "grid":
+        raise ValueError(
+            f"{spec!r} is a grid spec naming many schemes; expand it with "
+            "expand_scheme_grid() before asking for a single scheme"
+        )
     raise ValueError(
         f"unknown scheme spec {spec!r}; accepted forms: {', '.join(SCHEME_SPEC_FORMS)}"
     )
+
+
+# ----------------------------------------------------------------------
+# Grid specs: the frontier's scheme-space generator
+# ----------------------------------------------------------------------
+
+#: The default dynamic design space swept by ``repro frontier``:
+#: |R| in 2..8, epoch growth in 2..9, both learners — 112 configurations.
+DEFAULT_DYNAMIC_GRID = "grid:dynamic:{rates=2..8}x{epochs=2..9}:{learner=avg,threshold}"
+
+_GRID_TERM = re.compile(r"^\{(\w+)=([^{}]+)\}$")
+
+
+def _parse_int_values(text: str, term: str, spec: str) -> tuple[int, ...]:
+    """Parse a brace value list: ``2..6`` (inclusive range) or ``2,4,8``."""
+    text = text.strip()
+    if ".." in text:
+        lo_text, _, hi_text = text.partition("..")
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise ValueError(f"grid spec {spec!r}: {term} range {text!r} must be <int>..<int>")
+        if hi < lo:
+            raise ValueError(f"grid spec {spec!r}: empty {term} range {text!r}")
+        return tuple(range(lo, hi + 1))
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(f"grid spec {spec!r}: {term} values {text!r} must be integers")
+    if not values:
+        raise ValueError(f"grid spec {spec!r}: {term} needs at least one value")
+    if len(set(values)) != len(values):
+        raise ValueError(f"grid spec {spec!r}: {term} values must be distinct")
+    return values
+
+
+@dataclass(frozen=True)
+class SchemeGrid:
+    """A dynamic-scheme design space: |R| x growth x learner, budget-pruned.
+
+    The frontier sweep's generator (Section 9.5/9.6 explore slices of
+    this space; the frontier sweeps the cross product).  ``expand()``
+    yields one canonical :func:`scheme_from_spec` string per surviving
+    configuration, so a grid composes with everything that already
+    speaks spec strings — :class:`~repro.api.spec.ExperimentSpec`, the
+    CLI, the persistent cache.
+
+    Attributes:
+        n_rates_values: Candidate-set sizes |R| to sweep.
+        growth_values: Epoch growth factors to sweep (the paper's E2..E16
+            axis, Section 9.6).
+        learners: Learner variants (``"averaging"``, ``"threshold"``).
+        budget_bits: When set, drop configurations whose ORAM-timing
+            bound ``|E| * lg |R|`` exceeds this many bits (the Section 5
+            user-set leakage limit applied at design time).
+    """
+
+    n_rates_values: tuple[int, ...]
+    growth_values: tuple[int, ...]
+    learners: tuple[str, ...] = ("averaging",)
+    budget_bits: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.n_rates_values or not self.growth_values or not self.learners:
+            raise ValueError("SchemeGrid needs at least one value per axis")
+        if any(n < 1 for n in self.n_rates_values):
+            raise ValueError(f"|R| values must be >= 1, got {self.n_rates_values}")
+        if any(g < 2 for g in self.growth_values):
+            raise ValueError(f"growth values must be >= 2, got {self.growth_values}")
+        for learner in self.learners:
+            if learner not in LEARNER_ALIASES.values():
+                raise ValueError(f"unknown learner {learner!r} in grid")
+        if self.budget_bits is not None and self.budget_bits < 0:
+            raise ValueError(f"budget_bits must be >= 0, got {self.budget_bits}")
+
+    @property
+    def spec(self) -> str:
+        """Canonical grid spec string (inverse of :func:`parse_scheme_grid`)."""
+
+        def values(axis: tuple[int, ...]) -> str:
+            if len(axis) > 2 and axis == tuple(range(axis[0], axis[-1] + 1)):
+                return f"{axis[0]}..{axis[-1]}"
+            return ",".join(str(v) for v in axis)
+
+        text = f"grid:dynamic:{{rates={values(self.n_rates_values)}}}x" \
+               f"{{epochs={values(self.growth_values)}}}"
+        learner_names = {"averaging": "avg", "threshold": "threshold"}
+        text += ":{learner=" + ",".join(learner_names[lr] for lr in self.learners) + "}"
+        if self.budget_bits is not None:
+            budget = self.budget_bits
+            text += f":{{budget={int(budget) if budget == int(budget) else budget}}}"
+        return text
+
+    def bound_bits(self, n_rates: int, growth: int) -> float:
+        """The ORAM-timing bound ``|E| * lg |R|`` of one lattice point."""
+        return report_for_dynamic(sim_schedule(growth=growth), n_rates).oram_timing_bits
+
+    def expand(self) -> tuple[str, ...]:
+        """All surviving configurations as canonical scheme spec strings.
+
+        Ordered rates-major, then growth, then learner; budget-pruned
+        points are silently dropped (an empty expansion raises, because a
+        frontier over nothing is a configuration error).
+        """
+        specs = []
+        for n_rates in self.n_rates_values:
+            for growth in self.growth_values:
+                if (
+                    self.budget_bits is not None
+                    and self.bound_bits(n_rates, growth) > self.budget_bits + 1e-9
+                ):
+                    continue
+                for learner in self.learners:
+                    suffix = "" if learner == "averaging" else f":{learner}"
+                    specs.append(f"dynamic:{n_rates}x{growth}{suffix}")
+        if not specs:
+            raise ValueError(
+                f"grid {self.spec!r} expands to nothing: every configuration "
+                f"exceeds the {self.budget_bits}-bit budget"
+            )
+        return tuple(specs)
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+
+def parse_scheme_grid(spec: str) -> SchemeGrid:
+    """Parse a ``grid:dynamic:...`` spec string into a :class:`SchemeGrid`.
+
+    Grammar (segments after the lattice are optional, in this order)::
+
+        grid:dynamic:{rates=<values>}x{epochs=<values>}[:{learner=<names>}][:{budget=<bits>}]
+
+    ``<values>`` is an inclusive range ``2..6`` or a comma list ``2,4,8``;
+    ``<names>`` draws from ``avg``/``averaging``/``threshold``.  The bare
+    alias ``"grid:dynamic"`` resolves to :data:`DEFAULT_DYNAMIC_GRID`.
+
+    >>> parse_scheme_grid("grid:dynamic:{rates=2..4}x{epochs=2,4}").n_rates_values
+    (2, 3, 4)
+    >>> len(parse_scheme_grid("grid:dynamic"))
+    112
+    """
+    if not isinstance(spec, str) or not spec.startswith("grid:"):
+        raise ValueError(f"grid spec must start with 'grid:', got {spec!r}")
+    if spec in ("grid:dynamic", "grid:dynamic:default"):
+        spec = DEFAULT_DYNAMIC_GRID
+    body = spec[len("grid:"):]
+    family, _, rest = body.partition(":")
+    if family != "dynamic" or not rest:
+        raise ValueError(
+            f"unknown grid spec {spec!r}; accepted: "
+            "grid:dynamic:{rates=..}x{epochs=..}[:{learner=..}][:{budget=..}]"
+        )
+    segments = rest.split(":")
+    lattice = segments[0]
+    lattice_parts = lattice.split("}x{")
+    if len(lattice_parts) != 2:
+        raise ValueError(
+            f"grid spec {spec!r}: lattice must be {{rates=..}}x{{epochs=..}}"
+        )
+    terms = dict([
+        _match_grid_term(lattice_parts[0] + "}", spec),
+        _match_grid_term("{" + lattice_parts[1], spec),
+    ])
+    if set(terms) != {"rates", "epochs"}:
+        raise ValueError(
+            f"grid spec {spec!r}: lattice must name rates and epochs, got {sorted(terms)}"
+        )
+    n_rates_values = _parse_int_values(terms["rates"], "rates", spec)
+    growth_values = _parse_int_values(terms["epochs"], "epochs", spec)
+
+    learners: tuple[str, ...] = ("averaging",)
+    budget_bits: float | None = None
+    for segment in segments[1:]:
+        key, value = _match_grid_term(segment, spec)
+        if key == "learner":
+            learners = tuple(
+                _parse_learner(part.strip(), spec)
+                for part in value.split(",")
+                if part.strip()
+            )
+            if len(set(learners)) != len(learners):
+                raise ValueError(f"grid spec {spec!r}: duplicate learners")
+        elif key == "budget":
+            try:
+                budget_bits = float(value)
+            except ValueError:
+                raise ValueError(f"grid spec {spec!r}: budget must be a number")
+        else:
+            raise ValueError(
+                f"grid spec {spec!r}: unknown term {{{key}=...}}; "
+                "accepted: learner, budget"
+            )
+    return SchemeGrid(
+        n_rates_values=n_rates_values,
+        growth_values=growth_values,
+        learners=learners,
+        budget_bits=budget_bits,
+    )
+
+
+def _match_grid_term(segment: str, spec: str) -> tuple[str, str]:
+    """Match one ``{key=value}`` grid segment."""
+    match = _GRID_TERM.match(segment.strip())
+    if match is None:
+        raise ValueError(
+            f"grid spec {spec!r}: segment {segment!r} is not of the form {{key=value}}"
+        )
+    return match.group(1), match.group(2)
+
+
+def expand_scheme_grid(spec: str) -> tuple[str, ...]:
+    """Expand a grid spec to concrete scheme spec strings.
+
+    Every returned string round-trips: it parses with
+    :func:`scheme_from_spec` and the parsed scheme's ``.spec`` prints the
+    identical string back.
+
+    >>> expand_scheme_grid("grid:dynamic:{rates=2..3}x{epochs=2..3}")
+    ('dynamic:2x2', 'dynamic:2x3', 'dynamic:3x2', 'dynamic:3x3')
+    >>> expand_scheme_grid("grid:dynamic:{rates=4}x{epochs=2,4}:{learner=threshold}")
+    ('dynamic:4x2:threshold', 'dynamic:4x4:threshold')
+    >>> len(expand_scheme_grid("grid:dynamic:{rates=2..8}x{epochs=2..9}:{learner=avg,threshold}"))
+    112
+    """
+    return parse_scheme_grid(spec).expand()
+
+
+def is_grid_spec(spec: str) -> bool:
+    """Whether a spec string names a scheme grid rather than one scheme."""
+    return isinstance(spec, str) and spec.startswith("grid:")
 
 
 #: Section 9.1.6's five baselines plus the headline dynamic configuration.

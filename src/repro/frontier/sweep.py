@@ -1,0 +1,185 @@
+"""Frontier sweep execution: design-space grid in, Pareto report out.
+
+:func:`run_frontier` composes the pieces the rest of the repository
+already provides — grid expansion (:mod:`repro.core.scheme`), the
+declarative engine with its pluggable backends and persistent
+content-addressed cache (:mod:`repro.api`), and the Pareto analysis
+(:mod:`repro.analysis.frontier`) — into one call that sweeps hundreds of
+``(|R|, growth, learner)`` configurations across the workload suite with
+multi-seed replication.
+
+Cost model: expanding the grid multiplies only the cheap *timing replay*
+axis.  A sweep of S schemes over B benchmarks and K seeds costs
+``B * K`` functional cache passes plus ``B * K * S`` replays — the
+two-phase invariant (DESIGN.md) the engine's trace cache enforces.  With
+a persistent cache the sweep *verifies* the invariant: the number of new
+trace entries after the run must not exceed ``B * K``, and the result
+meta records the proof (``functional_passes`` vs ``expected_passes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.analysis.frontier import FrontierReport, frontier_from_resultset
+from repro.api.backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from repro.api.cache import ExperimentCache
+from repro.api.engine import Engine
+from repro.api.records import ResultSet
+from repro.api.spec import ExperimentSpec
+from repro.core.scheme import DEFAULT_DYNAMIC_GRID, parse_scheme_grid
+
+#: Benchmarks the default frontier sweeps: one per memory-behaviour class
+#: (pathological pointer chase, memory-bound streaming, compute-bound,
+#: input-sensitive mixed) so the aggregate frontier is not dominated by a
+#: single workload personality.
+DEFAULT_FRONTIER_BENCHMARKS: tuple[str, ...] = (
+    "mcf",
+    "libquantum",
+    "h264ref",
+    "astar/rivers",
+)
+
+#: Zero-leakage comparison anchors (the paper's static strawmen, §9.1.6).
+DEFAULT_STATIC_ANCHORS: tuple[int, ...] = (300, 500, 1300)
+
+
+@dataclass(frozen=True)
+class FrontierConfig:
+    """What to sweep: the design-space grid and the measurement lattice.
+
+    Attributes:
+        grid: A ``grid:dynamic:...`` spec string (``"grid:dynamic"``
+            resolves to :data:`~repro.core.scheme.DEFAULT_DYNAMIC_GRID`,
+            112 configurations).
+        benchmarks: Workload entries (``"name"`` / ``"name/input"``).
+        seeds: Workload seeds; slowdowns average across them.
+        n_instructions: Post-warmup budget per run.
+        budget_bits: Optional leakage budget; grid points whose
+            ``|E| * lg |R|`` bound exceeds it are pruned *before*
+            execution (intersected with any budget already in the grid).
+        static_anchors: Static rates added as zero-leakage frontier
+            anchors; empty tuple to sweep the dynamic family alone.
+    """
+
+    grid: str = DEFAULT_DYNAMIC_GRID
+    benchmarks: tuple[str, ...] = DEFAULT_FRONTIER_BENCHMARKS
+    seeds: tuple[int, ...] = (0,)
+    n_instructions: int = 200_000
+    budget_bits: float | None = None
+    static_anchors: tuple[int, ...] = DEFAULT_STATIC_ANCHORS
+
+    def schemes(self) -> tuple[str, ...]:
+        """Baseline + anchors + the budget-pruned grid expansion."""
+        grid = parse_scheme_grid(self.grid)
+        if self.budget_bits is not None:
+            budget = (
+                self.budget_bits
+                if grid.budget_bits is None
+                else min(grid.budget_bits, self.budget_bits)
+            )
+            grid = replace(grid, budget_bits=budget)
+        anchors = tuple(f"static:{rate}" for rate in self.static_anchors)
+        return ("base_dram",) + anchors + grid.expand()
+
+    def spec(self) -> ExperimentSpec:
+        """The concrete experiment spec the engine executes."""
+        return ExperimentSpec(
+            name=f"frontier: {self.grid}",
+            benchmarks=tuple(self.benchmarks),
+            schemes=self.schemes(),
+            seeds=tuple(self.seeds),
+            n_instructions=self.n_instructions,
+        )
+
+    @property
+    def n_candidates(self) -> int:
+        """Frontier candidates swept (baseline excluded)."""
+        return len(self.schemes()) - 1
+
+
+@dataclass
+class FrontierSweepResult:
+    """Everything one frontier sweep produced.
+
+    ``meta`` extends the engine's session diagnostics with the
+    functional-pass proof: ``expected_passes`` (benchmarks x seeds),
+    ``functional_passes`` (new persistent trace entries, when a cache
+    was attached), and ``passes_verified`` (the invariant held).
+    """
+
+    config: FrontierConfig
+    results: ResultSet
+    report: FrontierReport
+    meta: dict = field(default_factory=dict)
+
+    def render(self, per_benchmark: bool = False) -> str:
+        """The report's tables plus a one-line sweep summary."""
+        lines = [self.report.render(per_benchmark=per_benchmark), ""]
+        meta = self.meta
+        summary = (
+            f"[{meta.get('backend', '?')}] {meta.get('cells', '?')} cells "
+            f"([{self.config.n_candidates} configurations + baseline] x "
+            f"{len(self.config.benchmarks)} benchmarks x "
+            f"{len(self.config.seeds)} seeds): "
+            f"{meta.get('cache_hits', 0)} cached, {meta.get('cells_run', 0)} run"
+        )
+        if "functional_passes" in meta:
+            summary += (
+                f"; functional passes {meta['functional_passes']}"
+                f"/{meta['expected_passes']} "
+                f"({'verified' if meta['passes_verified'] else 'VIOLATED'})"
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def run_frontier(
+    config: FrontierConfig | None = None,
+    engine: Engine | None = None,
+    parallel: bool = True,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> FrontierSweepResult:
+    """Sweep the design space and compute its Pareto frontiers.
+
+    Args:
+        config: What to sweep (default :class:`FrontierConfig`).
+        engine: Pre-built engine; overrides ``parallel``/``workers``/
+            ``cache_dir``.
+        parallel: Shard cells across a process pool (the default — a
+            grid sweep is hundreds of independent replays).
+        workers: Pool size (None: ``os.cpu_count()``).
+        cache_dir: Root a persistent trace/result cache there; also
+            enables the functional-pass verification in ``meta``.
+        use_cache: Read cached results (False re-measures but still
+            shares traces).
+    """
+    config = config or FrontierConfig()
+    if engine is None:
+        backend: ExecutionBackend = (
+            ProcessPoolBackend(max_workers=workers) if parallel else SerialBackend()
+        )
+        cache = ExperimentCache(cache_dir) if cache_dir is not None else None
+        engine = Engine(backend=backend, cache=cache)
+
+    spec = config.spec()
+    traces_before = (
+        engine.cache.traces.entry_count() if engine.cache is not None else None
+    )
+    results = engine.run(spec, use_cache=use_cache)
+    meta = dict(results.meta)
+    expected = len(spec.benchmarks) * len(spec.seeds)
+    meta["expected_passes"] = expected
+    if traces_before is not None:
+        fresh_passes = engine.cache.traces.entry_count() - traces_before
+        meta["functional_passes"] = fresh_passes
+        meta["passes_verified"] = fresh_passes <= expected
+
+    report = frontier_from_resultset(results)
+    report.meta = dict(meta)
+    return FrontierSweepResult(
+        config=config, results=results, report=report, meta=meta
+    )

@@ -40,7 +40,7 @@ class TestTraceCache:
         assert cache.get("k") is None
 
     def test_entries_are_schema_versioned(self, tmp_path):
-        """Bumping CACHE_SCHEMA_VERSION must orphan trace entries too."""
+        """Bumping TRACE_SCHEMA_VERSION must orphan trace entries."""
         cache = TraceCache(tmp_path)
         cache.put("k", tiny_miss_trace())
         (entry,) = tmp_path.glob("*.pkl")

@@ -1,0 +1,208 @@
+"""Grid grammar: parsing, expansion, round-trips, budget pruning.
+
+The frontier's scheme-space generator must satisfy one contract above
+all: every spec string a grid expands to is a first-class citizen of the
+existing grammar — it parses with ``scheme_from_spec`` and the parsed
+scheme prints the identical string back through ``.spec``.  That is what
+lets grids compose with ExperimentSpec, the CLI, and the caches without
+any of them learning a new concept.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheme import (
+    DEFAULT_DYNAMIC_GRID,
+    DynamicScheme,
+    SchemeGrid,
+    dynamic,
+    expand_scheme_grid,
+    is_grid_spec,
+    parse_scheme_grid,
+    scheme_from_spec,
+)
+
+grids = st.builds(
+    SchemeGrid,
+    n_rates_values=st.lists(
+        st.integers(min_value=1, max_value=16), min_size=1, max_size=4, unique=True
+    ).map(tuple),
+    growth_values=st.lists(
+        st.integers(min_value=2, max_value=16), min_size=1, max_size=4, unique=True
+    ).map(tuple),
+    learners=st.sampled_from(
+        [("averaging",), ("threshold",), ("averaging", "threshold")]
+    ),
+    budget_bits=st.one_of(st.none(), st.floats(min_value=30.0, max_value=200.0)),
+)
+
+
+class TestDynamicLearnerSpecs:
+    def test_default_learner_is_averaging(self):
+        assert scheme_from_spec("dynamic:4x4") == scheme_from_spec("dynamic:4x4:avg")
+        assert scheme_from_spec("dynamic:4x4").learner_kind == "averaging"
+
+    def test_threshold_learner_spec(self):
+        scheme = scheme_from_spec("dynamic:4x4:threshold")
+        assert scheme.learner_kind == "threshold"
+        assert scheme.name == "dynamic_R4_E4_threshold"
+        assert scheme.spec == "dynamic:4x4:threshold"
+
+    def test_averaging_spec_is_canonical_without_suffix(self):
+        assert scheme_from_spec("dynamic:4x4:averaging").spec == "dynamic:4x4"
+
+    def test_unknown_learner_rejected(self):
+        with pytest.raises(ValueError, match="learner"):
+            scheme_from_spec("dynamic:4x4:bogus")
+
+    def test_learner_affects_equality_not_leakage(self):
+        avg = scheme_from_spec("dynamic:4x4")
+        thr = scheme_from_spec("dynamic:4x4:threshold")
+        assert avg != thr
+        assert avg.leakage() == thr.leakage()
+
+
+class TestCanonicalSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        ["base_dram", "base_oram", "static:300", "dynamic:4x4",
+         "dynamic:2x8:threshold", "oblivious_dram:4x4"],
+    )
+    def test_spec_property_round_trips(self, spec):
+        scheme = scheme_from_spec(spec)
+        assert scheme.spec == spec
+        assert scheme_from_spec(scheme.spec) == scheme
+
+    def test_bare_oblivious_dram_canonicalizes(self):
+        scheme = scheme_from_spec("oblivious_dram")
+        assert scheme_from_spec(scheme.spec) == scheme
+
+
+class TestGridParsing:
+    def test_issue_grammar_example(self):
+        grid = parse_scheme_grid(
+            "grid:dynamic:{rates=2..6}x{epochs=3..6}:{learner=avg,threshold}"
+        )
+        assert grid.n_rates_values == (2, 3, 4, 5, 6)
+        assert grid.growth_values == (3, 4, 5, 6)
+        assert grid.learners == ("averaging", "threshold")
+        assert len(grid.expand()) == 5 * 4 * 2
+
+    def test_comma_lists_and_single_values(self):
+        grid = parse_scheme_grid("grid:dynamic:{rates=4}x{epochs=2,4,16}")
+        assert grid.n_rates_values == (4,)
+        assert grid.growth_values == (2, 4, 16)
+        assert grid.learners == ("averaging",)
+
+    def test_default_alias_expands_to_at_least_100(self):
+        assert len(expand_scheme_grid("grid:dynamic")) >= 100
+        assert expand_scheme_grid("grid:dynamic") == expand_scheme_grid(
+            DEFAULT_DYNAMIC_GRID
+        )
+
+    def test_budget_term_prunes(self):
+        unpruned = expand_scheme_grid("grid:dynamic:{rates=2..6}x{epochs=2..6}")
+        pruned = expand_scheme_grid(
+            "grid:dynamic:{rates=2..6}x{epochs=2..6}:{budget=32}"
+        )
+        assert set(pruned) < set(unpruned)
+        for spec in pruned:
+            assert scheme_from_spec(spec).leakage().oram_timing_bits <= 32 + 1e-9
+
+    def test_budget_keeps_boundary_configuration(self):
+        # R4/E4 is exactly 32 bits; a 32-bit budget must keep it.
+        assert "dynamic:4x4" in expand_scheme_grid(
+            "grid:dynamic:{rates=2..6}x{epochs=2..6}:{budget=32}"
+        )
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="expands to nothing"):
+            expand_scheme_grid("grid:dynamic:{rates=4}x{epochs=2}:{budget=1}")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "grid:static:{rates=2..4}x{epochs=2..4}",
+            "grid:dynamic:{rates=2..4}",
+            "grid:dynamic:{rates=4..2}x{epochs=2..4}",
+            "grid:dynamic:{rates=2..4}x{epochs=2..4}:{learner=bogus}",
+            "grid:dynamic:{rates=2..4}x{epochs=2..4}:{color=red}",
+            "grid:dynamic:{rates=a..b}x{epochs=2..4}",
+        ],
+    )
+    def test_malformed_grids_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_scheme_grid(bad)
+
+    def test_grid_spec_rejected_by_scheme_from_spec(self):
+        with pytest.raises(ValueError, match="expand_scheme_grid"):
+            scheme_from_spec("grid:dynamic")
+
+    def test_is_grid_spec(self):
+        assert is_grid_spec("grid:dynamic")
+        assert not is_grid_spec("dynamic:4x4")
+
+
+class TestGridRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(grid=grids)
+    def test_expansion_round_trips_through_spec_strings(self, grid):
+        """Every expanded string parses, and .spec reprints it identically."""
+        try:
+            specs = grid.expand()
+        except ValueError:
+            return  # budget pruned everything: legal construction, empty space
+        assert len(set(specs)) == len(specs)
+        for spec in specs:
+            scheme = scheme_from_spec(spec)
+            assert isinstance(scheme, DynamicScheme)
+            assert scheme.spec == spec
+
+    @settings(max_examples=50, deadline=None)
+    @given(grid=grids)
+    def test_grid_spec_string_round_trips(self, grid):
+        """grid -> spec string -> parse -> identical grid."""
+        assert parse_scheme_grid(grid.spec) == grid
+
+    @settings(max_examples=50, deadline=None)
+    @given(grid=grids)
+    def test_budget_pruning_is_sound_and_complete(self, grid):
+        """Kept points satisfy the budget; dropped points violate it."""
+        if grid.budget_bits is None:
+            return
+        unbounded = SchemeGrid(
+            n_rates_values=grid.n_rates_values,
+            growth_values=grid.growth_values,
+            learners=grid.learners,
+        )
+        try:
+            kept = set(grid.expand())
+        except ValueError:
+            kept = set()
+        for spec in unbounded.expand():
+            bound = scheme_from_spec(spec).leakage().oram_timing_bits
+            assert (spec in kept) == (bound <= grid.budget_bits + 1e-9)
+
+
+class TestExpendedLeakage:
+    def test_dynamic_charges_lg_r_per_epoch(self):
+        assert dynamic(4, 4).expended_leakage_bits(5) == 10.0
+        assert dynamic(2, 4).expended_leakage_bits(7) == 7.0
+
+    def test_static_and_baselines(self):
+        assert scheme_from_spec("static:300").expended_leakage_bits(9) == 0.0
+        assert math.isinf(scheme_from_spec("base_dram").expended_leakage_bits(0))
+        assert math.isinf(scheme_from_spec("base_oram").expended_leakage_bits(0))
+
+    def test_expended_never_exceeds_bound_within_max_epochs(self):
+        scheme = dynamic(4, 4)
+        bound = scheme.leakage().oram_timing_bits
+        for epochs in range(scheme.schedule.max_epochs + 1):
+            assert scheme.expended_leakage_bits(epochs) <= bound + 1e-9
+
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic(4, 4).expended_leakage_bits(-1)

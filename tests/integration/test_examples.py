@@ -71,3 +71,10 @@ class TestExamples:
         assert "serial backend matches pool: True" in out
         assert "warm cache matches cold run: True" in out
         assert "48 hits, 0 run" in out
+
+    def test_frontier_explorer(self, capsys):
+        out = run_example("frontier_explorer.py", capsys, argv=["30000"])
+        assert "expands to 50 configurations" in out
+        assert "Aggregate Pareto frontier" in out
+        assert "Knee configurations" in out
+        assert "the grid shrinks 53 -> 9 candidates" in out

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Documentation link and anchor checker.
+
+Validates every relative markdown link and heading anchor across the
+repository's documentation surface (README.md, DESIGN.md,
+EXPERIMENTS.md, PAPER.md, docs/**.md):
+
+* relative link targets must exist on disk;
+* ``#anchor`` fragments (same-file or cross-file) must match a heading
+  in the target file, using GitHub's slugification rules;
+* absolute-path links (``/src/...``) are rejected — they break on
+  GitHub and in local checkouts alike.
+
+Exits non-zero listing every broken reference.  Run directly::
+
+    python tools/check_docs.py            # repo root inferred
+    python tools/check_docs.py --root .   # explicit root
+
+No third-party dependencies; CI runs this in the docs job, and
+``tests/docs/test_link_checker.py`` keeps it honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Documentation files checked (relative to the repo root); globs allowed.
+DOC_GLOBS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "PAPER.md",
+    "docs/**/*.md",
+)
+
+#: Markdown inline links: [text](target) — images and links alike.
+_LINK = re.compile(r"!?\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_FENCE = re.compile(r"^(```|~~~)")
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug transformation.
+
+    Lowercase; markdown emphasis/code markers dropped; punctuation
+    dropped except hyphens and underscores (GitHub keeps both); spaces
+    become hyphens (consecutive spaces produce consecutive hyphens,
+    which GitHub keeps).
+    """
+    text = heading.strip().lower()
+    # Inline code/emphasis markers vanish, their contents stay.  The
+    # markers are `, *, and paired emphasis-underscores; identifier
+    # underscores (base_dram) are content and survive — GitHub's slugs
+    # keep them.
+    text = re.sub(r"[`*]", "", text)
+    # Markdown links in headings keep only the link text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    out = []
+    for char in text:
+        if char.isalnum() or char in ("-", "_"):
+            out.append(char)
+        elif char == " ":
+            out.append("-")
+        # everything else (punctuation, unicode dashes) is dropped
+    return "".join(out)
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs a markdown file defines (with -1/-2 dedup)."""
+    counts: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+        counts[slug] = seen + 1
+    # Explicit HTML anchors (<a name="...">, id="...") also resolve.
+    text = path.read_text(encoding="utf-8")
+    for match in re.finditer(r'(?:name|id)="([^"]+)"', text):
+        anchors.add(match.group(1))
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link outside fences."""
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """All broken references in one markdown file."""
+    errors = []
+    for line_number, target in iter_links(path):
+        where = f"{path.relative_to(root)}:{line_number}"
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        if target.startswith("/"):
+            errors.append(f"{where}: absolute-path link {target!r} (use a relative path)")
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{where}: broken link {target!r} (no such file)")
+            continue
+        if anchor:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if anchor not in heading_anchors(dest):
+                errors.append(
+                    f"{where}: broken anchor {target!r} "
+                    f"(no heading slugs to '#{anchor}' in {dest.name})"
+                )
+    return errors
+
+
+def collect_docs(root: Path) -> list[Path]:
+    """The documentation files the globs resolve to (sorted, existing)."""
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return [f for f in files if f.is_file()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: check every doc file, print findings, exit 0/1."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: parent of this script's directory)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve() if args.root else Path(__file__).resolve().parents[1]
+    files = collect_docs(root)
+    if not files:
+        print(f"error: no documentation files found under {root}", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"{len(errors)} broken documentation reference(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    n_links = sum(1 for path in files for _ in iter_links(path))
+    print(f"docs ok: {len(files)} files, {n_links} links checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
