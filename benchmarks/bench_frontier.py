@@ -10,15 +10,38 @@ sets.  Shape checks:
 * every per-benchmark and aggregate frontier is antitone — leaked bits
   strictly increase while slowdown strictly decreases along the front;
 * the dynamic family survives power-aware pruning everywhere (the
-  Section 9.3 story: static anchors buy zero leakage with Watts).
+  Section 9.3 story: static anchors buy zero leakage with Watts);
+* the config-batched replay path produces records digest-identical to
+  per-cell execution, so ``BENCH_frontier.json`` regenerates byte-for-
+  byte through either path.
 
 The pinned full-scale artifact lives in ``benchmarks/BENCH_frontier.json``
-(regeneration command in EXPERIMENTS.md).
+(regeneration command in EXPERIMENTS.md; regenerated through the batched
+path, values unchanged).
 """
+
+import hashlib
+import json
 
 from benchmarks.conftest import bench_instructions, emit
 from repro.analysis.frontier import frontier_from_resultset
+from repro.api.execution import execute_cell
 from repro.frontier import DEFAULT_FRONTIER_BENCHMARKS, FrontierConfig
+
+
+def records_digest(records) -> str:
+    """Canonical digest over a set of run records (order-independent)."""
+    payload = json.dumps(
+        [
+            record.to_dict()
+            for record in sorted(
+                records,
+                key=lambda r: (r.benchmark, r.input_name or "", r.scheme_spec, r.seed),
+            )
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def test_bench_frontier(benchmark, engine):
@@ -50,6 +73,28 @@ def test_bench_frontier(benchmark, engine):
         assert any(
             p.scheme_spec.startswith("dynamic:") for p in bf.power_survivors
         ), f"no dynamic configuration survives power-aware pruning for {name}"
+
+    # Batched-path digest equality: the engine dispatched one batched
+    # replay per (benchmark, seed); re-running one benchmark's cells one
+    # at a time must reproduce digest-identical records, which is what
+    # keeps the pinned BENCH_frontier.json byte-stable across paths.
+    from repro.api.spec import split_benchmark
+
+    probe_name, probe_input = split_benchmark(DEFAULT_FRONTIER_BENCHMARKS[0])
+    probe_cells = [
+        cell for cell in spec.cells()
+        if cell.seed == spec.seeds[0]
+        and (cell.benchmark, cell.input_name) == (probe_name, probe_input)
+    ]
+    per_cell = [execute_cell(cell) for cell in probe_cells]
+    batched_subset = [
+        record for record in results.records
+        if record.seed == spec.seeds[0]
+        and (record.benchmark, record.input_name) == (probe_name, probe_input)
+    ]
+    assert records_digest(per_cell) == records_digest(batched_subset), (
+        "config-batched replay records diverge from per-cell execution"
+    )
 
     emit(
         "Frontier: leakage vs slowdown across the dynamic design space",

@@ -27,10 +27,12 @@ from repro.api.cache import ExperimentCache
 from repro.api.execution import (
     _execute_batch_in_worker,
     _init_worker,
-    execute_cell,
+    execute_cells_batch,
     functional_pass_key,
+    lookup_cached_trace,
     sim_for_cell,
 )
+from repro.api.shm import SharedTraceArena
 from repro.api.records import RunRecord
 from repro.api.spec import Cell
 from repro.sim.simulator import SecureProcessorSim
@@ -102,19 +104,42 @@ class SerialBackend:
     def run_cells(
         self, cells: Sequence[Cell], cache: ExperimentCache | None = None
     ) -> list[RunRecord]:
-        """Execute every cell in order."""
+        """Execute every cell, batching replays per (benchmark, seed).
+
+        Cells are partitioned by whether they run on the injected
+        simulator, and each partition routes through
+        :func:`~repro.api.execution.execute_cells_batch`, which replays
+        every scheme of one benchmark-seed group with a single
+        config-batched kernel call — records stay bit-identical to
+        cell-at-a-time execution, in input order.
+        """
         trace_store = cache.traces if cache else None
-        records = []
-        for cell in cells:
+        cells = list(cells)
+        injected: list[int] = []
+        local: list[int] = []
+        for index, cell in enumerate(cells):
             if self._matches_injected(cell, persistent_cache=cache is not None):
-                # Point the injected sim at this engine's store so a
-                # cached serial run warms later pool runs (but never
-                # clobber a caller-provided store with None).
-                if trace_store is not None:
-                    self._injected.trace_store = trace_store
-                records.append(execute_cell(cell, sim=self._injected))
+                injected.append(index)
             else:
-                records.append(execute_cell(cell, trace_store=trace_store))
+                local.append(index)
+        records: list[RunRecord | None] = [None] * len(cells)
+        if injected:
+            # Point the injected sim at this engine's store so a
+            # cached serial run warms later pool runs (but never
+            # clobber a caller-provided store with None).
+            if trace_store is not None:
+                self._injected.trace_store = trace_store
+            for index, record in zip(
+                injected,
+                execute_cells_batch([cells[i] for i in injected], sim=self._injected),
+            ):
+                records[index] = record
+        if local:
+            for index, record in zip(
+                local,
+                execute_cells_batch([cells[i] for i in local], trace_store=trace_store),
+            ):
+                records[index] = record
         return records
 
 
@@ -170,15 +195,35 @@ class ProcessPoolBackend:
             return SerialBackend().run_cells(cells, cache)
         cache_root = str(cache.traces.root) if cache else None
         batches = [[cells[i] for i in indices] for indices in groups.values()]
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=get_context(self.start_method),
-            initializer=_init_worker,
-            initargs=(cache_root,),
-        ) as pool:
-            batch_results = list(
-                pool.map(_execute_batch_in_worker, batches, chunksize=self.chunksize)
-            )
+        # Groups whose miss trace the parent already holds (warm sims or
+        # a persistent-cache hit) ship it through shared memory instead
+        # of making the worker recompute or re-unpickle it; cold groups
+        # compute their own pass in parallel, exactly as before.
+        arena = SharedTraceArena()
+        shm_traces: dict[str, dict] = {}
+        try:
+            for batch in batches:
+                head = batch[0]
+                trace = lookup_cached_trace(head, cache)
+                if trace is not None:
+                    descriptor = arena.publish(
+                        str(functional_pass_key(head)), trace
+                    )
+                    if descriptor is not None:
+                        shm_traces[str(functional_pass_key(head))] = descriptor
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_context(self.start_method),
+                initializer=_init_worker,
+                initargs=(cache_root, shm_traces),
+            ) as pool:
+                batch_results = list(
+                    pool.map(
+                        _execute_batch_in_worker, batches, chunksize=self.chunksize
+                    )
+                )
+        finally:
+            arena.close()
         records: list[RunRecord | None] = [None] * len(cells)
         for indices, batch in zip(groups.values(), batch_results):
             for index, record in zip(indices, batch):

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 from repro.api.cache import TraceCache
 from repro.api.records import RunRecord
+from repro.api.shm import attach_miss_trace
 from repro.api.spec import Cell
 from repro.core.scheme import scheme_from_spec
+from repro.cpu.trace import MissTrace
 from repro.sim.simulator import SecureProcessorSim, SimConfig
 from repro.sim.windows import (
     epoch_transition_instructions,
@@ -41,6 +43,10 @@ _SIMS: dict[tuple, SecureProcessorSim] = {}
 
 #: Per-process persistent trace store (set by the pool initializer).
 _WORKER_TRACE_CACHE: TraceCache | None = None
+
+#: Shared-memory trace descriptors published by the pool's parent,
+#: keyed by ``str(functional_pass_key(cell))``.
+_WORKER_SHM_TRACES: dict[str, dict] = {}
 
 
 class _DictTraceStore:
@@ -121,6 +127,64 @@ def execute_cell(
         input_name=cell.input_name,
         record_requests=cell.record_requests or want_windows,
     )
+    return _record_from_result(cell, sim, scheme, result)
+
+
+def execute_cells_batch(
+    cells,
+    sim: SecureProcessorSim | None = None,
+    trace_store: TraceCache | None = None,
+) -> list[RunRecord]:
+    """Run a group of cells, batching their timing replays per trace.
+
+    Cells sharing a simulator configuration and benchmark dispatch one
+    :meth:`~repro.sim.simulator.SecureProcessorSim.run_batch` call —
+    the config-batched slotted kernel replays the shared miss trace
+    under every scheme in lockstep — instead of one replay per cell.
+    Cells that need per-request arrays (windows, ``record_requests``)
+    still replay individually.  Records are bit-identical to
+    :func:`execute_cell` per cell and returned in input order, so both
+    backends can route their groups through here without changing any
+    result byte.
+
+    ``sim`` pins every cell to one injected simulator (the serial
+    backend's legacy-shim bridge); otherwise each subgroup resolves its
+    own process-local simulator against ``trace_store``.
+    """
+    cells = list(cells)
+    records: list[RunRecord | None] = [None] * len(cells)
+    groups: dict[tuple, list[int]] = {}
+    for index, cell in enumerate(cells):
+        key = _sim_key(cell) + (cell.benchmark, cell.input_name)
+        groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        plain = [
+            i for i in indices
+            if cells[i].n_windows is None and not cells[i].record_requests
+        ]
+        batched: set[int] = set()
+        if len(plain) >= 2:
+            first = cells[plain[0]]
+            group_sim = sim if sim is not None else sim_for_cell(first, trace_store)
+            schemes = [scheme_from_spec(cells[i].scheme_spec) for i in plain]
+            results = group_sim.run_batch(
+                first.benchmark,
+                schemes,
+                input_name=first.input_name,
+                record_requests=False,
+            )
+            for i, scheme, result in zip(plain, schemes, results):
+                records[i] = _record_from_result(cells[i], group_sim, scheme, result)
+            batched = set(plain)
+        for i in indices:
+            if i not in batched:
+                records[i] = execute_cell(cells[i], sim=sim, trace_store=trace_store)
+    return records
+
+
+def _record_from_result(cell: Cell, sim: SecureProcessorSim, scheme, result) -> RunRecord:
+    """Flatten one timing result into the cell's :class:`RunRecord`."""
+    want_windows = cell.n_windows is not None
     leakage = scheme.leakage()
 
     ipc_series: tuple[float, ...] = ()
@@ -174,10 +238,14 @@ def reset_local_sims() -> None:
     _PROCESS_TRACE_STORE.entries.clear()
 
 
-def _init_worker(cache_root: str | None) -> None:
-    """Pool initializer: attach the persistent trace cache in each worker."""
-    global _WORKER_TRACE_CACHE
+def _init_worker(
+    cache_root: str | None, shm_traces: dict[str, dict] | None = None
+) -> None:
+    """Pool initializer: attach the persistent trace cache and the
+    parent's shared-memory trace descriptors in each worker."""
+    global _WORKER_TRACE_CACHE, _WORKER_SHM_TRACES
     _WORKER_TRACE_CACHE = TraceCache(cache_root) if cache_root else None
+    _WORKER_SHM_TRACES = dict(shm_traces or {})
 
 
 def functional_pass_key(cell: Cell) -> tuple:
@@ -191,6 +259,53 @@ def functional_pass_key(cell: Cell) -> tuple:
             cell.seed, cell.warmup_fraction)
 
 
+def lookup_cached_trace(
+    cell: Cell, cache: "ExperimentCache | None" = None
+) -> MissTrace | None:
+    """A cell's miss trace if this process already holds it, else None.
+
+    Consults warm in-process simulators first, then the persistent
+    trace cache — never computing a functional pass.  The pool backend
+    uses this to decide which groups' traces it can publish to shared
+    memory before dispatch.
+    """
+    memory_key = (cell.benchmark, cell.input_name, cell.n_instructions, cell.seed)
+    sim = _SIMS.get(_sim_key(cell))
+    if sim is not None:
+        trace = sim._miss_traces.get(memory_key)
+        if trace is not None:
+            return trace
+    if cache is not None:
+        sim = sim_for_cell(cell, cache.traces)
+        return cache.traces.get(sim._store_key("workload", *memory_key))
+    return None
+
+
+def _seed_shared_traces(cells: list[Cell]) -> None:
+    """Pre-load worker sims with traces the parent published via shm."""
+    if not _WORKER_SHM_TRACES:
+        return
+    seen: set[str] = set()
+    for cell in cells:
+        shm_key = str(functional_pass_key(cell))
+        if shm_key in seen or shm_key not in _WORKER_SHM_TRACES:
+            continue
+        seen.add(shm_key)
+        sim = sim_for_cell(cell, _WORKER_TRACE_CACHE)
+        memory_key = (cell.benchmark, cell.input_name, cell.n_instructions, cell.seed)
+        if memory_key not in sim._miss_traces:
+            trace = attach_miss_trace(_WORKER_SHM_TRACES[shm_key])
+            if trace is not None:
+                sim._miss_traces[memory_key] = trace
+
+
 def _execute_batch_in_worker(cells: list[Cell]) -> list[RunRecord]:
-    """Pool entry point: one batch of cells sharing a functional pass."""
-    return [execute_cell(cell, trace_store=_WORKER_TRACE_CACHE) for cell in cells]
+    """Pool entry point: one batch of cells sharing a functional pass.
+
+    The group replays through the config-batched kernel — one
+    functional pass and one batched timing replay per (benchmark,
+    seed), not one replay task per scheme — and skips the pass
+    entirely when the parent shipped its trace through shared memory.
+    """
+    _seed_shared_traces(cells)
+    return execute_cells_batch(cells, trace_store=_WORKER_TRACE_CACHE)

@@ -1,0 +1,160 @@
+"""Shared-memory miss-trace hand-off for the process-pool backend.
+
+A frontier-scale sweep ships one task per (benchmark, seed) group to the
+pool, and each group's work starts from the same :class:`MissTrace`.
+When the parent already holds a group's trace — warm in-process
+simulators from an earlier serial run, or a persistent-cache hit — it
+publishes the trace's arrays into one ``multiprocessing.shared_memory``
+segment keyed by the trace's content digest, and workers attach
+zero-copy views instead of recomputing the functional pass or
+re-unpickling it from disk.  Cold groups are untouched: the owning
+worker still computes its own pass (in parallel across the pool) and
+shares it through the persistent cache as before.
+
+Lifecycle: the parent owns every segment.  Workers attach read-only
+views for the lifetime of the pool; after the pool has drained, the
+parent unlinks.  Everything here degrades gracefully — publication or
+attachment failures (no ``/dev/shm``, exotic platforms) fall back to
+the normal compute-or-cache path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.cpu.trace import EnergyEvents, MissTrace
+
+try:  # pragma: no cover - import failure only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Segment name prefix (namespaced to avoid colliding with other tools).
+#: Kept terse: POSIX shm names are capped at 31 chars on macOS
+#: (PSHMNAMLEN), and exceeding it would silently disable publication.
+_NAME_PREFIX = "rt-"
+
+
+def _unregister(name: str) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    Attached segments are owned by the parent; without this, every
+    worker's resource tracker would try to unlink them at interpreter
+    exit and spam warnings (bpo-39959).
+    """
+    try:  # pragma: no cover - tracker internals vary by Python version
+        from multiprocessing.resource_tracker import unregister
+
+        unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedTraceArena:
+    """Parent-side registry of miss traces published to shared memory."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, object] = {}
+        self._descriptors: dict[str, dict] = {}
+
+    def publish(self, key: str, trace: MissTrace) -> dict | None:
+        """Publish one trace; returns its descriptor (or None on failure).
+
+        ``key`` is the caller's identity for the trace (the functional
+        pass digest); publishing the same key twice reuses the first
+        segment.
+        """
+        if _shared_memory is None:
+            return None
+        if key in self._descriptors:
+            return self._descriptors[key]
+        arrays = (trace.gap_cycles, trace.is_blocking, trace.instruction_index)
+        total = sum(a.nbytes for a in arrays)
+        name = (
+            f"{_NAME_PREFIX}{os.getpid():x}-{len(self._segments):x}-{key[:8]}"
+        )
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=max(total, 1), name=name,
+            )
+        except Exception:
+            return None
+        offset = 0
+        spans = []
+        for array in arrays:
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=segment.buf, offset=offset)
+            view[...] = array
+            spans.append((offset, array.shape[0], array.dtype.str))
+            offset += array.nbytes
+        descriptor = {
+            "segment": segment.name,
+            "spans": spans,
+            "total_compute_cycles": trace.total_compute_cycles,
+            "n_instructions": trace.n_instructions,
+            "energy": asdict(trace.energy),
+            "source_name": trace.source_name,
+            "source_input": trace.source_input,
+        }
+        self._segments[key] = segment
+        self._descriptors[key] = descriptor
+        return descriptor
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Unlink every published segment (pool has drained)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._descriptors.clear()
+
+    def __enter__(self) -> "SharedTraceArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+#: Worker-side attachments kept alive for the process lifetime (views
+#: into a segment are only valid while the SharedMemory object lives).
+_ATTACHED: list = []
+
+
+def attach_miss_trace(descriptor: dict) -> MissTrace | None:
+    """Rebuild a MissTrace from a descriptor; arrays stay zero-copy.
+
+    Returns None when the segment cannot be attached (e.g. it was
+    already unlinked) — callers fall back to computing the pass.
+    """
+    if _shared_memory is None or descriptor is None:
+        return None
+    try:
+        segment = _shared_memory.SharedMemory(name=descriptor["segment"])
+    except Exception:
+        return None
+    _unregister(descriptor["segment"])
+    _ATTACHED.append(segment)
+    arrays = [
+        np.ndarray((length,), dtype=np.dtype(dtype),
+                   buffer=segment.buf, offset=offset)
+        for offset, length, dtype in descriptor["spans"]
+    ]
+    return MissTrace(
+        gap_cycles=arrays[0],
+        is_blocking=arrays[1],
+        instruction_index=arrays[2],
+        total_compute_cycles=descriptor["total_compute_cycles"],
+        n_instructions=descriptor["n_instructions"],
+        energy=EnergyEvents(**descriptor["energy"]),
+        source_name=descriptor["source_name"],
+        source_input=descriptor["source_input"],
+    )

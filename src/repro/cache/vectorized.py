@@ -191,7 +191,11 @@ def hierarchy_pass_vectorized(
     snapshot = np.empty(0, dtype=np.int64)
     snapshot_drift = 0
     window = 1024
-    vector_mode = True
+    # Start in scalar mode: a cheap probe burst decides whether the
+    # trace is hit-dense enough for vector scans to pay for themselves.
+    # Hit-heavy workloads promote after one burst; pathological all-miss
+    # traces (mcf) never pay for a doomed vector scan.
+    vector_mode = False
     vector_fails = 0
     scalar_burst = _SCALAR_BURST_MIN
 
@@ -285,6 +289,11 @@ def hierarchy_pass_vectorized(
         while j < c_len:
             if not vector_mode:
                 # ---- scalar mode: miss-dense phases ----
+                # The miss path is inlined (a function call per miss is
+                # what made the all-miss pointer chase slower than the
+                # reference) and skips removal logging: the snapshot is
+                # rebuilt wholesale at vector re-entry, so the removed
+                # log has nothing to correct.
                 burst_end = min(j + scalar_burst, c_len)
                 burst_len = burst_end - j
                 hits = 0
@@ -295,13 +304,71 @@ def hierarchy_pass_vectorized(
                         if c_store[j]:
                             l1_dirty[line] = True
                         hits += 1
+                        j += 1
+                        continue
+                    pos_j = c_pos[j]
+                    counted = pos_j >= i_warm
+                    l2_set = l2_sets[line & l2_mask]
+                    l2_tag = line >> l2_bits
+                    if l2_tag in l2_set:
+                        l2_set[l2_tag] = l2_set.pop(l2_tag)
+                        if counted:
+                            l2h_append(pos_j)
                     else:
-                        process_miss(line, c_pos[j], c_store[j])
+                        if counted:
+                            miss_append(pos_j)
+                        if len(l2_set) >= l2_ways:
+                            victim_tag = next(iter(l2_set))
+                            victim_dirty = l2_set.pop(victim_tag)
+                            victim_line = (victim_tag << l2_bits) | (line & l2_mask)
+                            # Inclusive hierarchy: back-invalidate L1.
+                            if victim_line in stamp:
+                                del stamp[victim_line]
+                                l1_rows[victim_line & l1_mask].remove(victim_line)
+                                if l1_dirty.pop(victim_line, False):
+                                    victim_dirty = True
+                            if counted:
+                                if victim_dirty:
+                                    writebacks += 1
+                                    wb_append(True)
+                                else:
+                                    wb_append(False)
+                        elif counted:
+                            wb_append(False)
+                        l2_set[l2_tag] = False
+                    # ---- Fill L1 ----
+                    row = l1_rows[line & l1_mask]
+                    if len(row) >= l1_ways:
+                        victim_line = row[0]
+                        best = stamp[victim_line]
+                        for cand in row:
+                            cand_stamp = stamp[cand]
+                            if cand_stamp < best:
+                                best = cand_stamp
+                                victim_line = cand
+                        row.remove(victim_line)
+                        del stamp[victim_line]
+                        if l1_dirty.pop(victim_line, False) and counted:
+                            # Dirty L1 victim writes back into L2 (on-chip).
+                            wb_l2_set = l2_sets[victim_line & l2_mask]
+                            wb_l2_tag = victim_line >> l2_bits
+                            if wb_l2_tag in wb_l2_set:
+                                wb_l2_set[wb_l2_tag] = True
+                    row.append(line)
+                    stamp[line] = pos_j
+                    if c_store[j]:
+                        l1_dirty[line] = True
+                    else:
+                        l1_dirty.pop(line, None)
                     j += 1
                 if hits * 32 >= burst_len * 31:  # >= ~97% hits
                     vector_mode = True
                     vector_fails = 0
                     window = 1024
+                    # Scalar-mode misses skip the removal log, so the
+                    # membership snapshot must be rebuilt from live
+                    # state before the next vectorized scan.
+                    snapshot_drift = _SNAPSHOT_DRIFT_MAX + 1
                 else:
                     scalar_burst = min(scalar_burst * 2, _SCALAR_BURST_MAX)
                 continue
@@ -455,28 +522,52 @@ def _reconstruct(
 
     # Left-to-right segment sums between misses.  Long segments go
     # through np.cumsum (a sequential recurrence — bit-identical to the
-    # running +=); short ones through builtin sum on list slices (a
-    # sequential C loop).  Neither is the pairwise np.add.reduce.
-    seg_ends = (2 * (miss_arr - i_warm) + 2).tolist()
+    # running +=); many short segments are grouped by length and summed
+    # with one strictly left-to-right vectorized add per element
+    # position (the first operand carries no 0.0 seed, which is exact
+    # anyway); the remainder goes through builtin sum on list slices (a
+    # sequential C loop).  None of these is the pairwise np.add.reduce.
+    seg_ends_arr = 2 * (miss_arr - i_warm) + 2
     seg_sums: list[float] = []
-    append_seg = seg_sums.append
     if n_miss == 0 or (2 * n_counted) // max(n_miss, 1) > 512:
+        append_seg = seg_sums.append
         prev = 0
-        for end in seg_ends:
+        for end in seg_ends_arr.tolist():
             chunk = inter[prev:end]
             append_seg(float(np.cumsum(chunk)[-1]) if len(chunk) else 0.0)
             prev = end
         tail = inter[prev:]
         total_compute = float(np.cumsum(tail)[-1]) if len(tail) else 0.0
     else:
-        inter_list = inter.tolist()
-        prev = 0
-        for end in seg_ends:
-            append_seg(sum(inter_list[prev:end]))
-            prev = end
-        # float() keeps the empty-tail case a float like the reference's
-        # accumulator (sum of an empty slice is int 0).
-        total_compute = float(sum(inter_list[prev:]))
+        starts = np.empty(n_miss, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = seg_ends_arr[:-1]
+        lengths = seg_ends_arr - starts
+        max_len = int(lengths.max())
+        if n_miss >= 4096 and max_len <= 64:
+            # Miss-dense trace: the segments are short and of few
+            # distinct lengths, so each length class sums with
+            # ``max_len`` sequential elementwise adds.
+            sums = np.empty(n_miss)
+            for length in np.unique(lengths).tolist():
+                rows = np.flatnonzero(lengths == length)
+                row_starts = starts[rows]
+                acc = inter[row_starts]
+                for offset in range(1, length):
+                    acc = acc + inter[row_starts + offset]
+                sums[rows] = acc
+            seg_sums = sums.tolist()
+            total_compute = float(sum(inter[int(seg_ends_arr[-1]):].tolist()))
+        else:
+            append_seg = seg_sums.append
+            inter_list = inter.tolist()
+            prev = 0
+            for end in seg_ends_arr.tolist():
+                append_seg(sum(inter_list[prev:end]))
+                prev = end
+            # float() keeps the empty-tail case a float like the
+            # reference's accumulator (sum of an empty slice is int 0).
+            total_compute = float(sum(inter_list[prev:]))
 
     # Interleave miss requests with their writebacks (gap 0.0, non-
     # blocking, same instruction index).

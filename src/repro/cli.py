@@ -168,7 +168,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
-    report = run_perf_suite(quick=args.quick, repeats=args.repeats)
+    tiers = tuple(args.tier) if args.tier else None
+    if args.update_baseline and tiers is not None:
+        print(
+            "error: --update-baseline needs the full suite; drop --tier",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_perf_suite(quick=args.quick, repeats=args.repeats, tiers=tiers)
     print(report.render())
     if args.out:
         save_report(report, args.out)
@@ -337,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--repeats", type=int, default=None,
         help="best-of-N timing repeats (default: 3 quick, 5 full)",
+    )
+    perf.add_argument(
+        "--tier", action="append", default=[],
+        choices=["functional", "timing", "oram", "frontier_cell", "sweep"],
+        help="run only this tier (repeatable; default: all tiers)",
     )
     perf.add_argument(
         "--out", default="BENCH_perf.json", metavar="PATH",

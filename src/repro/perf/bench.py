@@ -1,6 +1,6 @@
 """Microbenchmark runner for the simulation kernels.
 
-Four tiers, mirroring the layers this repository's runtime is spent in:
+Five tiers, mirroring the layers this repository's runtime is spent in:
 
 * **functional** — :func:`repro.cache.hierarchy.simulate_hierarchy` on a
   pinned trace, fast kernel vs scalar reference, with a
@@ -13,6 +13,10 @@ Four tiers, mirroring the layers this repository's runtime is spent in:
   (:class:`repro.oram.engine.BatchedPathORAM`) vs the scalar reference
   controller, with a ``state_checksum()`` equivalence check over
   position map + stash + tree;
+* **frontier_cell** — one frontier cell's replay workload: a 16-config
+  dynamic-grid slice replayed by one
+  :func:`repro.sim.timing.run_timing_batch` call versus 16 sequential
+  reference replays, with per-config SimResult equivalence checks;
 * **sweep** — an end-to-end :class:`repro.api.engine.Engine` sweep
   (trace build + functional pass + timing replays), timed as cells/sec.
 
@@ -41,8 +45,8 @@ from repro.cache.hierarchy import (
     simulate_hierarchy_reference,
 )
 from repro.cpu.trace import MemoryTrace, MissTrace
-from repro.sim.timing import run_timing
-from repro.core.scheme import scheme_from_spec
+from repro.sim.timing import run_timing, run_timing_batch
+from repro.core.scheme import expand_scheme_grid, scheme_from_spec
 from repro.util.rng import make_rng
 from repro.workloads.patterns import stream
 from repro.workloads.registry import build_trace
@@ -58,6 +62,19 @@ PERF_WORKLOADS: tuple[str, ...] = (
 
 #: Schemes the timing tier replays (one per controller kernel).
 PERF_SCHEMES: tuple[str, ...] = ("base_dram", "base_oram", "static:300", "dynamic:4x4")
+
+#: The pinned frontier-cell batch: a 16-config slice of the dynamic
+#: design-space grid (4 rate-set sizes x 4 epoch growths), replayed by
+#: one ``run_timing_batch`` call per (workload, repeat).
+FRONTIER_CELL_GRID = "grid:dynamic:{rates=2,4,6,8}x{epochs=2,4,6,9}:{learner=avg}"
+
+#: Workloads the frontier-cell tier replays (request-dense streams).
+FRONTIER_CELL_WORKLOADS: tuple[str, ...] = ("libquantum", "mcf")
+
+#: The perf-suite tiers, in execution order.
+PERF_TIERS: tuple[str, ...] = (
+    "functional", "timing", "oram", "frontier_cell", "sweep"
+)
 
 #: Post-warm-up instruction budgets.
 FULL_INSTRUCTIONS = 1_000_000
@@ -153,6 +170,29 @@ class OramBench:
 
 
 @dataclass
+class FrontierCellBench:
+    """One frontier-cell measurement: batched replay vs sequential oracle.
+
+    ``reference_s`` times ``n_configs`` sequential ``mode="reference"``
+    replays (the per-scheme oracle, consistent with every other tier);
+    ``fast_s`` times the single ``run_timing_batch`` call that replaces
+    them in a frontier sweep.
+    """
+
+    workload: str
+    grid: str
+    n_configs: int
+    n_requests: int
+    reference_s: float
+    fast_s: float
+    speedup: float
+    #: Config-requests per second: n_configs * n_requests / wall.
+    requests_per_sec_fast: float
+    requests_per_sec_reference: float
+    equivalent: bool
+
+
+@dataclass
 class SweepBench:
     """End-to-end engine sweep measurement."""
 
@@ -175,6 +215,7 @@ class PerfReport:
     functional: list[FunctionalBench] = field(default_factory=list)
     timing: list[TimingBench] = field(default_factory=list)
     oram: list[OramBench] = field(default_factory=list)
+    frontier_cell: list[FrontierCellBench] = field(default_factory=list)
     sweep: SweepBench | None = None
 
     @property
@@ -184,6 +225,7 @@ class PerfReport:
             all(b.equivalent for b in self.functional)
             and all(b.equivalent for b in self.timing)
             and all(b.equivalent for b in self.oram)
+            and all(b.equivalent for b in self.frontier_cell)
         )
 
     def functional_speedup(self, workload: str) -> float | None:
@@ -196,6 +238,13 @@ class PerfReport:
     def oram_speedup(self, workload: str) -> float | None:
         """Measured ORAM-burst speedup for one workload."""
         for bench in self.oram:
+            if bench.workload == workload:
+                return bench.speedup
+        return None
+
+    def frontier_cell_speedup(self, workload: str) -> float | None:
+        """Measured batched-replay speedup for one workload."""
+        for bench in self.frontier_cell:
             if bench.workload == workload:
                 return bench.speedup
         return None
@@ -237,6 +286,16 @@ class PerfReport:
             lines.append(
                 f"  {b.workload:>14}: {b.accesses_per_sec_fast:>12,.0f} fast"
                 f"  {b.accesses_per_sec_reference:>12,.0f} ref"
+                f"  {b.speedup:5.1f}x  [{flag}]"
+            )
+        if self.frontier_cell:
+            lines.append("frontier cell (config-requests/sec):")
+        for b in self.frontier_cell:
+            flag = "ok" if b.equivalent else "MISMATCH"
+            lines.append(
+                f"  {b.workload:>14} x{b.n_configs} configs:"
+                f" {b.requests_per_sec_fast:>12,.0f} batched"
+                f"  {b.requests_per_sec_reference:>12,.0f} ref"
                 f"  {b.speedup:5.1f}x  [{flag}]"
             )
         if self.sweep is not None:
@@ -405,6 +464,45 @@ def bench_oram(n_accesses: int, repeats: int) -> OramBench:
     )
 
 
+def bench_frontier_cell(
+    workload: str, miss_trace: MissTrace, repeats: int,
+    grid: str = FRONTIER_CELL_GRID,
+) -> FrontierCellBench:
+    """Time one frontier cell: a batched grid replay vs sequential oracle.
+
+    The fast path is exactly what a frontier sweep dispatches per
+    (benchmark, seed): one ``run_timing_batch`` call over the grid
+    slice.  The reference is the per-scheme scalar oracle, replayed
+    sequentially — the same fast-vs-reference contract as every other
+    tier.  Every per-config result must be bit-identical.
+    """
+    schemes = [scheme_from_spec(spec) for spec in expand_scheme_grid(grid)]
+    ref_s, ref_results = _best_of(
+        lambda: run_timing_batch(miss_trace, schemes, mode="reference"),
+        max(1, repeats // 2),
+    )
+    fast_s, fast_results = _best_of(
+        lambda: run_timing_batch(miss_trace, schemes, mode="fast"), repeats
+    )
+    n = miss_trace.n_requests
+    total = n * len(schemes)
+    return FrontierCellBench(
+        workload=workload,
+        grid=grid,
+        n_configs=len(schemes),
+        n_requests=n,
+        reference_s=ref_s,
+        fast_s=fast_s,
+        speedup=ref_s / fast_s,
+        requests_per_sec_fast=total / fast_s if fast_s > 0 else 0.0,
+        requests_per_sec_reference=total / ref_s if ref_s > 0 else 0.0,
+        equivalent=all(
+            _results_equivalent(fast, ref)
+            for fast, ref in zip(fast_results, ref_results)
+        ),
+    )
+
+
 def bench_sweep(n_instructions: int) -> SweepBench:
     """Time an end-to-end engine sweep (fast kernels, serial backend)."""
     from repro.api.engine import Engine
@@ -433,28 +531,68 @@ def bench_sweep(n_instructions: int) -> SweepBench:
     )
 
 
-def run_perf_suite(quick: bool = False, repeats: int | None = None) -> PerfReport:
-    """Run the full suite: functional x workloads, timing x schemes, ORAM, sweep."""
+def run_perf_suite(
+    quick: bool = False,
+    repeats: int | None = None,
+    tiers: tuple[str, ...] | None = None,
+) -> PerfReport:
+    """Run the suite: functional x workloads, timing x schemes, ORAM,
+    frontier cell, sweep.
+
+    ``tiers`` restricts the run to a subset of :data:`PERF_TIERS`
+    (``repro perf --tier frontier_cell``); miss traces that restricted
+    tiers need are still computed, just not timed.
+    """
     n_instructions = QUICK_INSTRUCTIONS if quick else FULL_INSTRUCTIONS
     if repeats is None:
         repeats = 3 if quick else 5
+    if tiers is None:
+        tiers = PERF_TIERS
+    unknown = set(tiers) - set(PERF_TIERS)
+    if unknown:
+        raise ValueError(
+            f"unknown perf tiers {sorted(unknown)}; accepted: {', '.join(PERF_TIERS)}"
+        )
     report = PerfReport(
-        version=2, quick=quick, n_instructions=n_instructions, repeats=repeats
+        version=3, quick=quick, n_instructions=n_instructions, repeats=repeats
     )
     miss_traces: dict[str, MissTrace] = {}
-    for workload in PERF_WORKLOADS:
-        bench, miss_trace = bench_functional(workload, n_instructions, repeats)
-        report.functional.append(bench)
-        miss_traces[workload] = miss_trace
+
+    def miss_trace_for(workload: str) -> MissTrace:
+        trace = miss_traces.get(workload)
+        if trace is None:
+            warmup = int(n_instructions * 0.30)
+            trace = simulate_hierarchy(
+                build_perf_trace(workload, n_instructions + warmup),
+                warmup_instructions=warmup, mode="fast",
+            )
+            miss_traces[workload] = trace
+        return trace
+
+    if "functional" in tiers:
+        for workload in PERF_WORKLOADS:
+            bench, miss_trace = bench_functional(workload, n_instructions, repeats)
+            report.functional.append(bench)
+            miss_traces[workload] = miss_trace
     # Timing tier: libquantum exercises the request-dense path, mcf the
     # blocking-heavy one.  (kernel_stream produces no LLC requests at
     # all, so there is nothing for the replay to measure there.)
-    for workload in ("libquantum", "mcf"):
-        for scheme_spec in PERF_SCHEMES:
-            report.timing.append(
-                bench_timing(workload, miss_traces[workload], scheme_spec, repeats)
+    if "timing" in tiers:
+        for workload in ("libquantum", "mcf"):
+            for scheme_spec in PERF_SCHEMES:
+                report.timing.append(
+                    bench_timing(
+                        workload, miss_trace_for(workload), scheme_spec, repeats
+                    )
+                )
+    if "oram" in tiers:
+        oram_accesses = ORAM_QUICK_ACCESSES if quick else ORAM_FULL_ACCESSES
+        report.oram.append(bench_oram(oram_accesses, repeats))
+    if "frontier_cell" in tiers:
+        for workload in FRONTIER_CELL_WORKLOADS:
+            report.frontier_cell.append(
+                bench_frontier_cell(workload, miss_trace_for(workload), repeats)
             )
-    oram_accesses = ORAM_QUICK_ACCESSES if quick else ORAM_FULL_ACCESSES
-    report.oram.append(bench_oram(oram_accesses, repeats))
-    report.sweep = bench_sweep(n_instructions)
+    if "sweep" in tiers:
+        report.sweep = bench_sweep(n_instructions)
     return report

@@ -14,8 +14,13 @@ Gating rules:
 * throughput must stay within ``tolerance`` (default 30%) of the
   committed baseline, metric by metric;
 * the functional-pass speedup on the headline workload must stay above
-  ``min_functional_speedup``, and the ORAM-burst speedup above
-  ``min_oram_speedup`` (the batched engine's 10x acceptance floor).
+  ``min_functional_speedup``, the ORAM-burst speedup above
+  ``min_oram_speedup`` (the batched engine's 10x acceptance floor), and
+  the config-batched frontier-cell speedup above
+  ``min_frontier_cell_speedup`` (the 16-config batch's 5x floor);
+* **no functional tier may ship with a speedup below 1.0** — a fast
+  kernel slower than its own oracle on any pinned workload is a
+  regression, full stop (``min_functional_speedup_all``).
 
 Updating the baseline after an intentional change:
 
@@ -40,6 +45,14 @@ DEFAULT_MIN_SPEEDUP = 5.0
 ORAM_HEADLINE_WORKLOAD = "oram_burst"
 DEFAULT_MIN_ORAM_SPEEDUP = 10.0
 
+#: Every functional workload must at least match its scalar oracle.
+DEFAULT_MIN_FUNCTIONAL_SPEEDUP_ALL = 1.0
+
+#: The frontier-cell headline workload and the batched replay's floor:
+#: a 16-config batch must beat 16 sequential reference replays >= 5x.
+FRONTIER_CELL_HEADLINE_WORKLOAD = "libquantum"
+DEFAULT_MIN_FRONTIER_CELL_SPEEDUP = 5.0
+
 
 def save_report(report: PerfReport, path: str | Path) -> None:
     """Write a report as pretty-printed JSON (BENCH_perf.json)."""
@@ -52,8 +65,11 @@ def report_to_baseline(report: PerfReport) -> dict:
         "tolerance": DEFAULT_TOLERANCE,
         "min_functional_speedup": DEFAULT_MIN_SPEEDUP,
         "headline_workload": HEADLINE_WORKLOAD,
+        "min_functional_speedup_all": DEFAULT_MIN_FUNCTIONAL_SPEEDUP_ALL,
         "min_oram_speedup": DEFAULT_MIN_ORAM_SPEEDUP,
         "oram_headline_workload": ORAM_HEADLINE_WORKLOAD,
+        "min_frontier_cell_speedup": DEFAULT_MIN_FRONTIER_CELL_SPEEDUP,
+        "frontier_cell_headline_workload": FRONTIER_CELL_HEADLINE_WORKLOAD,
         "functional": {
             b.workload: {
                 "refs_per_sec": round(b.refs_per_sec_fast),
@@ -74,6 +90,13 @@ def report_to_baseline(report: PerfReport) -> dict:
                 "speedup": round(b.speedup, 2),
             }
             for b in report.oram
+        },
+        "frontier_cell": {
+            b.workload: {
+                "requests_per_sec": round(b.requests_per_sec_fast),
+                "speedup": round(b.speedup, 2),
+            }
+            for b in report.frontier_cell
         },
         "sweep": {"cells_per_sec": round(report.sweep.cells_per_sec, 2)}
         if report.sweep
@@ -118,6 +141,12 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
                 f"oram[{bench.workload}]: batched engine state diverges "
                 "from the reference controller (correctness bug)"
             )
+    for bench in report.frontier_cell:
+        if not bench.equivalent:
+            failures.append(
+                f"frontier_cell[{bench.workload}]: batched replay diverges "
+                "from the per-scheme reference (correctness bug)"
+            )
 
     for bench in report.functional:
         base = baseline.get("functional", {}).get(bench.workload)
@@ -154,6 +183,19 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
                 f"{base['accesses_per_sec']:,} acc/s"
             )
 
+    for bench in report.frontier_cell:
+        base = baseline.get("frontier_cell", {}).get(bench.workload)
+        if base is None:
+            continue
+        required = base["requests_per_sec"] * floor
+        if bench.requests_per_sec_fast < required:
+            failures.append(
+                f"frontier_cell[{bench.workload}]: "
+                f"{bench.requests_per_sec_fast:,.0f} config-req/s is more "
+                f"than {tolerance:.0%} below baseline "
+                f"{base['requests_per_sec']:,} config-req/s"
+            )
+
     sweep_base = baseline.get("sweep", {}).get("cells_per_sec")
     if sweep_base is not None and report.sweep is not None:
         if report.sweep.cells_per_sec < sweep_base * floor:
@@ -164,7 +206,7 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
 
     min_speedup = float(baseline.get("min_functional_speedup", 0.0))
     headline = baseline.get("headline_workload", HEADLINE_WORKLOAD)
-    if min_speedup > 0:
+    if min_speedup > 0 and report.functional:
         measured = report.functional_speedup(headline)
         if measured is None:
             failures.append(f"functional[{headline}]: headline workload not measured")
@@ -176,7 +218,7 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
 
     min_oram = float(baseline.get("min_oram_speedup", 0.0))
     oram_headline = baseline.get("oram_headline_workload", ORAM_HEADLINE_WORKLOAD)
-    if min_oram > 0:
+    if min_oram > 0 and report.oram:
         measured = report.oram_speedup(oram_headline)
         if measured is None:
             failures.append(f"oram[{oram_headline}]: headline workload not measured")
@@ -184,5 +226,35 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
             failures.append(
                 f"oram[{oram_headline}]: speedup {measured:.1f}x is below the "
                 f"required {min_oram:.1f}x floor"
+            )
+
+    # No functional tier may ship slower than its own scalar oracle.
+    min_all = float(
+        baseline.get(
+            "min_functional_speedup_all", DEFAULT_MIN_FUNCTIONAL_SPEEDUP_ALL
+        )
+    )
+    for bench in report.functional:
+        if bench.speedup < min_all:
+            failures.append(
+                f"functional[{bench.workload}]: speedup {bench.speedup:.2f}x "
+                f"is below the {min_all:.1f}x ship floor (fast kernel slower "
+                "than its oracle)"
+            )
+
+    min_cell = float(baseline.get("min_frontier_cell_speedup", 0.0))
+    cell_headline = baseline.get(
+        "frontier_cell_headline_workload", FRONTIER_CELL_HEADLINE_WORKLOAD
+    )
+    if min_cell > 0 and report.frontier_cell:
+        measured = report.frontier_cell_speedup(cell_headline)
+        if measured is None:
+            failures.append(
+                f"frontier_cell[{cell_headline}]: headline workload not measured"
+            )
+        elif measured < min_cell:
+            failures.append(
+                f"frontier_cell[{cell_headline}]: speedup {measured:.1f}x is "
+                f"below the required {min_cell:.1f}x floor"
             )
     return failures

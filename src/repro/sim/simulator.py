@@ -24,7 +24,7 @@ from repro.cache.hierarchy import HierarchyConfig, PAPER_HIERARCHY, simulate_hie
 from repro.cpu.core import CoreModel, DEFAULT_CORE
 from repro.cpu.trace import MemoryTrace, MissTrace
 from repro.sim.result import SimResult
-from repro.sim.timing import run_timing
+from repro.sim.timing import run_timing, run_timing_batch
 from repro.workloads.registry import build_trace
 
 
@@ -197,6 +197,32 @@ class SecureProcessorSim:
         return run_timing(
             miss_trace,
             scheme,
+            write_buffer_entries=self.config.write_buffer_entries,
+            record_requests=record_requests,
+            mode=self.config.kernel_mode,
+        )
+
+    def run_batch(
+        self,
+        benchmark: str,
+        schemes: list,
+        input_name: str | None = None,
+        record_requests: bool = False,
+    ) -> list[SimResult]:
+        """Replay one benchmark under many schemes with one batched kernel.
+
+        The config-batched counterpart of :meth:`sweep`: one shared
+        functional pass, then a single
+        :func:`~repro.sim.timing.run_timing_batch` call that advances
+        every slot-controller configuration in lockstep.  Results are
+        bit-identical, scheme for scheme, to calling :meth:`run` per
+        scheme; ``record_requests`` defaults to aggregates-only like
+        :meth:`sweep`.
+        """
+        miss_trace = self.miss_trace(benchmark, input_name)
+        return run_timing_batch(
+            miss_trace,
+            schemes,
             write_buffer_entries=self.config.write_buffer_entries,
             record_requests=record_requests,
             mode=self.config.kernel_mode,

@@ -1,0 +1,123 @@
+"""Shared-memory miss-trace hand-off: round trips, lifecycle, fallback."""
+
+import numpy as np
+
+from repro.api.backends import ProcessPoolBackend, SerialBackend
+from repro.api.engine import Engine
+from repro.api.execution import (
+    lookup_cached_trace,
+    reset_local_sims,
+    sim_for_cell,
+)
+from repro.api.shm import SharedTraceArena, attach_miss_trace
+from repro.api.spec import ExperimentSpec
+from repro.cpu.trace import EnergyEvents, MissTrace
+
+
+def make_trace(n=64, seed=3):
+    rng = np.random.default_rng(seed)
+    return MissTrace(
+        gap_cycles=rng.uniform(0, 500, n),
+        is_blocking=rng.random(n) < 0.7,
+        instruction_index=np.cumsum(rng.integers(1, 9, n)),
+        total_compute_cycles=123.5,
+        n_instructions=n * 10,
+        energy=EnergyEvents(n_instructions=n * 10, n_memory_refs=n, l1d_hits=17),
+        source_name="shm",
+        source_input="test",
+    )
+
+
+class TestArenaRoundTrip:
+    def test_publish_attach_is_byte_identical(self):
+        trace = make_trace()
+        with SharedTraceArena() as arena:
+            descriptor = arena.publish("k" * 64, trace)
+            assert descriptor is not None
+            attached = attach_miss_trace(descriptor)
+            assert attached is not None
+            assert attached.checksum() == trace.checksum()
+            # Zero-copy: the arrays live in the shared segment, not the heap.
+            assert attached.gap_cycles.base is not None
+
+    def test_publish_same_key_reuses_segment(self):
+        trace = make_trace()
+        with SharedTraceArena() as arena:
+            first = arena.publish("samekey", trace)
+            second = arena.publish("samekey", trace)
+            assert first["segment"] == second["segment"]
+            assert len(arena) == 1
+
+    def test_empty_trace_publishes(self):
+        trace = MissTrace(
+            gap_cycles=np.empty(0),
+            is_blocking=np.empty(0, dtype=bool),
+            instruction_index=np.empty(0, dtype=np.int64),
+            total_compute_cycles=5.0,
+            n_instructions=1,
+            energy=EnergyEvents(n_instructions=1),
+        )
+        with SharedTraceArena() as arena:
+            descriptor = arena.publish("empty", trace)
+            attached = attach_miss_trace(descriptor)
+            assert attached.checksum() == trace.checksum()
+
+    def test_attach_after_close_returns_none(self):
+        arena = SharedTraceArena()
+        descriptor = arena.publish("gone", make_trace())
+        arena.close()
+        assert attach_miss_trace(descriptor) is None
+
+    def test_attach_none_descriptor(self):
+        assert attach_miss_trace(None) is None
+
+    def test_publish_failure_degrades(self, monkeypatch):
+        import repro.api.shm as shm
+
+        monkeypatch.setattr(shm, "_shared_memory", None)
+        arena = SharedTraceArena()
+        assert arena.publish("x", make_trace()) is None
+        assert attach_miss_trace({"segment": "nope"}) is None
+
+
+SPEC = ExperimentSpec(
+    name="shm pool",
+    benchmarks=("libquantum", "mcf"),
+    schemes=("static:300", "dynamic:4x4", "dynamic:2x2:threshold"),
+    n_instructions=30_000,
+)
+
+
+class TestPoolIntegration:
+    def test_lookup_cached_trace_sees_warm_sims(self):
+        reset_local_sims()
+        cell = next(iter(SPEC.cells()))
+        assert lookup_cached_trace(cell) is None
+        sim_for_cell(cell).miss_trace(cell.benchmark, cell.input_name)
+        trace = lookup_cached_trace(cell)
+        assert trace is not None and trace.n_requests > 0
+        reset_local_sims()
+
+    def test_lookup_cached_trace_sees_persistent_cache(self, tmp_path):
+        from repro.api.cache import ExperimentCache
+
+        reset_local_sims()
+        cache = ExperimentCache(tmp_path)
+        Engine(backend=SerialBackend(), cache=cache).run(SPEC)
+        reset_local_sims()
+        cell = next(iter(SPEC.cells()))
+        trace = lookup_cached_trace(cell, cache)
+        assert trace is not None and trace.n_requests > 0
+        reset_local_sims()
+
+    def test_pool_with_warm_parent_matches_serial(self):
+        """Warm parent sims publish via shm; pool records stay identical."""
+        reset_local_sims()
+        serial = Engine(backend=SerialBackend()).run(SPEC, use_cache=False)
+        # The parent now holds every trace in-process: the pool run
+        # ships them through shared memory to the workers.
+        pool = Engine(backend=ProcessPoolBackend(max_workers=2)).run(
+            SPEC, use_cache=False
+        )
+        assert serial.records == pool.records
+        reset_local_sims()

@@ -153,3 +153,16 @@ class TestWorkloadEquivalence:
 
         trace = build_trace(workload, seed=0, n_instructions=100_000)
         assert_bit_identical(trace, None, warmup=warmup)
+
+    def test_grouped_segment_sums_path(self):
+        """A miss-dense trace with > 4096 misses takes the length-grouped
+        reconstruction path (sequential vectorized adds per length class)
+        and must stay bit-identical to the reference accumulator."""
+        rng = np.random.default_rng(11)
+        n = 9_000
+        lines = rng.integers(0, 4096, size=n)  # thrashes TINY constantly
+        stores = rng.random(n) < 0.3
+        gaps = rng.integers(0, 6, size=n)
+        trace = make_trace(lines.tolist(), stores.tolist(), gaps.tolist())
+        assert_bit_identical(trace, TINY)
+        assert_bit_identical(trace, TINY, warmup=2_000)

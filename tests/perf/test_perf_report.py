@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.perf.bench import (
+    FrontierCellBench,
     FunctionalBench,
     OramBench,
     PerfReport,
@@ -52,10 +53,21 @@ def _oram(aps=50_000.0, speedup=15.0, equivalent=True):
     )
 
 
+def _frontier_cell(workload="libquantum", rps=4e6, speedup=6.0, equivalent=True):
+    return FrontierCellBench(
+        workload=workload, grid="grid:dynamic:{rates=2,4}x{epochs=2,4}",
+        n_configs=16, n_requests=4000,
+        reference_s=0.1, fast_s=0.1 / speedup, speedup=speedup,
+        requests_per_sec_fast=rps, requests_per_sec_reference=rps / speedup,
+        equivalent=equivalent,
+    )
+
+
 def _report(**kwargs):
     defaults = dict(
-        version=2, quick=True, n_instructions=100_000, repeats=1,
+        version=3, quick=True, n_instructions=100_000, repeats=1,
         functional=[_functional()], timing=[_timing()], oram=[_oram()],
+        frontier_cell=[_frontier_cell()],
         sweep=SweepBench(
             benchmarks=("a",), schemes=("base_dram",), n_instructions=100_000,
             cells=2, wall_s=0.5, cells_per_sec=4.0,
@@ -137,9 +149,53 @@ class TestBaselineGate:
 
     def test_missing_oram_headline_fails(self):
         baseline = report_to_baseline(_report())
-        missing = _report(oram=[])
+        # The oram tier ran, but the headline workload is absent.
+        other = _oram()
+        other.workload = "oram_other"
+        missing = _report(oram=[other])
         failures = check_against_baseline(missing, baseline)
         assert any("not measured" in f for f in failures)
+
+    def test_tier_restricted_report_skips_absent_floors(self):
+        """A --tier frontier_cell report isn't failed for absent tiers."""
+        baseline = report_to_baseline(_report())
+        restricted = _report(functional=[], timing=[], oram=[], sweep=None)
+        assert check_against_baseline(restricted, baseline) == []
+
+    def test_functional_below_oracle_fails(self):
+        """No functional tier may ship with speedup < 1.0."""
+        baseline = report_to_baseline(_report())
+        slow = _report(
+            functional=[_functional(), _functional(workload="mcf", speedup=0.85)]
+        )
+        failures = check_against_baseline(slow, baseline)
+        assert any("ship floor" in f and "mcf" in f for f in failures)
+
+    def test_functional_at_oracle_passes_ship_floor(self):
+        baseline = report_to_baseline(_report())
+        report = _report(
+            functional=[_functional(), _functional(workload="mcf", speedup=1.0)]
+        )
+        failures = check_against_baseline(report, baseline)
+        assert not any("ship floor" in f for f in failures)
+
+    def test_frontier_cell_floor_fails(self):
+        baseline = report_to_baseline(_report())
+        slow = _report(frontier_cell=[_frontier_cell(speedup=4.0)])
+        failures = check_against_baseline(slow, baseline)
+        assert any("frontier_cell[libquantum]" in f and "floor" in f for f in failures)
+
+    def test_frontier_cell_regression_fails(self):
+        baseline = report_to_baseline(_report())
+        slow = _report(frontier_cell=[_frontier_cell(rps=1e6)])
+        failures = check_against_baseline(slow, baseline)
+        assert any("config-req/s" in f for f in failures)
+
+    def test_frontier_cell_mismatch_fails(self):
+        baseline = report_to_baseline(_report())
+        bad = _report(frontier_cell=[_frontier_cell(equivalent=False)])
+        failures = check_against_baseline(bad, baseline)
+        assert any("frontier_cell" in f and "correctness" in f for f in failures)
 
 
 class TestSerialization:
