@@ -1,0 +1,99 @@
+"""Tenancy: shared-bank scaling curves and the pinned sweep artifact.
+
+Runs a scaled-down tenant-count x scheduler sweep and checks the shapes
+the multi-tenant service must preserve:
+
+* **isolation** — per-tenant result digests are identical between the
+  batched and round-robin schedules at every tenant count (tenants
+  cannot perturb one another's values under any interleaving);
+* **utilization scaling** — bank occupancy (requests per slot) rises
+  with tenant count as open-loop arrival gaps overlap;
+* **tail-latency cost** — p99 latency at the largest tenant count is no
+  better than at one tenant (queueing is not free);
+* **artifact integrity** — ``benchmarks/BENCH_tenancy.json`` carries a
+  digest that matches its own records, and re-running one cell from the
+  pinned base config reproduces the pinned record field-for-field.
+
+The pinned full-scale artifact regenerates via::
+
+    python -m repro tenants --sweep --out benchmarks/BENCH_tenancy.json --pin
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.tenancy import TenancyConfig, run_tenancy_sweep
+from repro.tenancy.sweep import WALL_CLOCK_KEYS, _run_cell, records_digest
+
+PINNED_PATH = Path(__file__).parent / "BENCH_tenancy.json"
+
+BENCH_TENANT_COUNTS = (1, 4, 16)
+BENCH_REQUESTS_PER_TENANT = 64
+
+
+def test_bench_tenancy_scaling(benchmark):
+    base = TenancyConfig(requests_per_tenant=BENCH_REQUESTS_PER_TENANT)
+    result = benchmark.pedantic(
+        run_tenancy_sweep,
+        kwargs={"base": base, "tenant_counts": BENCH_TENANT_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+
+    cells = {(r["n_tenants"], r["scheduler"]): r for r in result.records}
+    assert len(cells) == len(BENCH_TENANT_COUNTS) * 2
+
+    # Isolation: scheduling order never changes what a tenant reads back.
+    for n in BENCH_TENANT_COUNTS:
+        assert (
+            cells[(n, "batched")]["tenant_digests"]
+            == cells[(n, "round_robin")]["tenant_digests"]
+        ), f"schedulers disagree on tenant values at n={n}"
+
+    # Utilization rises with tenant count; the tail pays for it.
+    batched = [cells[(n, "batched")] for n in BENCH_TENANT_COUNTS]
+    assert batched[-1]["throughput_per_slot"] > batched[0]["throughput_per_slot"]
+    assert batched[-1]["latency_p99_slots"] >= batched[0]["latency_p99_slots"]
+    for record in batched:
+        assert 0.0 < record["throughput_per_slot"] <= 1.0
+        assert record["requests_dropped"] == 0
+
+    emit("Tenancy: shared-bank scaling (scaled-down sweep)", result.render())
+
+
+def test_pinned_tenancy_artifact():
+    pinned = json.loads(PINNED_PATH.read_text())
+
+    # The embedded digest must match the records it ships with.
+    assert records_digest(list(pinned["records"])) == pinned["digest"], (
+        "BENCH_tenancy.json digest does not match its records "
+        "(artifact hand-edited or stale)"
+    )
+
+    # One cell re-executed from the pinned base config must reproduce
+    # the pinned record exactly — that is what keeps the artifact
+    # regenerable byte-for-byte.
+    base = pinned["base_config"]
+    probe = next(
+        r
+        for r in pinned["records"]
+        if r["n_tenants"] == 1 and r["scheduler"] == "batched"
+    )
+    rerun = _run_cell(
+        TenancyConfig(
+            n_tenants=1,
+            scheduler="batched",
+            blocks_per_tenant=base["blocks_per_tenant"],
+            requests_per_tenant=base["requests_per_tenant"],
+            scheme_spec=base["scheme_spec"],
+            seed=base["seed"],
+            mean_gap_slots=base["mean_gap_slots"],
+            write_fraction=base["write_fraction"],
+            slot_cycles=base["slot_cycles"],
+        )
+    )
+    deterministic = {k: v for k, v in rerun.items() if k not in WALL_CLOCK_KEYS}
+    assert deterministic == probe, (
+        "re-running the pinned n=1 batched cell diverges from BENCH_tenancy.json"
+    )

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Scenario: one ORAM bank, many mutually distrusting cloud tenants.
+
+The paper models one secure processor; the deployment it motivates is a
+cloud server whose ORAM bank is multiplexed across many client sessions.
+This walkthrough runs that service end to end:
+
+1. Eight tenants negotiate sessions and share one batched ORAM bank,
+   each with its own trace slice and leakage budget.
+2. The batched scheduler packs each round into a single vectorized
+   ``access_batch`` call; per-tenant p50/p95/p99 latency SLOs, fairness,
+   and leakage accounting come back in a :class:`TenancyReport`.
+3. The shared-bank results are digest-checked against each tenant
+   running *alone* on a private bank — tenants cannot corrupt (or even
+   perturb) one another's values, under any interleaving.
+4. A tight leakage budget exhausts mid-run: "terminate" tenants lose
+   their remaining requests and their session keys are forgotten
+   (run-once, Section 8); "degrade" tenants keep serving with leakage
+   frozen at the budget.
+5. A weighted-fair run gives one premium tenant 4x the bank share.
+
+Usage::
+
+    python examples/multi_tenant_service.py
+"""
+
+from repro.tenancy import (
+    TenancyConfig,
+    run_tenancy,
+    serial_tenant_digests,
+    with_overrides,
+)
+
+
+def main() -> None:
+    print("=== Multi-tenant ORAM service ===\n")
+
+    config = TenancyConfig(
+        n_tenants=8,
+        blocks_per_tenant=64,
+        requests_per_tenant=96,
+        scheduler="batched",
+        scheme_spec="dynamic:4x4",
+        seed=7,
+    )
+    report = run_tenancy(config)
+    print("1. Eight tenants share one batched bank:\n")
+    print(report.render())
+
+    print("\n2. Serial-equivalence check (shared bank vs private banks)...")
+    serial = serial_tenant_digests(config)
+    assert all(t.digest == serial[t.tenant_id] for t in report.tenants)
+    print(
+        f"   all {len(serial)} tenant digests identical — isolation holds under "
+        "the shared schedule."
+    )
+
+    print("\n3. A 6-bit leakage budget with scheme dynamic:4x4 (lg|R|=2 per epoch):")
+    for policy in ("terminate", "degrade"):
+        budget_run = run_tenancy(
+            with_overrides(
+                config,
+                budget_bits=6.0,
+                exhaustion_policy=policy,
+                requests_per_tenant=4096,
+                mean_gap_slots=0.0,
+            )
+        )
+        tenant = budget_run.tenants[0]
+        print(
+            f"   {policy:9s}: {tenant.requests_serviced}/{tenant.requests_total} "
+            f"requests served, {tenant.expended_leakage_bits:.1f}/"
+            f"{tenant.budget_bits:.0f} bits spent, state="
+            f"{'terminated' if tenant.terminated else 'degraded'}"
+        )
+
+    print("\n4. Weighted-fair: tenant 0 buys a 4x share:")
+    weighted = run_tenancy(
+        with_overrides(
+            config,
+            scheduler="weighted_fair",
+            weights=(4.0,) + (1.0,) * (config.n_tenants - 1),
+            mean_gap_slots=0.0,
+        )
+    )
+    premium = weighted.tenants[0]
+    standard = weighted.tenants[1]
+    print(
+        f"   premium mean latency {premium.latency_mean_slots:.1f} slots vs "
+        f"standard {standard.latency_mean_slots:.1f} "
+        f"(fairness ratio {weighted.fairness_ratio:.2f})"
+    )
+    assert premium.latency_mean_slots < standard.latency_mean_slots
+
+    print("\nDone: shared service, per-tenant SLOs, budgets enforced.")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@ from repro.api.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    default_start_method,
     warm_local_sims,
 )
 from repro.api.cache import (
@@ -63,6 +64,7 @@ __all__ = [
     "ResultSet",
     "RunRecord",
     "SerialBackend",
+    "default_start_method",
     "TraceCache",
     "default_cache_dir",
     "execute_cell",

@@ -38,6 +38,17 @@ from repro.api.spec import Cell
 from repro.sim.simulator import SecureProcessorSim
 
 
+def default_start_method() -> str:
+    """Preferred multiprocessing start method on this platform.
+
+    ``fork`` where available (cheap on Linux — workers inherit warm
+    module state), else ``spawn``.  Shared by every pool consumer
+    (:class:`ProcessPoolBackend`, the tenancy sweep) so platform
+    fallback logic lives in one place.
+    """
+    return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+
 class ExecutionBackend(Protocol):
     """Anything that can run a batch of cells."""
 
@@ -174,7 +185,7 @@ class ProcessPoolBackend:
         chunksize: int = 1,
     ) -> None:
         if start_method is None:
-            start_method = "fork" if "fork" in get_all_start_methods() else "spawn"
+            start_method = default_start_method()
         self.max_workers = max_workers
         self.start_method = start_method
         self.chunksize = chunksize

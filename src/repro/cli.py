@@ -21,6 +21,11 @@ Installed as the ``repro`` console script and runnable as
   configurations plus the static anchors) across benchmarks and seeds on
   the process pool, then print/export the exact Pareto frontier of
   leaked bits versus slowdown (docs/tradeoffs.md walks through a run).
+- ``tenants`` — the multi-tenant ORAM service: N client sessions share
+  one batched bank under a round-robin/weighted-fair/batched scheduler,
+  with per-tenant latency SLOs, fairness, and leakage-budget accounting;
+  ``--sweep`` produces the tenant-count scaling curves behind
+  ``benchmarks/BENCH_tenancy.json``.
 """
 
 from __future__ import annotations
@@ -288,6 +293,69 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.tenancy import (
+        TenancyConfig,
+        run_tenancy,
+        run_tenancy_sweep,
+        serial_tenant_digests,
+    )
+
+    config = TenancyConfig(
+        n_tenants=args.tenants,
+        blocks_per_tenant=args.blocks,
+        requests_per_tenant=args.requests,
+        scheduler=args.scheduler,
+        scheme_spec=args.scheme,
+        budget_bits=args.budget if args.budget is not None else math.inf,
+        exhaustion_policy=args.policy,
+        seed=args.seed,
+        mean_gap_slots=args.gap,
+        write_fraction=args.write_fraction,
+        weights=(
+            tuple(float(w) for w in _split_csv(args.weights)) if args.weights else None
+        ),
+    )
+    if args.sweep:
+        result = run_tenancy_sweep(
+            base=config,
+            tenant_counts=tuple(int(n) for n in _split_csv(args.counts)),
+            schedulers=_split_csv(args.schedulers),
+            parallel=args.parallel or args.workers is not None,
+            max_workers=args.workers,
+        )
+        print(result.render())
+        print(f"\nsweep digest: {result.digest()}")
+        if args.out:
+            result.save_json(args.out, deterministic=args.pin)
+            print(f"sweep {'pinned' if args.pin else 'saved'} to {args.out}")
+        return 0
+    report = run_tenancy(config)
+    print(report.render())
+    if args.out:
+        report.save_json(args.out, deterministic=args.pin)
+        print(f"report {'pinned' if args.pin else 'saved'} to {args.out}")
+    if args.verify_serial:
+        serial = serial_tenant_digests(config)
+        mismatched = [
+            t.tenant_id for t in report.tenants if t.digest != serial[t.tenant_id]
+        ]
+        if mismatched:
+            print(
+                f"\nSERIAL EQUIVALENCE FAILED for tenants {mismatched}: shared-bank "
+                "digests diverge from private-bank execution",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"\nserial equivalence verified: {len(serial)} tenant digests match "
+            "private-bank execution"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -347,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument(
         "--tier", action="append", default=[],
-        choices=["functional", "timing", "oram", "frontier_cell", "sweep"],
+        choices=["functional", "timing", "oram", "frontier_cell", "tenancy_step", "sweep"],
         help="run only this tier (repeatable; default: all tiers)",
     )
     perf.add_argument(
@@ -446,6 +514,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the raw ResultSet as JSON to PATH",
     )
     frontier.set_defaults(func=_cmd_frontier)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="multi-tenant ORAM service: shared bank, SLOs, leakage budgets",
+    )
+    tenants.add_argument(
+        "--tenants", type=int, default=16,
+        help="number of client sessions sharing the bank (default 16)",
+    )
+    tenants.add_argument(
+        "--scheduler", default="batched",
+        choices=["round_robin", "weighted_fair", "batched"],
+        help="cross-tenant scheduling policy (default batched)",
+    )
+    tenants.add_argument(
+        "--requests", type=int, default=256,
+        help="requests per tenant (default 256)",
+    )
+    tenants.add_argument(
+        "--blocks", type=int, default=64,
+        help="blocks per tenant slice (default 64)",
+    )
+    tenants.add_argument(
+        "--scheme", default="dynamic:4x4",
+        help='leakage scheme charged per tenant (default "dynamic:4x4")',
+    )
+    tenants.add_argument(
+        "--budget", type=float, default=None,
+        help="per-tenant leakage budget in bits (default: unlimited)",
+    )
+    tenants.add_argument(
+        "--policy", default="terminate", choices=["terminate", "degrade"],
+        help="on budget exhaustion: terminate the session or degrade (default terminate)",
+    )
+    tenants.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    tenants.add_argument(
+        "--gap", type=float, default=2.0,
+        help="mean inter-arrival gap in slots per tenant; 0 = closed loop (default 2.0)",
+    )
+    tenants.add_argument(
+        "--write-fraction", type=float, default=0.5,
+        help="fraction of requests that are writes (default 0.5)",
+    )
+    tenants.add_argument(
+        "--weights", default=None,
+        help="comma-separated per-tenant weighted-fair shares (default uniform)",
+    )
+    tenants.add_argument(
+        "--verify-serial", action="store_true",
+        help="check per-tenant digests against private-bank serial execution",
+    )
+    tenants.add_argument(
+        "--sweep", action="store_true",
+        help="run the tenant-count x scheduler scaling sweep instead of one run",
+    )
+    tenants.add_argument(
+        "--counts", default="1,4,16,64",
+        help='sweep tenant counts (default "1,4,16,64")',
+    )
+    tenants.add_argument(
+        "--schedulers", default="batched,round_robin",
+        help='sweep schedulers (default "batched,round_robin")',
+    )
+    tenants.add_argument(
+        "--parallel", action="store_true",
+        help="fan sweep cells across a process pool",
+    )
+    tenants.add_argument(
+        "--workers", type=int, default=None,
+        help="process pool size (implies --parallel)",
+    )
+    tenants.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report (or sweep) as JSON to PATH",
+    )
+    tenants.add_argument(
+        "--pin", action="store_true",
+        help="drop machine-dependent wall-clock fields from --out "
+             "(byte-stable artifacts, e.g. benchmarks/BENCH_tenancy.json)",
+    )
+    tenants.set_defaults(func=_cmd_tenants)
 
     return parser
 

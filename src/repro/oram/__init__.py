@@ -22,6 +22,7 @@ from repro.oram.path_oram import (
     digest_state,
     make_path_oram,
     normalize_payloads,
+    percentiles_from_histogram,
 )
 from repro.oram.position_map import FlatPositionMap
 from repro.oram.recursion import RecursivePathORAM
@@ -60,6 +61,7 @@ __all__ = [
     "digest_state",
     "make_path_oram",
     "normalize_payloads",
+    "percentiles_from_histogram",
     "FlatPositionMap",
     "RecursivePathORAM",
     "Stash",

@@ -54,6 +54,36 @@ from repro.util.rng import make_rng
 #: exact peak/mean/histogram counters, which are unbounded-safe).
 STASH_RESERVOIR_SIZE = 1024
 
+#: Percentiles reported by default (p50/p95/p99 — service-latency SLOs).
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentiles_from_histogram(hist: np.ndarray, qs) -> dict[float, int]:
+    """Exact nearest-rank percentiles from an integer-value histogram.
+
+    ``hist[v]`` counts samples with value ``v``; the q-th percentile is
+    the value of the ``ceil(q/100 * n)``-th smallest sample (nearest-rank,
+    so every returned value actually occurred).  This is the single
+    percentile implementation shared by :meth:`AccessStats.latency_percentiles`
+    and the tenancy report — consumers must not re-derive it.
+
+    >>> import numpy as np
+    >>> percentiles_from_histogram(np.asarray([0, 3, 0, 1]), (50, 100))
+    {50.0: 1, 100.0: 3}
+    """
+    hist = np.asarray(hist, dtype=np.int64)
+    total = int(hist.sum())
+    if total == 0:
+        return {float(q): 0 for q in qs}
+    cumulative = np.cumsum(hist)
+    out: dict[float, int] = {}
+    for q in qs:
+        if not 0.0 <= float(q) <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        rank = max(1, int(np.ceil(float(q) / 100.0 * total)))
+        out[float(q)] = int(np.searchsorted(cumulative, rank, side="left"))
+    return out
+
 
 @dataclass
 class AccessStats:
@@ -69,6 +99,13 @@ class AccessStats:
     * **reservoir sample** — :attr:`stash_occupancy_samples`, a uniform
       ``reservoir_size``-element sample of the full occupancy stream for
       consumers that want raw samples (quantiles, plots).
+
+    Request latency (in whatever integer unit the caller measures —
+    service slots, cycles) is tracked with the same exact-histogram
+    machinery via :meth:`record_latency_batch`, and
+    :meth:`latency_percentiles` exposes the nearest-rank percentile math
+    publicly so report layers (stash scaling, the tenancy service) share
+    one implementation instead of duplicating it.
     """
 
     reads: int = 0
@@ -78,9 +115,15 @@ class AccessStats:
     stash_peak: int = 0
     stash_sum: int = 0
     stash_samples_seen: int = 0
+    latency_peak: int = 0
+    latency_sum: int = 0
+    latency_samples_seen: int = 0
     reservoir_size: int = STASH_RESERVOIR_SIZE
     _reservoir: list[int] = field(default_factory=list, repr=False, compare=False)
     _hist: np.ndarray = field(
+        default_factory=lambda: np.zeros(64, dtype=np.int64), repr=False, compare=False
+    )
+    _latency_hist: np.ndarray = field(
         default_factory=lambda: np.zeros(64, dtype=np.int64), repr=False, compare=False
     )
     _rng: np.random.Generator = field(
@@ -125,6 +168,60 @@ class AccessStats:
         if threshold + 1 >= hist.size:
             return 0.0
         return float(hist[threshold + 1 :].sum()) / self.stash_samples_seen
+
+    @property
+    def latency_mean(self) -> float:
+        """Exact mean request latency over every recorded sample."""
+        if self.latency_samples_seen == 0:
+            return 0.0
+        return self.latency_sum / self.latency_samples_seen
+
+    def latency_histogram(self) -> np.ndarray:
+        """Exact latency histogram: ``hist[v]`` = requests with latency == v."""
+        top = int(np.max(np.nonzero(self._latency_hist)[0])) if self._latency_hist.any() else 0
+        return self._latency_hist[: top + 1].copy()
+
+    def latency_percentiles(self, qs=DEFAULT_PERCENTILES) -> dict[float, int]:
+        """Exact nearest-rank latency percentiles (p50/p95/p99 by default).
+
+        Latency is recorded in whatever integer unit the caller chose
+        (cycles, service slots); the returned values are in that same
+        unit.  Delegates to :func:`percentiles_from_histogram` so every
+        report layer shares one percentile implementation.
+        """
+        return percentiles_from_histogram(self._latency_hist, qs)
+
+    def record_latency(self, latency: int) -> None:
+        """Record one request latency sample (non-negative integer)."""
+        latency = int(latency)
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        if latency > self.latency_peak:
+            self.latency_peak = latency
+        self.latency_sum += latency
+        if latency >= self._latency_hist.size:
+            grown = np.zeros(max(latency + 1, 2 * self._latency_hist.size), dtype=np.int64)
+            grown[: self._latency_hist.size] = self._latency_hist
+            self._latency_hist = grown
+        self._latency_hist[latency] += 1
+        self.latency_samples_seen += 1
+
+    def record_latency_batch(self, latencies: np.ndarray) -> None:
+        """Record a batch of latency samples (exact counters + histogram)."""
+        lat = np.asarray(latencies, dtype=np.int64)
+        if lat.size == 0:
+            return
+        if int(lat.min()) < 0:
+            raise ValueError("latencies must be non-negative")
+        peak = int(lat.max())
+        self.latency_peak = max(self.latency_peak, peak)
+        self.latency_sum += int(lat.sum())
+        if peak >= self._latency_hist.size:
+            grown = np.zeros(max(peak + 1, 2 * self._latency_hist.size), dtype=np.int64)
+            grown[: self._latency_hist.size] = self._latency_hist
+            self._latency_hist = grown
+        self._latency_hist += np.bincount(lat, minlength=self._latency_hist.size)
+        self.latency_samples_seen += lat.size
 
     def record_stash(self, occupancy: int) -> None:
         """Record one post-access stash occupancy sample.

@@ -17,6 +17,10 @@ Five tiers, mirroring the layers this repository's runtime is spent in:
   dynamic-grid slice replayed by one
   :func:`repro.sim.timing.run_timing_batch` call versus 16 sequential
   reference replays, with per-config SimResult equivalence checks;
+* **tenancy_step** — the multi-tenant service step: 16 closed-loop
+  tenants on one shared bank, the batched scheduler (one
+  ``access_batch`` call per round) versus round-robin (one call per
+  request), with per-tenant result-digest equivalence checks;
 * **sweep** — an end-to-end :class:`repro.api.engine.Engine` sweep
   (trace build + functional pass + timing replays), timed as cells/sec.
 
@@ -73,7 +77,7 @@ FRONTIER_CELL_WORKLOADS: tuple[str, ...] = ("libquantum", "mcf")
 
 #: The perf-suite tiers, in execution order.
 PERF_TIERS: tuple[str, ...] = (
-    "functional", "timing", "oram", "frontier_cell", "sweep"
+    "functional", "timing", "oram", "frontier_cell", "tenancy_step", "sweep"
 )
 
 #: Post-warm-up instruction budgets.
@@ -86,6 +90,12 @@ ORAM_WORKLOAD = "oram_burst"
 ORAM_BLOCKS = 1 << 14
 ORAM_FULL_ACCESSES = 4_000
 ORAM_QUICK_ACCESSES = 1_200
+
+#: The pinned tenancy-step workload: 16 closed-loop tenants saturating
+#: the shared bank (every round batches all 16 head-of-line requests).
+TENANCY_TENANTS = 16
+TENANCY_FULL_REQUESTS = 256
+TENANCY_QUICK_REQUESTS = 96
 
 
 def build_perf_trace(name: str, n_instructions: int, seed: int = 0) -> MemoryTrace:
@@ -193,6 +203,27 @@ class FrontierCellBench:
 
 
 @dataclass
+class TenancyBench:
+    """One multi-tenant service-step measurement (batched vs round-robin).
+
+    Both schedulers run the identical tenant set to completion on the
+    shared bank; ``equivalent`` checks the scheduler-invariance contract
+    (per-tenant result digests identical between the two runs).
+    """
+
+    workload: str
+    n_tenants: int
+    requests_per_tenant: int
+    n_requests: int
+    reference_s: float
+    fast_s: float
+    speedup: float
+    requests_per_sec_fast: float
+    requests_per_sec_reference: float
+    equivalent: bool
+
+
+@dataclass
 class SweepBench:
     """End-to-end engine sweep measurement."""
 
@@ -216,6 +247,7 @@ class PerfReport:
     timing: list[TimingBench] = field(default_factory=list)
     oram: list[OramBench] = field(default_factory=list)
     frontier_cell: list[FrontierCellBench] = field(default_factory=list)
+    tenancy_step: list[TenancyBench] = field(default_factory=list)
     sweep: SweepBench | None = None
 
     @property
@@ -226,6 +258,7 @@ class PerfReport:
             and all(b.equivalent for b in self.timing)
             and all(b.equivalent for b in self.oram)
             and all(b.equivalent for b in self.frontier_cell)
+            and all(b.equivalent for b in self.tenancy_step)
         )
 
     def functional_speedup(self, workload: str) -> float | None:
@@ -245,6 +278,13 @@ class PerfReport:
     def frontier_cell_speedup(self, workload: str) -> float | None:
         """Measured batched-replay speedup for one workload."""
         for bench in self.frontier_cell:
+            if bench.workload == workload:
+                return bench.speedup
+        return None
+
+    def tenancy_step_speedup(self, workload: str) -> float | None:
+        """Measured batched-scheduler speedup for one tenancy workload."""
+        for bench in self.tenancy_step:
             if bench.workload == workload:
                 return bench.speedup
         return None
@@ -296,6 +336,15 @@ class PerfReport:
                 f"  {b.workload:>14} x{b.n_configs} configs:"
                 f" {b.requests_per_sec_fast:>12,.0f} batched"
                 f"  {b.requests_per_sec_reference:>12,.0f} ref"
+                f"  {b.speedup:5.1f}x  [{flag}]"
+            )
+        if self.tenancy_step:
+            lines.append("tenancy step (requests/sec):")
+        for b in self.tenancy_step:
+            flag = "ok" if b.equivalent else "MISMATCH"
+            lines.append(
+                f"  {b.workload:>14}: {b.requests_per_sec_fast:>12,.0f} batched"
+                f"  {b.requests_per_sec_reference:>12,.0f} rr"
                 f"  {b.speedup:5.1f}x  [{flag}]"
             )
         if self.sweep is not None:
@@ -503,6 +552,49 @@ def bench_frontier_cell(
     )
 
 
+def bench_tenancy_step(
+    requests_per_tenant: int, repeats: int, n_tenants: int = TENANCY_TENANTS
+) -> TenancyBench:
+    """Time the multi-tenant service step, batched vs round-robin.
+
+    Both runs use the identical pinned closed-loop workload (every
+    tenant saturates, so each batched round packs all ``n_tenants`` head
+    requests into one ``access_batch`` call, while round-robin issues
+    one call per request).  Simulated service capacity is identical by
+    construction; the measured difference is pure kernel amortization.
+    Per-tenant result digests must match between the two runs — the
+    scheduler-invariance contract.
+    """
+    from repro.tenancy import TenancyConfig, run_tenancy, with_overrides
+
+    config = TenancyConfig(
+        n_tenants=n_tenants,
+        requests_per_tenant=requests_per_tenant,
+        mean_gap_slots=0.0,
+        seed=0,
+    )
+
+    def run(scheduler: str):
+        return run_tenancy(with_overrides(config, scheduler=scheduler))
+
+    ref_s, ref_report = _best_of(lambda: run("round_robin"), max(1, repeats // 2))
+    fast_s, fast_report = _best_of(lambda: run("batched"), repeats)
+    n = n_tenants * requests_per_tenant
+    return TenancyBench(
+        workload=f"tenants_{n_tenants}",
+        n_tenants=n_tenants,
+        requests_per_tenant=requests_per_tenant,
+        n_requests=n,
+        reference_s=ref_s,
+        fast_s=fast_s,
+        speedup=ref_s / fast_s,
+        requests_per_sec_fast=n / fast_s if fast_s > 0 else 0.0,
+        requests_per_sec_reference=n / ref_s if ref_s > 0 else 0.0,
+        equivalent=[t.digest for t in fast_report.tenants]
+        == [t.digest for t in ref_report.tenants],
+    )
+
+
 def bench_sweep(n_instructions: int) -> SweepBench:
     """Time an end-to-end engine sweep (fast kernels, serial backend)."""
     from repro.api.engine import Engine
@@ -554,7 +646,7 @@ def run_perf_suite(
             f"unknown perf tiers {sorted(unknown)}; accepted: {', '.join(PERF_TIERS)}"
         )
     report = PerfReport(
-        version=3, quick=quick, n_instructions=n_instructions, repeats=repeats
+        version=4, quick=quick, n_instructions=n_instructions, repeats=repeats
     )
     miss_traces: dict[str, MissTrace] = {}
 
@@ -593,6 +685,9 @@ def run_perf_suite(
             report.frontier_cell.append(
                 bench_frontier_cell(workload, miss_trace_for(workload), repeats)
             )
+    if "tenancy_step" in tiers:
+        tenancy_requests = TENANCY_QUICK_REQUESTS if quick else TENANCY_FULL_REQUESTS
+        report.tenancy_step.append(bench_tenancy_step(tenancy_requests, repeats))
     if "sweep" in tiers:
         report.sweep = bench_sweep(n_instructions)
     return report

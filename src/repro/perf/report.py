@@ -15,9 +15,11 @@ Gating rules:
   committed baseline, metric by metric;
 * the functional-pass speedup on the headline workload must stay above
   ``min_functional_speedup``, the ORAM-burst speedup above
-  ``min_oram_speedup`` (the batched engine's 10x acceptance floor), and
-  the config-batched frontier-cell speedup above
-  ``min_frontier_cell_speedup`` (the 16-config batch's 5x floor);
+  ``min_oram_speedup`` (the batched engine's 10x acceptance floor), the
+  config-batched frontier-cell speedup above
+  ``min_frontier_cell_speedup`` (the 16-config batch's 5x floor), and
+  the batched tenancy scheduler above ``min_tenancy_step_speedup``
+  (>= 3x over round-robin at 16 tenants);
 * **no functional tier may ship with a speedup below 1.0** — a fast
   kernel slower than its own oracle on any pinned workload is a
   regression, full stop (``min_functional_speedup_all``).
@@ -53,6 +55,11 @@ DEFAULT_MIN_FUNCTIONAL_SPEEDUP_ALL = 1.0
 FRONTIER_CELL_HEADLINE_WORKLOAD = "libquantum"
 DEFAULT_MIN_FRONTIER_CELL_SPEEDUP = 5.0
 
+#: The tenancy headline workload and the batched scheduler's floor:
+#: packing 16 tenants per bank call must beat round-robin >= 3x.
+TENANCY_STEP_HEADLINE_WORKLOAD = "tenants_16"
+DEFAULT_MIN_TENANCY_STEP_SPEEDUP = 3.0
+
 
 def save_report(report: PerfReport, path: str | Path) -> None:
     """Write a report as pretty-printed JSON (BENCH_perf.json)."""
@@ -70,6 +77,8 @@ def report_to_baseline(report: PerfReport) -> dict:
         "oram_headline_workload": ORAM_HEADLINE_WORKLOAD,
         "min_frontier_cell_speedup": DEFAULT_MIN_FRONTIER_CELL_SPEEDUP,
         "frontier_cell_headline_workload": FRONTIER_CELL_HEADLINE_WORKLOAD,
+        "min_tenancy_step_speedup": DEFAULT_MIN_TENANCY_STEP_SPEEDUP,
+        "tenancy_step_headline_workload": TENANCY_STEP_HEADLINE_WORKLOAD,
         "functional": {
             b.workload: {
                 "refs_per_sec": round(b.refs_per_sec_fast),
@@ -97,6 +106,13 @@ def report_to_baseline(report: PerfReport) -> dict:
                 "speedup": round(b.speedup, 2),
             }
             for b in report.frontier_cell
+        },
+        "tenancy_step": {
+            b.workload: {
+                "requests_per_sec": round(b.requests_per_sec_fast),
+                "speedup": round(b.speedup, 2),
+            }
+            for b in report.tenancy_step
         },
         "sweep": {"cells_per_sec": round(report.sweep.cells_per_sec, 2)}
         if report.sweep
@@ -147,6 +163,12 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
                 f"frontier_cell[{bench.workload}]: batched replay diverges "
                 "from the per-scheme reference (correctness bug)"
             )
+    for bench in report.tenancy_step:
+        if not bench.equivalent:
+            failures.append(
+                f"tenancy_step[{bench.workload}]: batched-scheduler tenant "
+                "digests diverge from round-robin (correctness bug)"
+            )
 
     for bench in report.functional:
         base = baseline.get("functional", {}).get(bench.workload)
@@ -194,6 +216,19 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
                 f"{bench.requests_per_sec_fast:,.0f} config-req/s is more "
                 f"than {tolerance:.0%} below baseline "
                 f"{base['requests_per_sec']:,} config-req/s"
+            )
+
+    for bench in report.tenancy_step:
+        base = baseline.get("tenancy_step", {}).get(bench.workload)
+        if base is None:
+            continue
+        required = base["requests_per_sec"] * floor
+        if bench.requests_per_sec_fast < required:
+            failures.append(
+                f"tenancy_step[{bench.workload}]: "
+                f"{bench.requests_per_sec_fast:,.0f} req/s is more than "
+                f"{tolerance:.0%} below baseline "
+                f"{base['requests_per_sec']:,} req/s"
             )
 
     sweep_base = baseline.get("sweep", {}).get("cells_per_sec")
@@ -256,5 +291,21 @@ def check_against_baseline(report: PerfReport, baseline: dict) -> list[str]:
             failures.append(
                 f"frontier_cell[{cell_headline}]: speedup {measured:.1f}x is "
                 f"below the required {min_cell:.1f}x floor"
+            )
+
+    min_tenancy = float(baseline.get("min_tenancy_step_speedup", 0.0))
+    tenancy_headline = baseline.get(
+        "tenancy_step_headline_workload", TENANCY_STEP_HEADLINE_WORKLOAD
+    )
+    if min_tenancy > 0 and report.tenancy_step:
+        measured = report.tenancy_step_speedup(tenancy_headline)
+        if measured is None:
+            failures.append(
+                f"tenancy_step[{tenancy_headline}]: headline workload not measured"
+            )
+        elif measured < min_tenancy:
+            failures.append(
+                f"tenancy_step[{tenancy_headline}]: speedup {measured:.1f}x is "
+                f"below the required {min_tenancy:.1f}x floor"
             )
     return failures

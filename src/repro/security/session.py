@@ -54,9 +54,21 @@ class ProcessorKeyRegister:
         return self._key is not None
 
     def install(self, key: bytes) -> None:
-        """Install a fresh session key."""
+        """Install a fresh session key.
+
+        The register holds at most one live key: installing over a live
+        key is rejected so no code path can silently rotate K mid-session
+        (which would break the run-once accounting — blobs sealed under
+        the old K would look "forgotten" while the session is still
+        open).  Call :meth:`forget` first to terminate the old session.
+        """
         if not key:
             raise ValueError("key must be non-empty")
+        if self._key is not None:
+            raise SessionTerminatedError(
+                "register already holds a live session key; forget() it before "
+                "installing a new one"
+            )
         self._key = bytes(key)
 
     def forget(self) -> None:

@@ -1,0 +1,76 @@
+"""Multi-tenant ORAM service simulation (ROADMAP item 1).
+
+The paper models one secure processor; its motivating deployment is a
+cloud bank multiplexed across many mutually distrusting clients.  This
+package simulates that regime: N :class:`Tenant` sessions — each with
+its own trace slice, Section 8 session-key lifecycle, and leakage budget
+drawn from the scheme grammar — share one
+:class:`~repro.oram.engine.BatchedPathORAM` bank under a pluggable
+cross-tenant scheduler (round-robin, weighted-fair, or batched, which
+packs each round into a single vectorized ``access_batch`` call).
+
+Contracts the tests pin:
+
+* **serial equivalence** — per-tenant result digests are identical
+  between any shared-bank schedule and serial private-bank execution;
+* **deterministic budgets** — leakage charging depends only on a
+  tenant's own serviced count, so exhaustion (terminate or degrade)
+  lands on the same request under every scheduler and seed;
+* **one percentile implementation** — SLO math defers to
+  :func:`repro.oram.path_oram.percentiles_from_histogram`.
+
+Entry points: ``repro tenants`` (CLI), :func:`run_tenancy`,
+:func:`run_tenancy_sweep`, ``examples/multi_tenant_service.py``.
+"""
+
+from repro.tenancy.arrivals import TenantTrace, generate_trace
+from repro.tenancy.report import (
+    TenancyReport,
+    TenantReport,
+    aggregate_latency_percentiles,
+    build_report,
+)
+from repro.tenancy.scheduler import (
+    SCHEDULERS,
+    BatchedScheduler,
+    RoundRobinScheduler,
+    WeightedFairScheduler,
+    make_scheduler,
+)
+from repro.tenancy.service import (
+    TenancyConfig,
+    run_tenancy,
+    serial_tenant_digests,
+    with_overrides,
+)
+from repro.tenancy.sweep import (
+    DEFAULT_SCHEDULERS,
+    DEFAULT_TENANT_COUNTS,
+    TenancySweepResult,
+    run_tenancy_sweep,
+)
+from repro.tenancy.tenant import EXHAUSTION_POLICIES, Tenant
+
+__all__ = [
+    "TenantTrace",
+    "generate_trace",
+    "TenancyReport",
+    "TenantReport",
+    "aggregate_latency_percentiles",
+    "build_report",
+    "SCHEDULERS",
+    "BatchedScheduler",
+    "RoundRobinScheduler",
+    "WeightedFairScheduler",
+    "make_scheduler",
+    "TenancyConfig",
+    "run_tenancy",
+    "serial_tenant_digests",
+    "with_overrides",
+    "DEFAULT_SCHEDULERS",
+    "DEFAULT_TENANT_COUNTS",
+    "TenancySweepResult",
+    "run_tenancy_sweep",
+    "EXHAUSTION_POLICIES",
+    "Tenant",
+]

@@ -1,0 +1,244 @@
+"""Tenancy results: per-tenant and aggregate SLO/fairness/leakage reports.
+
+Percentile math is *not* implemented here: per-tenant percentiles come
+from :meth:`repro.oram.path_oram.AccessStats.latency_percentiles` and the
+aggregate merges the tenants' exact latency histograms through the same
+:func:`repro.oram.path_oram.percentiles_from_histogram` helper — one
+implementation, every consumer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.oram.path_oram import (
+    AccessStats,
+    DEFAULT_PERCENTILES,
+    percentiles_from_histogram,
+)
+
+
+def _finite_or_none(value: float) -> float | None:
+    """JSON-safe float: non-finite values become None."""
+    return float(value) if math.isfinite(value) else None
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """One tenant's outcome: service, latency SLOs, leakage, lifecycle."""
+
+    tenant_id: int
+    scheme_spec: str
+    weight: float
+    requests_total: int
+    requests_serviced: int
+    latency_p50_slots: int
+    latency_p95_slots: int
+    latency_p99_slots: int
+    latency_mean_slots: float
+    expended_leakage_bits: float
+    budget_bits: float
+    exhausted: bool
+    terminated: bool
+    degraded: bool
+    digest: str
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (infinite budgets serialize as None)."""
+        payload = asdict(self)
+        payload["budget_bits"] = _finite_or_none(self.budget_bits)
+        payload["expended_leakage_bits"] = _finite_or_none(self.expended_leakage_bits)
+        return payload
+
+
+def aggregate_latency_percentiles(
+    stats: list[AccessStats], qs=DEFAULT_PERCENTILES
+) -> dict[float, int]:
+    """Exact percentiles over the union of several latency streams.
+
+    Merges the tenants' exact latency histograms (pad to the widest,
+    sum) and delegates to the shared nearest-rank helper.
+    """
+    hists = [s.latency_histogram() for s in stats]
+    width = max((h.size for h in hists), default=1)
+    merged = np.zeros(width, dtype=np.int64)
+    for hist in hists:
+        merged[: hist.size] += hist
+    return percentiles_from_histogram(merged, qs)
+
+
+@dataclass(frozen=True)
+class TenancyReport:
+    """Whole-service outcome for one multi-tenant run.
+
+    Deterministic fields (everything except ``wall_seconds`` and
+    ``requests_per_second``) are reproducible bit-for-bit from the
+    config, which is what lets ``BENCH_tenancy.json`` pin them.
+
+    Attributes:
+        scheduler: Scheduler registry name the run used.
+        n_tenants: Number of tenant sessions sharing the bank.
+        slot_cycles: Cycles one service slot represents.
+        makespan_slots: Simulated slots until the last request finished.
+        requests_serviced: Total serviced across all tenants.
+        requests_dropped: Requests never serviced (budget terminations).
+        throughput_per_slot: Serviced requests per simulated slot — the
+            bank-utilization metric (1.0 = saturated).
+        latency_p50_slots / p95 / p99: Aggregate SLO percentiles.
+        fairness_ratio: Max/min per-tenant mean latency among tenants
+            that were serviced at all (1.0 = perfectly fair).
+        wall_seconds / requests_per_second: Simulator wall-clock cost —
+            machine-dependent, excluded from pinned artifacts.
+        tenants: Per-tenant reports, tenant-id order.
+    """
+
+    scheduler: str
+    n_tenants: int
+    slot_cycles: int
+    makespan_slots: int
+    requests_serviced: int
+    requests_dropped: int
+    throughput_per_slot: float
+    latency_p50_slots: int
+    latency_p95_slots: int
+    latency_p99_slots: int
+    fairness_ratio: float
+    wall_seconds: float
+    requests_per_second: float
+    tenants: tuple[TenantReport, ...]
+
+    def to_dict(self, deterministic: bool = False) -> dict:
+        """JSON-safe dict; ``deterministic=True`` drops wall-clock fields
+        so pinned artifacts stay byte-stable across machines."""
+        payload = {
+            "scheduler": self.scheduler,
+            "n_tenants": self.n_tenants,
+            "slot_cycles": self.slot_cycles,
+            "makespan_slots": self.makespan_slots,
+            "requests_serviced": self.requests_serviced,
+            "requests_dropped": self.requests_dropped,
+            "throughput_per_slot": self.throughput_per_slot,
+            "latency_p50_slots": self.latency_p50_slots,
+            "latency_p95_slots": self.latency_p95_slots,
+            "latency_p99_slots": self.latency_p99_slots,
+            "fairness_ratio": self.fairness_ratio,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+        }
+        if not deterministic:
+            payload["wall_seconds"] = self.wall_seconds
+            payload["requests_per_second"] = self.requests_per_second
+        return payload
+
+    def save_json(self, path: str | Path, deterministic: bool = False) -> None:
+        """Write the report as sorted-key JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(deterministic=deterministic), indent=1, sort_keys=True)
+            + "\n"
+        )
+
+    def render(self) -> str:
+        """Paper-style text table: one row per tenant plus an aggregate."""
+        rows = []
+        for t in self.tenants:
+            state = "terminated" if t.terminated else ("degraded" if t.degraded else "ok")
+            budget = "inf" if not math.isfinite(t.budget_bits) else f"{t.budget_bits:.0f}"
+            rows.append([
+                str(t.tenant_id),
+                t.scheme_spec,
+                f"{t.requests_serviced}/{t.requests_total}",
+                str(t.latency_p50_slots),
+                str(t.latency_p95_slots),
+                str(t.latency_p99_slots),
+                f"{t.latency_mean_slots:.2f}",
+                f"{t.expended_leakage_bits:.1f}/{budget}",
+                state,
+            ])
+        rows.append([
+            "all",
+            "-",
+            str(self.requests_serviced),
+            str(self.latency_p50_slots),
+            str(self.latency_p95_slots),
+            str(self.latency_p99_slots),
+            "-",
+            "-",
+            f"fair={self.fairness_ratio:.2f}",
+        ])
+        table = Table(
+            title=(
+                f"Multi-tenant ORAM service: {self.n_tenants} tenants, "
+                f"{self.scheduler} scheduler, {self.makespan_slots} slots "
+                f"({self.throughput_per_slot:.3f} req/slot, "
+                f"{self.requests_per_second:,.0f} req/s wall)"
+            ),
+            columns=[
+                "tenant", "scheme", "served", "p50", "p95", "p99",
+                "mean", "leak/budget", "state",
+            ],
+            rows=rows,
+        )
+        return table.render()
+
+
+def build_tenant_report(tenant) -> TenantReport:
+    """Snapshot one :class:`~repro.tenancy.tenant.Tenant` after a run."""
+    percentiles = tenant.stats.latency_percentiles()
+    return TenantReport(
+        tenant_id=tenant.tenant_id,
+        scheme_spec=tenant.scheme.spec,
+        weight=tenant.weight,
+        requests_total=len(tenant.trace),
+        requests_serviced=tenant.serviced,
+        latency_p50_slots=percentiles[50.0],
+        latency_p95_slots=percentiles[95.0],
+        latency_p99_slots=percentiles[99.0],
+        latency_mean_slots=tenant.stats.latency_mean,
+        expended_leakage_bits=tenant.expended_leakage_bits,
+        budget_bits=tenant.budget_bits,
+        exhausted=tenant.exhausted,
+        terminated=tenant.terminated,
+        degraded=tenant.degraded,
+        digest=tenant.digest,
+    )
+
+
+def build_report(
+    tenants: list,
+    scheduler_name: str,
+    makespan_slots: int,
+    wall_seconds: float,
+    slot_cycles: int,
+) -> TenancyReport:
+    """Assemble the whole-service report from finished tenants."""
+    tenant_reports = tuple(
+        build_tenant_report(t) for t in sorted(tenants, key=lambda t: t.tenant_id)
+    )
+    serviced = sum(t.requests_serviced for t in tenant_reports)
+    total = sum(t.requests_total for t in tenant_reports)
+    aggregate = aggregate_latency_percentiles([t.stats for t in tenants])
+    means = [
+        t.latency_mean_slots for t in tenant_reports if t.requests_serviced > 0
+    ]
+    fairness = (max(means) / min(means)) if means and min(means) > 0 else 1.0
+    return TenancyReport(
+        scheduler=scheduler_name,
+        n_tenants=len(tenant_reports),
+        slot_cycles=slot_cycles,
+        makespan_slots=makespan_slots,
+        requests_serviced=serviced,
+        requests_dropped=total - serviced,
+        throughput_per_slot=serviced / makespan_slots if makespan_slots else 0.0,
+        latency_p50_slots=aggregate[50.0],
+        latency_p95_slots=aggregate[95.0],
+        latency_p99_slots=aggregate[99.0],
+        fairness_ratio=fairness,
+        wall_seconds=wall_seconds,
+        requests_per_second=serviced / wall_seconds if wall_seconds > 0 else 0.0,
+        tenants=tenant_reports,
+    )

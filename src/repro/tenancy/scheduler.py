@@ -1,0 +1,91 @@
+"""Cross-tenant schedulers for the shared ORAM bank.
+
+A scheduler picks, each round, which pending tenants' head-of-line
+requests the bank services next.  All three policies are deterministic
+given the tenant set, which keeps whole-service runs reproducible:
+
+* **round_robin** — one tenant per round, rotating over tenant ids;
+  the classic baseline, one ``access_batch`` call per request.
+* **weighted_fair** — one tenant per round by smallest virtual finish
+  time (service advances a tenant's virtual time by ``1/weight``), ties
+  broken by tenant id; approximates per-weight bank shares.
+* **batched** — every eligible tenant's head request each round, packed
+  into a *single* ``BatchedPathORAM.access_batch`` call (the vectorized
+  kernel amortizes RNG, heap walks, and scatter/gather across tenants).
+  Simulated service capacity is identical — a k-request batch still
+  occupies k service slots — so the speedup is in simulator wall-clock,
+  which is what the ``tenancy_step`` perf tier gates.
+
+Schedulers only *pick*; the service loop owns the clock, the bank call,
+and per-tenant accounting, so per-tenant results are policy-invariant
+(the trace-equivalence property the tenancy tests pin).
+"""
+
+from __future__ import annotations
+
+from repro.tenancy.tenant import Tenant
+
+
+class RoundRobinScheduler:
+    """Serve one tenant per round, rotating over tenant ids."""
+
+    name = "round_robin"
+    batching = False
+
+    def __init__(self) -> None:
+        self._next_id = 0
+
+    def select(self, eligible: list[Tenant]) -> list[Tenant]:
+        """Pick the first eligible tenant at or after the rotation point."""
+        chosen = min(
+            eligible,
+            key=lambda t: (t.tenant_id < self._next_id, t.tenant_id),
+        )
+        self._next_id = chosen.tenant_id + 1
+        return [chosen]
+
+
+class WeightedFairScheduler:
+    """Serve the eligible tenant with the smallest virtual finish time."""
+
+    name = "weighted_fair"
+    batching = False
+
+    def select(self, eligible: list[Tenant]) -> list[Tenant]:
+        """Pick by (virtual time, tenant id); the service loop advances
+        the winner's virtual time by ``1/weight`` after completion."""
+        return [min(eligible, key=lambda t: (t.virtual_time, t.tenant_id))]
+
+
+class BatchedScheduler:
+    """Pack every eligible tenant's head request into one bank batch."""
+
+    name = "batched"
+    batching = True
+
+    def select(self, eligible: list[Tenant]) -> list[Tenant]:
+        """All eligible tenants, in tenant-id order (at most one request
+        each — a tenant's own requests stay strictly ordered)."""
+        return sorted(eligible, key=lambda t: t.tenant_id)
+
+
+#: Scheduler registry keyed by CLI/spec name.
+SCHEDULERS = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    WeightedFairScheduler.name: WeightedFairScheduler,
+    BatchedScheduler.name: BatchedScheduler,
+}
+
+
+def make_scheduler(name: str):
+    """Instantiate a scheduler by registry name.
+
+    >>> make_scheduler("batched").batching
+    True
+    """
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; accepted: {', '.join(sorted(SCHEDULERS))}"
+        )

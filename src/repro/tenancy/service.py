@@ -1,0 +1,252 @@
+"""The shared-bank service loop: N tenant sessions, one ORAM bank.
+
+The simulation clock is integer *service slots*: one slot is one ORAM
+bank access time (``slot_cycles``, the paper's 1488-cycle path access by
+default).  Every scheduler shares the same capacity model — a batch of k
+requests occupies k slots and completes when the batch does — so
+per-tenant *results* are scheduler-invariant (digests match serial
+execution) while latency distributions, fairness, and simulator
+wall-clock differ by policy.  The batched scheduler's entire advantage
+is kernel-side: one vectorized ``access_batch`` call services a whole
+round, which is what the ``tenancy_step`` perf tier measures.
+
+Address isolation: tenant ``t`` owns global blocks
+``[t * blocks_per_tenant, (t+1) * blocks_per_tenant)``.  Write payloads
+are always stamped from the *local* address, so a tenant's observable
+values are identical whether its trace runs on the shared bank or alone
+on a private bank (:func:`serial_tenant_digests` is that oracle).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.oram.config import TreeGeometry
+from repro.oram.engine import BatchedPathORAM
+from repro.oram.path_oram import default_payload
+from repro.oram.timing import PAPER_ORAM_TIMING
+from repro.tenancy.arrivals import generate_trace
+from repro.tenancy.report import TenancyReport, build_report
+from repro.tenancy.scheduler import SCHEDULERS, make_scheduler
+from repro.tenancy.tenant import EXHAUSTION_POLICIES, Tenant
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """One multi-tenant service run, fully determined by its fields.
+
+    Attributes:
+        n_tenants: Client sessions sharing the bank.
+        blocks_per_tenant: Size of each tenant's private address slice.
+        requests_per_tenant: Trace length per tenant.
+        scheduler: Registry name ("round_robin", "weighted_fair",
+            "batched").
+        scheme_spec: Leakage scheme charged to every tenant (per-tenant
+            overrides via ``build_tenants``'s returned list if needed).
+        budget_bits: Per-tenant leakage budget; ``inf`` disables.
+        exhaustion_policy: "terminate" or "degrade" on budget exhaustion.
+        seed: Master seed; tenant traces, bank randomness, and session
+            identities all derive from it.
+        mean_gap_slots: Mean inter-arrival gap per tenant (0 = closed
+            loop: all requests pending at slot 0).
+        write_fraction: Probability each request is a write.
+        block_bytes / blocks_per_bucket: Bank geometry parameters.
+        slot_cycles: Cycles one service slot represents.
+        weights: Optional per-tenant weighted-fair shares (defaults to
+            uniform 1.0).
+        stash_capacity: Optional hard stash bound for the shared bank.
+    """
+
+    n_tenants: int = 4
+    blocks_per_tenant: int = 64
+    requests_per_tenant: int = 128
+    scheduler: str = "batched"
+    scheme_spec: str = "dynamic:4x4"
+    budget_bits: float = math.inf
+    exhaustion_policy: str = "terminate"
+    seed: int = 0
+    mean_gap_slots: float = 2.0
+    write_fraction: float = 0.5
+    block_bytes: int = 32
+    blocks_per_bucket: int = 4
+    slot_cycles: int = PAPER_ORAM_TIMING.latency_cycles
+    weights: tuple[float, ...] | None = None
+    stash_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ValueError(f"n_tenants must be >= 1, got {self.n_tenants}")
+        if self.blocks_per_tenant < 1:
+            raise ValueError(
+                f"blocks_per_tenant must be >= 1, got {self.blocks_per_tenant}"
+            )
+        if self.requests_per_tenant < 1:
+            raise ValueError(
+                f"requests_per_tenant must be >= 1, got {self.requests_per_tenant}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"accepted: {', '.join(sorted(SCHEDULERS))}"
+            )
+        if self.exhaustion_policy not in EXHAUSTION_POLICIES:
+            raise ValueError(
+                f"unknown exhaustion_policy {self.exhaustion_policy!r}; "
+                f"accepted: {', '.join(EXHAUSTION_POLICIES)}"
+            )
+        if self.weights is not None and len(self.weights) != self.n_tenants:
+            raise ValueError(
+                f"weights must have one entry per tenant "
+                f"({self.n_tenants}), got {len(self.weights)}"
+            )
+
+    @property
+    def total_blocks(self) -> int:
+        """Shared-bank block count across all tenant slices."""
+        return self.n_tenants * self.blocks_per_tenant
+
+    def build_tenants(self) -> list[Tenant]:
+        """Construct the tenant set (traces, sessions, budgets)."""
+        weights = self.weights or (1.0,) * self.n_tenants
+        return [
+            Tenant(
+                tenant_id=tenant_id,
+                trace=generate_trace(
+                    tenant_id,
+                    self.requests_per_tenant,
+                    self.blocks_per_tenant,
+                    seed=self.seed,
+                    mean_gap_slots=self.mean_gap_slots,
+                    write_fraction=self.write_fraction,
+                ),
+                scheme_spec=self.scheme_spec,
+                budget_bits=self.budget_bits,
+                weight=weights[tenant_id],
+                exhaustion_policy=self.exhaustion_policy,
+                slot_cycles=self.slot_cycles,
+                session_seed=self.seed,
+            )
+            for tenant_id in range(self.n_tenants)
+        ]
+
+
+def build_bank(
+    n_blocks: int, config: TenancyConfig, seed_label: str
+) -> BatchedPathORAM:
+    """Size and construct an ORAM bank for ``n_blocks`` program blocks."""
+    geometry = TreeGeometry.for_block_count(
+        n_blocks,
+        blocks_per_bucket=config.blocks_per_bucket,
+        block_bytes=config.block_bytes,
+    )
+    return BatchedPathORAM(
+        geometry,
+        n_blocks,
+        seed=derive_seed(config.seed, seed_label),
+        stash_capacity=config.stash_capacity,
+    )
+
+
+@dataclass
+class _BatchBuffers:
+    """Reused per-round batch arrays (avoid reallocating every round)."""
+
+    addresses: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    writes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    payloads: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 0), dtype=np.uint8)
+    )
+
+    def ensure(self, k: int, block_bytes: int) -> None:
+        if self.addresses.size < k or self.payloads.shape[1] != block_bytes:
+            self.addresses = np.empty(k, dtype=np.int64)
+            self.writes = np.empty(k, dtype=bool)
+            self.payloads = np.zeros((k, block_bytes), dtype=np.uint8)
+
+
+def run_tenancy(config: TenancyConfig) -> TenancyReport:
+    """Run one multi-tenant service simulation to completion.
+
+    Deterministic for everything except wall-clock fields: same config,
+    same report (including every tenant digest), on any machine.
+    """
+    tenants = config.build_tenants()
+    bank = build_bank(config.total_blocks, config, "tenancy.bank")
+    scheduler = make_scheduler(config.scheduler)
+    buffers = _BatchBuffers()
+    block_bytes = config.block_bytes
+    slot = 0
+    started = time.perf_counter()
+    while True:
+        active = [t for t in tenants if t.active]
+        if not active:
+            break
+        eligible = [t for t in active if t.next_arrival_slot <= slot]
+        if not eligible:
+            slot = min(t.next_arrival_slot for t in active)
+            continue
+        chosen = scheduler.select(eligible)
+        k = len(chosen)
+        buffers.ensure(k, block_bytes)
+        addresses = buffers.addresses[:k]
+        writes = buffers.writes[:k]
+        payloads = buffers.payloads[:k]
+        arrivals = []
+        for row, tenant in enumerate(chosen):
+            local, is_write = tenant.peek()
+            addresses[row] = tenant.tenant_id * config.blocks_per_tenant + local
+            writes[row] = is_write
+            # Stamp the *local* address so values are bank-placement
+            # independent (the serial-equivalence contract).
+            payloads[row] = np.frombuffer(
+                default_payload(local, block_bytes), dtype=np.uint8
+            )
+            arrivals.append(tenant.next_arrival_slot)
+        values = bank.access_batch(addresses, is_write=writes, payloads=payloads)
+        slot += k  # a k-request batch occupies k service slots
+        for row, tenant in enumerate(chosen):
+            tenant.record_service(slot - arrivals[row], values[row].tobytes())
+            tenant.virtual_time += 1.0 / tenant.weight
+    wall = time.perf_counter() - started
+    return build_report(tenants, scheduler.name, slot, wall, config.slot_cycles)
+
+
+def serial_tenant_digests(config: TenancyConfig) -> dict[int, str]:
+    """Oracle: each tenant's digest from running *alone* on a private bank.
+
+    Replays every tenant's trace in order, one request per slot, on a
+    fresh bank sized for just that tenant's slice, with the same budget
+    accounting.  The shared-bank service must reproduce these digests
+    exactly, under every scheduler — the tenancy equivalence contract.
+    """
+    digests: dict[int, str] = {}
+    for tenant in config.build_tenants():
+        bank = build_bank(
+            config.blocks_per_tenant, config, f"tenancy.serial.t{tenant.tenant_id}"
+        )
+        slot = 0
+        while tenant.active:
+            arrival = tenant.next_arrival_slot
+            slot = max(slot, arrival)
+            local, is_write = tenant.peek()
+            value = bank.access_batch(
+                np.asarray([local], dtype=np.int64),
+                is_write=np.asarray([is_write]),
+                payloads=np.frombuffer(
+                    default_payload(local, config.block_bytes), dtype=np.uint8
+                ).reshape(1, -1),
+            )
+            slot += 1
+            tenant.record_service(slot - arrival, value[0].tobytes())
+        digests[tenant.tenant_id] = tenant.digest
+    return digests
+
+
+def with_overrides(config: TenancyConfig, **overrides) -> TenancyConfig:
+    """Dataclass ``replace`` with validation re-run (convenience)."""
+    return replace(config, **overrides)

@@ -1,0 +1,170 @@
+"""The tenant model: workload slice, session lifecycle, leakage budget.
+
+A :class:`Tenant` owns one contiguous slice of the shared ORAM bank's
+address space, a deterministic arrival trace over *local* addresses, a
+Section 8 session (negotiated key register, forgotten on termination),
+and a leakage budget expressed through the existing scheme grammar: the
+tenant's scheme knows ``expended_leakage_bits(n_epochs)``, and the
+tenant charges itself after every serviced access as if it were running
+alone at the bank's access latency.
+
+Budget accounting is deliberately *scheduler-invariant*: the charge is a
+function of the tenant's own serviced-request count only, never of wall
+position or of other tenants' progress.  That is what makes budget
+exhaustion deterministic under any interleaving — the property the
+tenancy equivalence tests pin — and mirrors the paper's accounting,
+where leakage is bounded by epochs *entered*, not by what was observed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.core.scheme import scheme_from_spec
+from repro.oram.path_oram import AccessStats
+from repro.oram.timing import PAPER_ORAM_TIMING
+from repro.security.session import ProcessorIdentity, negotiate_session
+from repro.tenancy.arrivals import TenantTrace
+from repro.util.rng import derive_seed
+
+#: What happens when a tenant's leakage budget runs out.
+EXHAUSTION_POLICIES = ("terminate", "degrade")
+
+
+class Tenant:
+    """One client session multiplexed onto the shared ORAM bank.
+
+    Args:
+        tenant_id: Dense index; also selects the tenant's bank slice.
+        trace: Arrival trace over tenant-local addresses.
+        scheme_spec: Scheme-grammar string; its ``expended_leakage_bits``
+            drives budget accounting ("static:300" never spends,
+            "dynamic:4x4" spends lg|R| bits per epoch entered,
+            "base_oram" exhausts any finite budget immediately).
+        budget_bits: Leakage budget; ``inf`` disables enforcement.
+        weight: Weighted-fair-queueing share (higher = more service).
+        exhaustion_policy: ``"terminate"`` drops the tenant's remaining
+            requests and forgets its session key (run-once, Section 8);
+            ``"degrade"`` freezes expended leakage at the budget and
+            keeps serving (the scheme stops adapting — modeled as the
+            budget cap, since bits are charged per epoch entered).
+        slot_cycles: Cycles one service slot represents (the bank's
+            per-access latency; defaults to the paper's 1488).
+        session_seed: Deterministic seed for the processor identity, so
+            fixtures are reproducible; the negotiated session key itself
+            is random, which no result depends on.
+    """
+
+    def __init__(
+        self,
+        tenant_id: int,
+        trace: TenantTrace,
+        scheme_spec: str = "dynamic:4x4",
+        budget_bits: float = math.inf,
+        weight: float = 1.0,
+        exhaustion_policy: str = "terminate",
+        slot_cycles: int = PAPER_ORAM_TIMING.latency_cycles,
+        session_seed: int = 0,
+    ) -> None:
+        if tenant_id < 0:
+            raise ValueError(f"tenant_id must be >= 0, got {tenant_id}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        if budget_bits < 0:
+            raise ValueError(f"budget_bits must be >= 0, got {budget_bits}")
+        if exhaustion_policy not in EXHAUSTION_POLICIES:
+            raise ValueError(
+                f"unknown exhaustion_policy {exhaustion_policy!r}; "
+                f"accepted: {', '.join(EXHAUSTION_POLICIES)}"
+            )
+        if slot_cycles < 1:
+            raise ValueError(f"slot_cycles must be >= 1, got {slot_cycles}")
+        self.tenant_id = tenant_id
+        self.trace = trace
+        self.scheme = scheme_from_spec(scheme_spec)
+        self.budget_bits = float(budget_bits)
+        self.weight = float(weight)
+        self.exhaustion_policy = exhaustion_policy
+        self.slot_cycles = int(slot_cycles)
+        identity_seed = derive_seed(session_seed, f"tenancy.identity.t{tenant_id}")
+        self.session_keys, self.register = negotiate_session(
+            ProcessorIdentity(seed=identity_seed.to_bytes(8, "little"))
+        )
+        self.stats = AccessStats()
+        self.next_request = 0
+        self.serviced = 0
+        self.expended_leakage_bits = 0.0
+        self.terminated = False
+        self.degraded = False
+        self.virtual_time = 0.0
+        self._digest = hashlib.sha256()
+
+    # -- Scheduling surface ---------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether the tenant still has schedulable requests."""
+        return not self.terminated and self.next_request < len(self.trace)
+
+    @property
+    def next_arrival_slot(self) -> int:
+        """Arrival slot of the tenant's next unserviced request."""
+        return int(self.trace.arrival_slots[self.next_request])
+
+    def peek(self) -> tuple[int, bool]:
+        """(local address, is_write) of the next unserviced request."""
+        index = self.next_request
+        return int(self.trace.addresses[index]), bool(self.trace.is_write[index])
+
+    # -- Service accounting ---------------------------------------------
+
+    def record_service(self, latency_slots: int, value: bytes) -> None:
+        """Account one serviced request: digest, latency, leakage charge.
+
+        The digest folds in (request order, local address, write flag,
+        returned block value) — everything an interleaving could corrupt
+        but must not — so a tenant's digest after a shared-bank run is
+        bit-identical to the same trace run serially on a private bank.
+        """
+        address, is_write = self.peek()
+        self._digest.update(address.to_bytes(8, "little"))
+        self._digest.update(b"\x01" if is_write else b"\x00")
+        self._digest.update(value)
+        self.stats.record_latency(latency_slots)
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.next_request += 1
+        self.serviced += 1
+        self._charge_leakage()
+
+    def _charge_leakage(self) -> None:
+        """Recompute expended leakage from the serviced count alone."""
+        runtime_cycles = self.serviced * self.slot_cycles
+        schedule = getattr(self.scheme, "schedule", None)
+        if schedule is None:
+            n_epochs = 1
+        else:
+            n_epochs = schedule.epochs_until(runtime_cycles)
+        expended = self.scheme.expended_leakage_bits(n_epochs)
+        if expended > self.budget_bits:
+            self.expended_leakage_bits = self.budget_bits
+            if self.exhaustion_policy == "terminate":
+                self.terminated = True
+                self.register.forget()
+            else:
+                self.degraded = True
+        else:
+            self.expended_leakage_bits = expended
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the leakage budget ran out (terminated or degraded)."""
+        return self.terminated or self.degraded
+
+    @property
+    def digest(self) -> str:
+        """Hex digest of every serviced (address, flag, value) so far."""
+        return self._digest.hexdigest()

@@ -1,0 +1,98 @@
+"""AccessStats latency tracking and the shared percentile helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oram.path_oram import (
+    AccessStats,
+    DEFAULT_PERCENTILES,
+    percentiles_from_histogram,
+)
+
+
+def nearest_rank(samples, q):
+    """Oracle: the ceil(q/100 * n)-th smallest sample (rank >= 1)."""
+    ordered = sorted(samples)
+    rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+class TestPercentilesFromHistogram:
+    def test_known_values(self):
+        # hist of [1, 1, 1, 3]: p50 -> 2nd smallest (1), p100 -> 3.
+        hist = np.asarray([0, 3, 0, 1])
+        assert percentiles_from_histogram(hist, (50, 100)) == {50.0: 1, 100.0: 3}
+
+    def test_empty_histogram_returns_zeros(self):
+        assert percentiles_from_histogram(np.zeros(4, dtype=np.int64), (50, 99)) == {
+            50.0: 0,
+            99.0: 0,
+        }
+
+    def test_percentile_zero_is_the_minimum(self):
+        hist = np.asarray([0, 0, 5, 0, 2])
+        assert percentiles_from_histogram(hist, (0,)) == {0.0: 2}
+
+    @pytest.mark.parametrize("q", [-0.1, 100.5])
+    def test_out_of_range_percentile_raises(self, q):
+        with pytest.raises(ValueError, match="percentile"):
+            percentiles_from_histogram(np.asarray([1]), (q,))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        samples=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=200),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_matches_nearest_rank_oracle(self, samples, q):
+        hist = np.bincount(samples)
+        assert percentiles_from_histogram(hist, (q,))[float(q)] == nearest_rank(
+            samples, q
+        )
+
+
+class TestAccessStatsLatency:
+    def test_record_latency_tracks_peak_sum_and_mean(self):
+        stats = AccessStats()
+        for latency in (3, 1, 7):
+            stats.record_latency(latency)
+        assert stats.latency_peak == 7
+        assert stats.latency_sum == 11
+        assert stats.latency_samples_seen == 3
+        assert stats.latency_mean == pytest.approx(11 / 3)
+
+    def test_empty_stats_have_zero_mean_and_percentiles(self):
+        stats = AccessStats()
+        assert stats.latency_mean == 0.0
+        assert stats.latency_percentiles() == {q: 0 for q in DEFAULT_PERCENTILES}
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AccessStats().record_latency(-1)
+
+    def test_histogram_grows_past_initial_capacity(self):
+        stats = AccessStats()
+        stats.record_latency(1000)
+        hist = stats.latency_histogram()
+        assert hist.size == 1001
+        assert hist[1000] == 1
+        assert stats.latency_percentiles((100.0,)) == {100.0: 1000}
+
+    def test_batch_recording_matches_scalar_loop(self):
+        latencies = [5, 0, 9, 2, 2, 70, 5]
+        looped, batched = AccessStats(), AccessStats()
+        for latency in latencies:
+            looped.record_latency(latency)
+        batched.record_latency_batch(np.asarray(latencies, dtype=np.int64))
+        assert looped.latency_peak == batched.latency_peak
+        assert looped.latency_sum == batched.latency_sum
+        assert looped.latency_samples_seen == batched.latency_samples_seen
+        assert np.array_equal(looped.latency_histogram(), batched.latency_histogram())
+        assert looped.latency_percentiles() == batched.latency_percentiles()
+
+    def test_percentiles_delegate_to_shared_helper(self):
+        stats = AccessStats()
+        samples = [4, 8, 15, 16, 23, 42]
+        stats.record_latency_batch(np.asarray(samples, dtype=np.int64))
+        expected = percentiles_from_histogram(np.bincount(samples), DEFAULT_PERCENTILES)
+        assert stats.latency_percentiles() == expected

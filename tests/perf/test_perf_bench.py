@@ -52,7 +52,7 @@ class TestTierSelection:
 
     def test_tier_names_cover_report_sections(self):
         assert set(PERF_TIERS) == {
-            "functional", "timing", "oram", "frontier_cell", "sweep"
+            "functional", "timing", "oram", "frontier_cell", "tenancy_step", "sweep"
         }
 
 

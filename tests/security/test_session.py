@@ -51,6 +51,20 @@ class TestKeyRegister:
         with pytest.raises(ValueError):
             ProcessorKeyRegister().install(b"")
 
+    def test_rejects_double_install_on_live_register(self):
+        """A live register must be forgotten before a new K can land."""
+        register = ProcessorKeyRegister()
+        register.install(b"key-one")
+        with pytest.raises(SessionTerminatedError, match="already holds"):
+            register.install(b"key-two")
+        # The original session is untouched by the rejected install.
+        blob = register.seal(b"data")
+        assert register.unseal(blob) == b"data"
+        # After forget() the register accepts a fresh key again.
+        register.forget()
+        register.install(b"key-two")
+        assert register.holds_key
+
 
 class TestNegotiation:
     def test_both_sides_agree_on_k(self):

@@ -1,0 +1,94 @@
+"""Arrival-trace generation: determinism, validation, distribution shape."""
+
+import numpy as np
+import pytest
+
+from repro.tenancy.arrivals import TenantTrace, generate_trace
+
+
+class TestTenantTraceValidation:
+    def test_accepts_well_formed_arrays(self):
+        trace = TenantTrace(
+            arrival_slots=[0, 1, 3],
+            addresses=[5, 0, 2],
+            is_write=[True, False, True],
+        )
+        assert trace.n_requests == len(trace) == 3
+        assert trace.arrival_slots.dtype == np.int64
+        assert trace.is_write.dtype == bool
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equally long"):
+            TenantTrace(arrival_slots=[0, 1], addresses=[0], is_write=[True])
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TenantTrace(arrival_slots=[], addresses=[], is_write=[])
+
+    def test_rejects_decreasing_arrivals(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TenantTrace(
+                arrival_slots=[3, 1], addresses=[0, 0], is_write=[False, False]
+            )
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TenantTrace(arrival_slots=[-1], addresses=[0], is_write=[False])
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError, match="addresses"):
+            TenantTrace(arrival_slots=[0], addresses=[-2], is_write=[False])
+
+
+class TestGenerateTrace:
+    def test_is_deterministic_per_seed(self):
+        a = generate_trace(3, 64, 32, seed=9)
+        b = generate_trace(3, 64, 32, seed=9)
+        assert np.array_equal(a.arrival_slots, b.arrival_slots)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    def test_tenants_get_independent_streams(self):
+        a = generate_trace(0, 64, 32, seed=9)
+        b = generate_trace(1, 64, 32, seed=9)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_seeds_change_the_stream(self):
+        a = generate_trace(0, 64, 32, seed=0)
+        b = generate_trace(0, 64, 32, seed=1)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_addresses_stay_in_local_slice(self):
+        trace = generate_trace(0, 256, 16, seed=4)
+        assert int(trace.addresses.min()) >= 0
+        assert int(trace.addresses.max()) < 16
+
+    def test_zero_gap_is_closed_loop(self):
+        trace = generate_trace(0, 32, 8, seed=2, mean_gap_slots=0.0)
+        assert np.array_equal(trace.arrival_slots, np.zeros(32, dtype=np.int64))
+
+    def test_gap_mean_tracks_parameter(self):
+        trace = generate_trace(0, 4096, 8, seed=1, mean_gap_slots=3.0)
+        gaps = np.diff(np.concatenate([[0], trace.arrival_slots]))
+        assert 2.5 < float(gaps.mean()) < 3.5
+
+    def test_write_fraction_extremes(self):
+        all_reads = generate_trace(0, 64, 8, seed=3, write_fraction=0.0)
+        all_writes = generate_trace(0, 64, 8, seed=3, write_fraction=1.0)
+        assert not all_reads.is_write.any()
+        assert all_writes.is_write.all()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"n_requests": 0}, "n_requests"),
+            ({"n_blocks": 0}, "n_blocks"),
+            ({"mean_gap_slots": -0.5}, "mean_gap_slots"),
+            ({"write_fraction": 1.5}, "write_fraction"),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs, match):
+        params = {"tenant_id": 0, "n_requests": 8, "n_blocks": 8}
+        params.update(kwargs)
+        with pytest.raises(ValueError, match=match):
+            generate_trace(**params)

@@ -1,0 +1,94 @@
+"""Scheduler policies: rotation, virtual-time order, batching, registry."""
+
+import pytest
+
+from repro.tenancy.arrivals import generate_trace
+from repro.tenancy.scheduler import (
+    SCHEDULERS,
+    BatchedScheduler,
+    RoundRobinScheduler,
+    WeightedFairScheduler,
+    make_scheduler,
+)
+from repro.tenancy.tenant import Tenant
+
+
+def make_tenants(n, weights=None):
+    weights = weights or (1.0,) * n
+    return [
+        Tenant(
+            tenant_id=i,
+            trace=generate_trace(i, 8, 8, seed=0),
+            weight=weights[i],
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundRobin:
+    def test_rotates_over_tenant_ids(self):
+        tenants = make_tenants(3)
+        scheduler = RoundRobinScheduler()
+        picked = [scheduler.select(tenants)[0].tenant_id for _ in range(6)]
+        assert picked == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_missing_tenants_and_wraps(self):
+        tenants = make_tenants(4)
+        scheduler = RoundRobinScheduler()
+        assert scheduler.select(tenants)[0].tenant_id == 0
+        # Tenant 1 not eligible this round: rotation lands on 2, then wraps.
+        eligible = [tenants[0], tenants[2], tenants[3]]
+        assert scheduler.select(eligible)[0].tenant_id == 2
+        assert scheduler.select(eligible)[0].tenant_id == 3
+        assert scheduler.select(eligible)[0].tenant_id == 0
+
+    def test_serves_one_tenant_per_round(self):
+        scheduler = RoundRobinScheduler()
+        assert len(scheduler.select(make_tenants(5))) == 1
+        assert scheduler.batching is False
+
+
+class TestWeightedFair:
+    def test_picks_smallest_virtual_time(self):
+        tenants = make_tenants(3)
+        tenants[0].virtual_time = 2.0
+        tenants[1].virtual_time = 0.5
+        tenants[2].virtual_time = 1.0
+        assert WeightedFairScheduler().select(tenants)[0].tenant_id == 1
+
+    def test_breaks_ties_by_tenant_id(self):
+        tenants = make_tenants(3)
+        assert WeightedFairScheduler().select(tenants)[0].tenant_id == 0
+
+    def test_higher_weight_gets_more_turns(self):
+        # Simulate the service loop's virtual-time advance: the 4x-weight
+        # tenant should win about 4 of every 5 rounds.
+        tenants = make_tenants(2, weights=(4.0, 1.0))
+        scheduler = WeightedFairScheduler()
+        wins = [0, 0]
+        for _ in range(100):
+            chosen = scheduler.select(tenants)[0]
+            wins[chosen.tenant_id] += 1
+            chosen.virtual_time += 1.0 / chosen.weight
+        assert wins[0] == pytest.approx(80, abs=2)
+
+
+class TestBatched:
+    def test_selects_every_eligible_tenant_in_id_order(self):
+        tenants = make_tenants(4)
+        chosen = BatchedScheduler().select([tenants[2], tenants[0], tenants[3]])
+        assert [t.tenant_id for t in chosen] == [0, 2, 3]
+        assert BatchedScheduler.batching is True
+
+
+class TestRegistry:
+    def test_registry_covers_all_policies(self):
+        assert set(SCHEDULERS) == {"round_robin", "weighted_fair", "batched"}
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_make_scheduler_round_trips_names(self, name):
+        assert make_scheduler(name).name == name
+
+    def test_unknown_name_is_a_clean_error(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("fifo")

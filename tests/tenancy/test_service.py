@@ -1,0 +1,170 @@
+"""Service-loop contracts: serial equivalence, deterministic budgets.
+
+These are the two properties ISSUE acceptance pins:
+
+* for any scheduler and any interleaving the arrival process induces,
+  each tenant's result digest equals its serial private-bank oracle;
+* leakage-budget exhaustion lands on the same request under every
+  scheduler and is bit-reproducible under a fixed seed.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tenancy import (
+    TenancyConfig,
+    run_tenancy,
+    serial_tenant_digests,
+    with_overrides,
+)
+
+#: Small-but-contended default for property runs.
+SMALL = TenancyConfig(
+    n_tenants=3,
+    blocks_per_tenant=16,
+    requests_per_tenant=24,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"n_tenants": 0}, "n_tenants"),
+            ({"blocks_per_tenant": 0}, "blocks_per_tenant"),
+            ({"requests_per_tenant": 0}, "requests_per_tenant"),
+            ({"scheduler": "fifo"}, "unknown scheduler"),
+            ({"exhaustion_policy": "evict"}, "exhaustion_policy"),
+            ({"weights": (1.0,)}, "weights"),
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            with_overrides(SMALL, **kwargs)
+
+    def test_total_blocks_spans_all_slices(self):
+        assert SMALL.total_blocks == 3 * 16
+
+    def test_build_tenants_wires_weights_and_seeds(self):
+        config = with_overrides(SMALL, weights=(2.0, 1.0, 1.0))
+        tenants = config.build_tenants()
+        assert [t.tenant_id for t in tenants] == [0, 1, 2]
+        assert tenants[0].weight == 2.0
+        assert tenants[1].weight == 1.0
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("scheduler", ["round_robin", "weighted_fair", "batched"])
+    def test_every_scheduler_matches_the_serial_oracle(self, scheduler):
+        config = with_overrides(SMALL, scheduler=scheduler)
+        report = run_tenancy(config)
+        serial = serial_tenant_digests(config)
+        for tenant in report.tenants:
+            assert tenant.digest == serial[tenant.tenant_id], (
+                f"tenant {tenant.tenant_id} diverged under {scheduler}"
+            )
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_tenants=st.integers(min_value=1, max_value=4),
+        scheduler=st.sampled_from(["round_robin", "weighted_fair", "batched"]),
+        mean_gap=st.sampled_from([0.0, 1.0, 3.0]),
+        write_fraction=st.sampled_from([0.0, 0.5, 1.0]),
+    )
+    def test_equivalence_holds_for_any_interleaving(
+        self, seed, n_tenants, scheduler, mean_gap, write_fraction
+    ):
+        config = TenancyConfig(
+            n_tenants=n_tenants,
+            blocks_per_tenant=8,
+            requests_per_tenant=12,
+            scheduler=scheduler,
+            seed=seed,
+            mean_gap_slots=mean_gap,
+            write_fraction=write_fraction,
+        )
+        report = run_tenancy(config)
+        serial = serial_tenant_digests(config)
+        assert {t.tenant_id: t.digest for t in report.tenants} == serial
+
+    def test_all_requests_serviced_under_infinite_budget(self):
+        report = run_tenancy(SMALL)
+        assert report.requests_serviced == 3 * 24
+        assert report.requests_dropped == 0
+        assert report.makespan_slots >= report.requests_serviced
+
+
+class TestBudgetDeterminism:
+    # dynamic:4x4 charges 2 bits per epoch entered; at the paper's
+    # 1488-cycle slot the third epoch (6 bits > 4-bit budget) arrives
+    # near serviced request 100, well inside a 160-request trace.
+    BUDGETED = with_overrides(
+        SMALL,
+        scheme_spec="dynamic:4x4",
+        budget_bits=4.0,
+        requests_per_tenant=160,
+        mean_gap_slots=0.0,
+    )
+
+    def test_exhaustion_is_reproducible_bit_for_bit(self):
+        first = run_tenancy(self.BUDGETED)
+        second = run_tenancy(self.BUDGETED)
+        assert first.to_dict(deterministic=True) == second.to_dict(deterministic=True)
+        assert first.requests_dropped > 0  # the budget actually bit
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_exhaustion_point_is_scheduler_invariant(self, seed):
+        serviced = {}
+        for scheduler in ("round_robin", "weighted_fair", "batched"):
+            report = run_tenancy(
+                with_overrides(self.BUDGETED, seed=seed, scheduler=scheduler)
+            )
+            serviced[scheduler] = [t.requests_serviced for t in report.tenants]
+            assert all(t.terminated for t in report.tenants)
+        assert len({tuple(v) for v in serviced.values()}) == 1, (
+            f"budget exhaustion moved across schedulers: {serviced}"
+        )
+
+    def test_degrade_services_everything_with_leakage_capped(self):
+        report = run_tenancy(
+            with_overrides(self.BUDGETED, exhaustion_policy="degrade")
+        )
+        assert report.requests_dropped == 0
+        for tenant in report.tenants:
+            assert tenant.degraded and not tenant.terminated
+            assert tenant.expended_leakage_bits == 4.0
+
+    def test_terminated_digests_still_match_serial_oracle(self):
+        report = run_tenancy(self.BUDGETED)
+        serial = serial_tenant_digests(self.BUDGETED)
+        assert {t.tenant_id: t.digest for t in report.tenants} == serial
+
+
+class TestWeightedFairness:
+    def test_premium_tenant_sees_lower_mean_latency(self):
+        config = with_overrides(
+            SMALL,
+            scheduler="weighted_fair",
+            weights=(4.0, 1.0, 1.0),
+            mean_gap_slots=0.0,
+            requests_per_tenant=64,
+        )
+        report = run_tenancy(config)
+        premium, standard = report.tenants[0], report.tenants[1]
+        assert premium.latency_mean_slots < standard.latency_mean_slots
+        assert report.fairness_ratio > 1.0
+
+    def test_uniform_weights_stay_near_fair(self):
+        report = run_tenancy(with_overrides(SMALL, scheduler="round_robin"))
+        assert 1.0 <= report.fairness_ratio < 2.0
+
+
+class TestBudgetConfig:
+    def test_infinite_budget_round_trips(self):
+        config = with_overrides(SMALL, budget_bits=math.inf)
+        report = run_tenancy(config)
+        assert all(not t.exhausted for t in report.tenants)

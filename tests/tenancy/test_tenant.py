@@ -1,0 +1,127 @@
+"""Tenant model: validation, service accounting, budget lifecycle."""
+
+import math
+
+import pytest
+
+from repro.oram.path_oram import default_payload
+from repro.tenancy.arrivals import generate_trace
+from repro.tenancy.tenant import EXHAUSTION_POLICIES, Tenant
+
+
+def make_tenant(**kwargs):
+    params = {
+        "tenant_id": 0,
+        "trace": generate_trace(0, 16, 8, seed=1),
+    }
+    params.update(kwargs)
+    return Tenant(**params)
+
+
+def serve_next(tenant, latency=1):
+    """Service the tenant's head request with its canonical value."""
+    local, _ = tenant.peek()
+    tenant.record_service(latency, default_payload(local, 32))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"tenant_id": -1}, "tenant_id"),
+            ({"weight": 0.0}, "weight"),
+            ({"budget_bits": -1.0}, "budget_bits"),
+            ({"exhaustion_policy": "evict"}, "exhaustion_policy"),
+            ({"slot_cycles": 0}, "slot_cycles"),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            make_tenant(**kwargs)
+
+    def test_policy_registry(self):
+        assert EXHAUSTION_POLICIES == ("terminate", "degrade")
+
+
+class TestServiceAccounting:
+    def test_fresh_tenant_is_active_with_live_session(self):
+        tenant = make_tenant()
+        assert tenant.active
+        assert tenant.serviced == 0
+        assert tenant.register.holds_key
+        assert tenant.expended_leakage_bits == 0.0
+
+    def test_record_service_advances_counters_and_digest(self):
+        tenant = make_tenant()
+        before = tenant.digest
+        serve_next(tenant, latency=3)
+        assert tenant.serviced == 1
+        assert tenant.next_request == 1
+        assert tenant.stats.reads + tenant.stats.writes == 1
+        assert tenant.stats.latency_peak == 3
+        assert tenant.digest != before
+
+    def test_digest_depends_on_returned_value(self):
+        a, b = make_tenant(), make_tenant()
+        local, _ = a.peek()
+        a.record_service(1, default_payload(local, 32))
+        b.record_service(1, b"\xff" * 32)
+        assert a.digest != b.digest
+
+    def test_tenant_goes_inactive_after_trace_drains(self):
+        tenant = make_tenant(trace=generate_trace(0, 3, 8, seed=1))
+        for _ in range(3):
+            serve_next(tenant)
+        assert not tenant.active
+        assert not tenant.exhausted
+
+
+class TestBudgetLifecycle:
+    def test_static_scheme_never_spends(self):
+        tenant = make_tenant(scheme_spec="static:300", budget_bits=0.0)
+        for _ in range(4):
+            serve_next(tenant)
+        assert tenant.expended_leakage_bits == 0.0
+        assert not tenant.exhausted
+
+    def test_infinite_budget_disables_enforcement(self):
+        tenant = make_tenant(scheme_spec="base_oram", budget_bits=math.inf)
+        serve_next(tenant)
+        assert not tenant.exhausted
+        assert tenant.expended_leakage_bits == math.inf
+
+    def test_terminate_drops_tenant_and_forgets_key(self):
+        tenant = make_tenant(
+            scheme_spec="base_oram",
+            budget_bits=8.0,
+            exhaustion_policy="terminate",
+        )
+        serve_next(tenant)
+        assert tenant.terminated and tenant.exhausted
+        assert not tenant.active
+        assert not tenant.register.holds_key
+        assert tenant.expended_leakage_bits == 8.0  # capped at the budget
+
+    def test_degrade_keeps_serving_with_leakage_frozen(self):
+        tenant = make_tenant(
+            scheme_spec="base_oram",
+            budget_bits=8.0,
+            exhaustion_policy="degrade",
+        )
+        serve_next(tenant)
+        assert tenant.degraded and tenant.exhausted
+        assert not tenant.terminated
+        assert tenant.active  # still schedulable
+        assert tenant.register.holds_key
+        serve_next(tenant)
+        assert tenant.expended_leakage_bits == 8.0
+
+    def test_charge_depends_only_on_own_serviced_count(self):
+        # Two tenants with identical traces but different service latencies
+        # must expend identical leakage: the charge is scheduler-invariant.
+        slow = make_tenant(scheme_spec="dynamic:4x4")
+        fast = make_tenant(scheme_spec="dynamic:4x4")
+        for _ in range(8):
+            serve_next(slow, latency=50)
+            serve_next(fast, latency=1)
+        assert slow.expended_leakage_bits == fast.expended_leakage_bits

@@ -1,0 +1,55 @@
+"""CLI surface: ``repro tenants`` single runs, serial gate, pinned sweeps."""
+
+import json
+
+from repro.cli import main
+
+FAST = ["--tenants", "2", "--requests", "16", "--blocks", "16"]
+
+
+class TestTenantsRun:
+    def test_prints_report_table(self, capsys):
+        assert main(["tenants", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-tenant ORAM service" in out
+        assert "batched" in out
+
+    def test_verify_serial_passes(self, capsys):
+        assert main(["tenants", *FAST, "--verify-serial"]) == 0
+        assert "serial equivalence verified" in capsys.readouterr().out
+
+    def test_scheduler_and_policy_knobs(self, capsys):
+        assert main(
+            ["tenants", *FAST, "--scheduler", "weighted_fair",
+             "--weights", "4.0,1.0", "--verify-serial"]
+        ) == 0
+        assert "weighted_fair" in capsys.readouterr().out
+
+    def test_budget_exhaustion_reported(self, capsys):
+        assert main(
+            ["tenants", *FAST, "--requests", "160", "--gap", "0",
+             "--budget", "4", "--policy", "terminate"]
+        ) == 0
+        assert "terminated" in capsys.readouterr().out
+
+    def test_pinned_report_excludes_wall_clock(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert main(["tenants", *FAST, "--out", str(path), "--pin"]) == 0
+        payload = json.loads(path.read_text())
+        assert "wall_seconds" not in payload
+        assert payload["n_tenants"] == 2
+
+
+class TestTenantsSweep:
+    def test_sweep_prints_digest_and_pins(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        argv = ["tenants", *FAST, "--sweep", "--counts", "1,2",
+                "--schedulers", "batched,round_robin",
+                "--out", str(path), "--pin"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep digest:" in out
+        payload = json.loads(path.read_text())
+        digest = out.split("sweep digest:")[1].split()[0]
+        assert payload["digest"] == digest
+        assert len(payload["records"]) == 4
