@@ -259,6 +259,20 @@ def functional_pass_key(cell: Cell) -> tuple:
             cell.seed, cell.warmup_fraction)
 
 
+def trace_store_key(cell: Cell) -> str:
+    """Persistent-store key of the functional pass a cell depends on.
+
+    Lets services check ``cache.traces.has(trace_store_key(cell))``
+    without loading the (large) trace — the per-key accounting behind
+    the sweep daemon's zero-redundant-pass metric, which a global
+    entry-count delta cannot provide once groups run concurrently.
+    """
+    sim = sim_for_cell(cell)
+    return sim._store_key(
+        "workload", cell.benchmark, cell.input_name, cell.n_instructions, cell.seed
+    )
+
+
 def lookup_cached_trace(
     cell: Cell, cache: "ExperimentCache | None" = None
 ) -> MissTrace | None:

@@ -21,6 +21,7 @@ the normal compute-or-cache path.
 from __future__ import annotations
 
 import os
+import weakref
 from dataclasses import asdict
 
 import numpy as np
@@ -53,12 +54,37 @@ def _unregister(name: str) -> None:
         pass
 
 
+def _release_segments(segments: dict) -> None:
+    """Close and unlink every segment in ``segments`` (idempotent).
+
+    Module-level so :func:`weakref.finalize` can hold it without keeping
+    the arena alive.
+    """
+    for segment in segments.values():
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+    segments.clear()
+
+
 class SharedTraceArena:
-    """Parent-side registry of miss traces published to shared memory."""
+    """Parent-side registry of miss traces published to shared memory.
+
+    Cleanup runs through a :func:`weakref.finalize` finalizer over the
+    segment dict, so published segments are unlinked not only on the
+    normal ``close()`` path but also when the arena is garbage-collected
+    without one (a backend that raised mid-dispatch) and at interpreter
+    exit (finalizers double as atexit handlers) — abnormal pool
+    teardowns must not leave ``rt-*`` segments behind in ``/dev/shm``.
+    Only a hard kill of the parent (SIGKILL) can still leak.
+    """
 
     def __init__(self) -> None:
         self._segments: dict[str, object] = {}
         self._descriptors: dict[str, dict] = {}
+        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
 
     def publish(self, key: str, trace: MissTrace) -> dict | None:
         """Publish one trace; returns its descriptor (or None on failure).
@@ -107,15 +133,14 @@ class SharedTraceArena:
         return len(self._segments)
 
     def close(self) -> None:
-        """Unlink every published segment (pool has drained)."""
-        for segment in self._segments.values():
-            try:
-                segment.close()
-                segment.unlink()
-            except Exception:  # pragma: no cover - already gone
-                pass
-        self._segments.clear()
+        """Unlink every published segment (pool has drained).
+
+        Runs the registered finalizer (idempotent), then re-arms it so
+        the arena stays usable — and stays leak-proof — after reuse.
+        """
+        self._finalizer()
         self._descriptors.clear()
+        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
 
     def __enter__(self) -> "SharedTraceArena":
         return self

@@ -26,6 +26,14 @@ Installed as the ``repro`` console script and runnable as
   with per-tenant latency SLOs, fairness, and leakage-budget accounting;
   ``--sweep`` produces the tenant-count scaling curves behind
   ``benchmarks/BENCH_tenancy.json``.
+- ``serve`` — the long-running sweep daemon: submit specs over HTTP/IPC,
+  share one warm engine + persistent cache across concurrent sweeps,
+  stream progress, scrape ``/metrics``; ``--smoke`` runs the end-to-end
+  self-test CI uses (start, submit, scrape, clean shutdown).
+- ``load`` — drive a daemon with the open/closed-loop load generator;
+  ``--levels`` records the saturation curves behind
+  ``benchmarks/BENCH_service.json``, and any redundant functional pass
+  under load exits 1 (docs/operations.md has the full recipe).
 """
 
 from __future__ import annotations
@@ -356,6 +364,152 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.hosting import serve_forever
+
+    if args.smoke:
+        return _serve_smoke(args)
+    try:
+        asyncio.run(serve_forever(
+            cache=args.cache_dir,
+            host=args.host,
+            port=args.port,
+            uds=args.uds,
+            max_concurrency=args.max_concurrency,
+        ))
+    except KeyboardInterrupt:
+        print("\ninterrupted; daemon stopped")
+    return 0
+
+
+def _serve_smoke(args: argparse.Namespace) -> int:
+    """End-to-end self-test: start, submit, stream, scrape, shut down."""
+    import tempfile
+
+    from repro.api.spec import ExperimentSpec
+    from repro.service.hosting import ThreadedService
+
+    spec = ExperimentSpec(
+        name="serve --smoke",
+        benchmarks=("mcf",),
+        schemes=("base_dram", "dynamic:4x4"),
+        n_instructions=args.instructions,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        cache_dir = args.cache_dir or tmp
+        # Ephemeral port: the smoke test must not fight a real daemon.
+        with ThreadedService(
+            cache=cache_dir, max_concurrency=args.max_concurrency,
+            host=args.host, port=0, uds=args.uds,
+        ) as hosted:
+            client = hosted.client()
+            health = client.healthz()
+            print(f"daemon up at {hosted.address}: {health['status']}")
+            response = client.submit(spec)
+            job_id = response["job"]["id"]
+            for event in client.iter_events(job_id):
+                print(f"  event {event['seq']}: {event['kind']}"
+                      + (f" {event.get('benchmark')}" if "benchmark" in event else ""))
+            final = client.job(job_id)
+            metrics = client.metrics()
+            client.shutdown()
+        print(
+            f"job {job_id}: {final['state']}; metrics: "
+            f"{metrics['cells_run']} cells run, "
+            f"{metrics['functional_passes']} functional passes, "
+            f"hit rate {metrics['cache_hit_rate']:.2f}"
+        )
+        ok = (
+            final["state"] == "done"
+            and metrics["jobs_completed"] >= 1
+            and metrics["functional_passes"] <= 1
+        )
+        print("smoke " + ("OK" if ok else "FAILED"))
+        return 0 if ok else 1
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.service.client import parse_address
+    from repro.service.hosting import ThreadedService
+    from repro.service.loadgen import (
+        LoadProfile,
+        default_templates,
+        run_load,
+        run_saturation,
+    )
+
+    templates = default_templates(
+        n_templates=args.templates,
+        benchmarks=_split_csv(args.benchmarks),
+        seeds=tuple(int(s) for s in _split_csv(args.seeds)),
+        n_instructions=args.instructions,
+    )
+    profile = LoadProfile(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        mode=args.mode,
+        mean_gap_s=args.gap,
+        seed=args.seed,
+        templates=templates,
+    )
+    with contextlib.ExitStack() as stack:
+        if args.self_hosted:
+            cache_dir = args.cache_dir
+            if cache_dir is None:
+                # A fresh cache makes the pass accounting cold-start
+                # deterministic (level 1 pays the lattice, later levels 0).
+                import tempfile
+
+                cache_dir = stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-load-")
+                )
+            hosted = stack.enter_context(ThreadedService(
+                cache=cache_dir, max_concurrency=args.max_concurrency,
+            ))
+            address = hosted.address
+        elif args.address:
+            address = parse_address(args.address)
+        else:
+            print("error: pass --address HOST:PORT (or --self-hosted)", file=sys.stderr)
+            return 2
+        if args.levels:
+            report = run_saturation(
+                address,
+                levels=tuple(int(n) for n in _split_csv(args.levels)),
+                base_profile=profile,
+                job_timeout=args.job_timeout,
+            )
+            print(report.render())
+            redundant = report.total_redundant_passes
+            if args.out:
+                report.save_json(args.out, deterministic=args.pin)
+                print(f"curve {'pinned' if args.pin else 'saved'} to {args.out}")
+        else:
+            level = run_load(address, profile, job_timeout=args.job_timeout)
+            percentiles = level.latency_percentiles()
+            print(
+                f"{level.jobs_completed}/{level.jobs_submitted} jobs done in "
+                f"{level.duration_s:.2f}s ({level.throughput_jobs_s:.2f} jobs/s); "
+                f"p50/p95/p99 = {percentiles[50.0]}/{percentiles[95.0]}/"
+                f"{percentiles[99.0]} ms; fresh passes "
+                f"{level.functional_passes_new}/{level.expected_passes}, "
+                f"redundant {level.redundant_passes}"
+            )
+            redundant = level.redundant_passes
+    if redundant > 0:
+        print(
+            f"error: {redundant} redundant functional pass(es) under load — "
+            "concurrent sweeps recomputed work the warm cache should have served",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -595,6 +749,107 @@ def build_parser() -> argparse.ArgumentParser:
              "(byte-stable artifacts, e.g. benchmarks/BENCH_tenancy.json)",
     )
     tenants.set_defaults(func=_cmd_tenants)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running sweep daemon: HTTP/IPC job API over one warm engine",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind host (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default 8642; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--uds", default=None, metavar="PATH",
+        help="bind a Unix domain socket instead of TCP",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="persistent trace/result cache root (default: ~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=2,
+        help="jobs executing at once (default 2)",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="self-test: start, submit one sweep, stream events, scrape "
+             "/metrics, clean shutdown; exit 1 on any failure",
+    )
+    serve.add_argument(
+        "-n", "--instructions", type=int, default=50_000,
+        help="smoke-test instruction budget (default 50000)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser(
+        "load",
+        help="load-test a sweep daemon; --levels records saturation curves",
+    )
+    load.add_argument(
+        "--address", default=None, metavar="HOST:PORT|SOCKET",
+        help="daemon address (host:port or Unix socket path)",
+    )
+    load.add_argument(
+        "--self-hosted", action="store_true",
+        help="spin up an in-process daemon for the duration of the run",
+    )
+    load.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client sessions (default 4)",
+    )
+    load.add_argument(
+        "--requests", type=int, default=4,
+        help="jobs per client (default 4)",
+    )
+    load.add_argument(
+        "--mode", default="closed", choices=["closed", "open"],
+        help="closed: submit-wait-submit; open: timed arrivals (default closed)",
+    )
+    load.add_argument(
+        "--gap", type=float, default=0.2,
+        help="open-loop mean inter-arrival gap per client, seconds (default 0.2)",
+    )
+    load.add_argument("--seed", type=int, default=0, help="load seed (default 0)")
+    load.add_argument(
+        "--templates", type=int, default=4,
+        help="distinct sweep templates in the pool (default 4)",
+    )
+    load.add_argument(
+        "--benchmarks", default="mcf,libquantum",
+        help='template benchmarks (default "mcf,libquantum")',
+    )
+    load.add_argument("--seeds", default="0", help='template seeds (default "0")')
+    load.add_argument(
+        "-n", "--instructions", type=int, default=20_000,
+        help="template instruction budget (default 20000)",
+    )
+    load.add_argument(
+        "--levels", default=None,
+        help='comma-separated client counts for a saturation sweep, e.g. "1,2,4,8"',
+    )
+    load.add_argument(
+        "--job-timeout", type=float, default=300.0,
+        help="per-job completion timeout in seconds (default 300)",
+    )
+    load.add_argument(
+        "--cache-dir", default=None,
+        help="cache root for --self-hosted (default: a fresh temp dir)",
+    )
+    load.add_argument(
+        "--max-concurrency", type=int, default=2,
+        help="job concurrency for --self-hosted (default 2)",
+    )
+    load.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the saturation curve as JSON to PATH",
+    )
+    load.add_argument(
+        "--pin", action="store_true",
+        help="drop machine-dependent wall-clock fields from --out "
+             "(byte-stable artifacts, e.g. benchmarks/BENCH_service.json)",
+    )
+    load.set_defaults(func=_cmd_load)
 
     return parser
 

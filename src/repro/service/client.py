@@ -1,0 +1,195 @@
+"""Blocking client for the sweep service's HTTP/IPC API.
+
+A deliberately small raw-socket HTTP/1.1 client (stdlib only) that works
+identically over TCP and Unix domain sockets — the one transport wrapper
+shared by ``repro load``, the load generator, the CI smoke test, and the
+test suite.  One request per connection, matching the server.
+
+Use :func:`parse_address` to accept either form from a CLI::
+
+    client = ServiceClient(parse_address("127.0.0.1:8642"))
+    client = ServiceClient(parse_address("/tmp/repro.sock"))
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Iterator
+
+from repro.api.spec import ExperimentSpec
+
+#: Address forms: ("tcp", host, port) or ("uds", path).
+Address = tuple
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def parse_address(text: str) -> Address:
+    """``"host:port"`` -> TCP address; anything with a ``/`` -> UDS path.
+
+    >>> parse_address("127.0.0.1:8642")
+    ('tcp', '127.0.0.1', 8642)
+    >>> parse_address("/tmp/repro.sock")
+    ('uds', '/tmp/repro.sock')
+    """
+    if "/" in text:
+        return ("uds", text)
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address must be host:port or a socket path, got {text!r}")
+    return ("tcp", host, int(port))
+
+
+class ServiceClient:
+    """Synchronous API client over one service address."""
+
+    def __init__(self, address: Address, timeout: float = 60.0) -> None:
+        self.address = address
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self.address[0] == "uds":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address[1])
+        else:
+            sock = socket.create_connection(
+                (self.address[1], self.address[2]), timeout=self.timeout
+            )
+        return sock
+
+    def _send(self, sock: socket.socket, method: str, path: str,
+              payload: dict | None) -> None:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: repro-service\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        sock.sendall(head + body)
+
+    @staticmethod
+    def _read_head(sock: socket.socket) -> tuple[int, dict, bytes]:
+        """Status, headers, and whatever body bytes arrived with the head."""
+        buffer = b""
+        while b"\r\n\r\n" not in buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("connection closed before response head")
+            buffer += chunk
+        head, _, rest = buffer.partition(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        status = int(status_line.split(" ")[1])
+        headers = {}
+        for line in header_lines:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, rest
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        with self._connect() as sock:
+            self._send(sock, method, path, payload)
+            status, headers, body = self._read_head(sock)
+            want = int(headers.get("content-length", -1))
+            while want < 0 or len(body) < want:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                body += chunk
+        document = json.loads(body.decode()) if body else {}
+        if status >= 400:
+            message = document.get("error", "") if isinstance(document, dict) else ""
+            raise ServiceError(status, message)
+        return document
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness document."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """The live metrics snapshot."""
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec: ExperimentSpec) -> dict:
+        """Submit a sweep; returns ``{"job": ..., "deduplicated": ...}``."""
+        return self._request("POST", "/jobs", {"spec": spec.to_dict()})
+
+    def jobs(self) -> list[dict]:
+        """All job summaries in submission order."""
+        return self._request("GET", "/jobs")
+
+    def job(self, job_id: str) -> dict:
+        """One job summary."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """A finished job's records + meta (409 while active)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit."""
+        return self._request("POST", "/shutdown")
+
+    def events(self, job_id: str, since: int = 0) -> list[dict]:
+        """Event snapshot (non-streaming)."""
+        return self._request("GET", f"/jobs/{job_id}/events?since={since}&stream=0")
+
+    def iter_events(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Live NDJSON event stream; ends when the job is terminal."""
+        with self._connect() as sock:
+            self._send(sock, "GET", f"/jobs/{job_id}/events?since={since}", None)
+            status, _headers, buffer = self._read_head(sock)
+            if status >= 400:
+                raise ServiceError(status, buffer.decode(errors="replace"))
+            while True:
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if line.strip():
+                        yield json.loads(line.decode())
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Follow the event stream until the job is terminal.
+
+        Falls back to polling if the stream drops; raises ``TimeoutError``
+        when the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            for _event in self.iter_events(job_id):
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"job {job_id} still active after {timeout}s")
+        except (ConnectionError, OSError):
+            pass
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still active after {timeout}s")
+            time.sleep(0.05)

@@ -1,0 +1,138 @@
+"""Hosting helpers: run the daemon in the foreground or on a thread.
+
+``repro serve`` fronts :func:`serve_forever`; everything that needs a
+short-lived in-process daemon — ``repro load --self-hosted``, the CI
+smoke test, ``benchmarks/bench_service.py``, the test suite — uses
+:class:`ThreadedService`, which hosts the full asyncio service + HTTP
+stack on a background thread and hands back a ready
+:class:`~repro.service.client.ServiceClient` address.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+
+from repro.api.cache import ExperimentCache
+from repro.service.client import Address, ServiceClient
+from repro.service.daemon import DEFAULT_CONCURRENCY, SweepService
+from repro.service.http import ServiceHTTPServer, start_http_server
+
+
+async def serve_forever(
+    cache: ExperimentCache | str | Path | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    uds: str | None = None,
+    max_concurrency: int = DEFAULT_CONCURRENCY,
+    announce=print,
+    ready: "asyncio.Event | None" = None,
+) -> None:
+    """Run a sweep service until ``POST /shutdown`` (or cancellation)."""
+    service = SweepService(cache=cache, max_concurrency=max_concurrency)
+    server = await start_http_server(service, host=host, port=port, uds=uds)
+    announce(
+        f"repro.service listening on {server.address} "
+        f"(cache: {service.engine.cache.root}, "
+        f"concurrency: {max_concurrency})"
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.aclose()
+
+
+class ThreadedService:
+    """A daemon on a background thread, for same-process tooling.
+
+    Context-manager use::
+
+        with ThreadedService(cache=tmpdir) as hosted:
+            client = ServiceClient(hosted.address)
+            ...
+
+    The thread owns its own event loop; ``stop()`` requests the same
+    graceful drain the ``/shutdown`` endpoint performs.
+    """
+
+    def __init__(
+        self,
+        cache: ExperimentCache | str | Path | None = None,
+        max_concurrency: int = DEFAULT_CONCURRENCY,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        uds: str | None = None,
+    ) -> None:
+        self._config = dict(
+            cache=cache, max_concurrency=max_concurrency,
+            host=host, port=port, uds=uds,
+        )
+        self._uds = uds
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: ServiceHTTPServer | None = None
+        self.service: SweepService | None = None
+        self.address: Address | None = None
+        self.error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+
+    async def _amain(self) -> None:
+        config = self._config
+        self._loop = asyncio.get_running_loop()
+        self.service = SweepService(
+            cache=config["cache"], max_concurrency=config["max_concurrency"]
+        )
+        self._server = await start_http_server(
+            self.service, host=config["host"], port=config["port"], uds=config["uds"]
+        )
+        if self._uds is not None:
+            self.address = ("uds", self._server.address)
+        else:
+            host, _, port = self._server.address.rpartition(":")
+            self.address = ("tcp", host, int(port))
+        self._ready.set()
+        await self._server.serve_until_shutdown()
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surface startup/runtime failures
+            self.error = error
+            self._ready.set()
+
+    def start(self) -> "ThreadedService":
+        """Spawn the daemon thread and block until it is accepting."""
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self.error is not None:
+            raise RuntimeError("service failed to start") from self.error
+        if self.address is None:
+            raise RuntimeError("service did not become ready within 30s")
+        return self
+
+    def client(self, timeout: float = 120.0) -> ServiceClient:
+        """A blocking client bound to this daemon."""
+        assert self.address is not None, "call start() first"
+        return ServiceClient(self.address, timeout=timeout)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful drain + shutdown; joins the thread."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None and self._server is not None:
+            self._loop.call_soon_threadsafe(self._server.shutdown_requested.set)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ThreadedService":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

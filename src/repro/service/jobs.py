@@ -1,0 +1,254 @@
+"""Job model and registry for the sweep service.
+
+A :class:`Job` wraps one submitted :class:`~repro.api.spec.ExperimentSpec`
+with its lifecycle state, an append-only progress event log, and (once
+finished) its :class:`~repro.api.records.ResultSet`.  The
+:class:`JobRegistry` owns admission: FIFO ordering, duplicate-spec
+deduplication (two in-flight submissions of the same spec share one
+job), and the queued -> running -> done/failed/cancelled transitions.
+
+Everything here is synchronous and loop-free — the asyncio daemon
+(:mod:`repro.service.daemon`) layers scheduling on top — so queue
+semantics are unit-testable without an event loop.
+
+>>> from repro.api.spec import ExperimentSpec
+>>> from repro.service.jobs import JobRegistry
+>>> registry = JobRegistry()
+>>> spec = ExperimentSpec(benchmarks=("mcf",), schemes=("base_dram",))
+>>> job, deduped = registry.submit(spec)
+>>> (job.id, job.state, deduped)
+('j-000001', 'queued', False)
+>>> again, deduped = registry.submit(spec)   # identical spec, still active
+>>> (again.id, deduped)
+('j-000001', True)
+>>> registry.queue_depth()
+1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Callable, Iterator
+
+from repro.api.records import ResultSet
+from repro.api.spec import ExperimentSpec
+
+#: Lifecycle states.  ``queued`` and ``running`` are *active* (dedup
+#: targets); the other three are terminal.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: States a duplicate submission attaches to.
+ACTIVE_STATES = frozenset({QUEUED, RUNNING})
+
+
+def spec_digest(spec: ExperimentSpec) -> str:
+    """Content identity of a spec for duplicate detection.
+
+    The ``name`` label never influences a spec's cells, so two specs
+    that differ only in their name are duplicates of each other.
+
+    >>> from repro.api.spec import ExperimentSpec
+    >>> a = ExperimentSpec(benchmarks=("mcf",), schemes=("base_dram",), name="a")
+    >>> b = ExperimentSpec(benchmarks=("mcf",), schemes=("base_dram",), name="b")
+    >>> spec_digest(a) == spec_digest(b)
+    True
+    """
+    payload = spec.to_dict()
+    payload.pop("name", None)
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+class Job:
+    """One submitted spec with lifecycle state and a progress event log.
+
+    Events are append-only dicts ``{"seq": n, "kind": ..., **payload}``;
+    ``seq`` starts at 1, so ``events_since(0)`` replays the full log.
+    Mutation goes through the ``mark_*`` methods, which validate the
+    state machine — an invalid transition raises ``RuntimeError`` rather
+    than silently corrupting the queue.
+    """
+
+    def __init__(self, job_id: str, spec: ExperimentSpec, clock: Callable[[], float]) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.digest = spec_digest(spec)
+        self.state = QUEUED
+        self.events: list[dict] = []
+        self.result: ResultSet | None = None
+        self.error: str | None = None
+        self.dedup_hits = 0
+        self.cancel_requested = False
+        self._clock = clock
+        self.submitted_at = clock()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.add_event("queued", cells=spec.n_cells)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def add_event(self, kind: str, **payload) -> dict:
+        """Append one progress event and return it."""
+        event = {"seq": len(self.events) + 1, "kind": kind, **payload}
+        self.events.append(event)
+        return event
+
+    def events_since(self, seq: int) -> list[dict]:
+        """Every event with ``seq`` strictly greater than ``seq``."""
+        return [event for event in self.events if event["seq"] > seq]
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+
+    def _transition(self, target: str, allowed: frozenset[str] | set[str]) -> None:
+        if self.state not in allowed:
+            raise RuntimeError(f"job {self.id}: cannot go {self.state} -> {target}")
+        self.state = target
+
+    def mark_running(self) -> None:
+        """queued -> running."""
+        self._transition(RUNNING, {QUEUED})
+        self.started_at = self._clock()
+        self.add_event("started")
+
+    def mark_done(self, result: ResultSet) -> None:
+        """running -> done, attaching the result."""
+        self._transition(DONE, {RUNNING})
+        self.result = result
+        self.finished_at = self._clock()
+        self.add_event("done", records=len(result), **result.meta)
+
+    def mark_failed(self, error: str) -> None:
+        """queued/running -> failed."""
+        self._transition(FAILED, ACTIVE_STATES)
+        self.error = error
+        self.finished_at = self._clock()
+        self.add_event("failed", error=error)
+
+    def mark_cancelled(self) -> None:
+        """queued/running -> cancelled (running jobs stop between groups)."""
+        self._transition(CANCELLED, ACTIVE_STATES)
+        self.finished_at = self._clock()
+        self.add_event("cancelled")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the job can never change state again."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-finish wall time in seconds (None while active)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (no records — fetch those via ``result``)."""
+        return {
+            "id": self.id,
+            "name": self.spec.name,
+            "state": self.state,
+            "digest": self.digest,
+            "cells": self.spec.n_cells,
+            "benchmarks": list(self.spec.benchmarks),
+            "seeds": list(self.spec.seeds),
+            "n_schemes": len(self.spec.schemes),
+            "dedup_hits": self.dedup_hits,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "events": len(self.events),
+            "latency_s": self.latency,
+        }
+
+
+class JobRegistry:
+    """Admission control: FIFO ordering, dedup, and state bookkeeping.
+
+    Args:
+        clock: Monotonic time source (injectable for deterministic
+            tests).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._counter = 0
+
+    def submit(self, spec: ExperimentSpec) -> tuple[Job, bool]:
+        """Admit a spec; returns ``(job, deduplicated)``.
+
+        A submission whose spec digest matches an *active* (queued or
+        running) job attaches to that job instead of creating a new one
+        — the warm-cache analogue at the queue level.  Terminal jobs
+        never absorb submissions: a re-submitted finished spec gets a
+        fresh job (which the engine then serves almost entirely from the
+        persistent result cache).
+        """
+        digest = spec_digest(spec)
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if job.digest == digest and job.state in ACTIVE_STATES:
+                job.dedup_hits += 1
+                return job, True
+        self._counter += 1
+        job = Job(f"j-{self._counter:06d}", spec, self._clock)
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        return job, False
+
+    def get(self, job_id: str) -> Job:
+        """Look a job up by id (KeyError for unknown ids)."""
+        return self._jobs[job_id]
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns False for terminal jobs.
+
+        Queued jobs cancel immediately.  Running jobs get
+        ``cancel_requested`` set and stop at the next benchmark-seed
+        group boundary.
+        """
+        job = self.get(job_id)
+        if job.is_terminal:
+            return False
+        job.cancel_requested = True
+        if job.state == QUEUED:
+            job.mark_cancelled()
+        return True
+
+    def __iter__(self) -> Iterator[Job]:
+        """Jobs in submission order."""
+        return iter(self._jobs[job_id] for job_id in self._order)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet running."""
+        return sum(1 for job in self if job.state == QUEUED)
+
+    def running_count(self) -> int:
+        """Jobs currently executing."""
+        return sum(1 for job in self if job.state == RUNNING)
+
+    def snapshot(self) -> list[dict]:
+        """Per-job summaries in submission order."""
+        return [job.snapshot() for job in self]

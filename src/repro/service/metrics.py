@@ -1,0 +1,171 @@
+"""Live service metrics: counters, gauges, and latency percentiles.
+
+:class:`ServiceMetrics` is the single accounting object behind the
+daemon's ``/metrics`` endpoint.  Counters are **monotonic** — they only
+ever increase, so scrapes can be differenced safely (the property
+``tests/service/test_metrics.py`` pins with hypothesis).  Gauges (queue
+depth, running jobs) are sampled by the caller at snapshot time, because
+only the scheduler knows them authoritatively.
+
+Job latencies accumulate into an integer millisecond histogram, and
+percentiles come from the repository's one nearest-rank implementation
+(:func:`repro.oram.path_oram.percentiles_from_histogram`) — the same
+helper the tenancy report uses, per its "consumers must not re-derive
+it" contract.
+
+>>> from repro.service.metrics import ServiceMetrics
+>>> ticks = iter([0.0, 10.0, 10.0])
+>>> metrics = ServiceMetrics(clock=lambda: next(ticks))
+>>> metrics.record_job_submitted()
+>>> metrics.record_cells(run=3, hits=1, functional_passes=1)
+>>> metrics.record_job_finished("done", latency_s=0.25)
+>>> snap = metrics.snapshot()          # clock now reads 10.0
+>>> (snap["jobs_completed"], snap["cells_run"], snap["cache_hit_rate"])
+(1, 3, 0.25)
+>>> snap["job_latency_ms"][99.0]
+250
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.oram.path_oram import DEFAULT_PERCENTILES, percentiles_from_histogram
+
+#: Counter names, in the order they render.  Every one is monotonic.
+COUNTER_NAMES = (
+    "jobs_submitted",
+    "jobs_deduplicated",
+    "jobs_started",
+    "jobs_completed",
+    "jobs_failed",
+    "jobs_cancelled",
+    "cells_serviced",
+    "cells_run",
+    "cache_hits",
+    "functional_passes",
+    "progress_events",
+)
+
+
+class ServiceMetrics:
+    """Monotonic counters plus a bounded-growth latency histogram.
+
+    Args:
+        clock: Monotonic time source; injectable so doctests and unit
+            tests see deterministic uptime/throughput values.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._started = clock()
+        self._counters = dict.fromkeys(COUNTER_NAMES, 0)
+        self._latency_hist = np.zeros(1, dtype=np.int64)
+        self._busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {name} can only increase, got {amount}")
+        self._counters[name] += amount
+
+    def record_job_submitted(self, deduplicated: bool = False) -> None:
+        """One admission; dedup attachments count both ways."""
+        self._bump("jobs_submitted")
+        if deduplicated:
+            self._bump("jobs_deduplicated")
+
+    def record_job_started(self) -> None:
+        """A job left the queue."""
+        self._bump("jobs_started")
+
+    def record_job_finished(self, state: str, latency_s: float | None = None) -> None:
+        """A job reached a terminal state (``done``/``failed``/``cancelled``)."""
+        key = {"done": "jobs_completed", "failed": "jobs_failed",
+               "cancelled": "jobs_cancelled"}.get(state)
+        if key is None:
+            raise ValueError(f"not a terminal job state: {state!r}")
+        self._bump(key)
+        if latency_s is not None:
+            self._record_latency_ms(int(round(latency_s * 1000.0)))
+
+    def record_cells(self, run: int = 0, hits: int = 0, functional_passes: int = 0) -> None:
+        """Account one executed benchmark-seed group."""
+        self._bump("cells_serviced", run + hits)
+        self._bump("cells_run", run)
+        self._bump("cache_hits", hits)
+        self._bump("functional_passes", functional_passes)
+
+    def record_progress_event(self) -> None:
+        """One per-job progress event was emitted."""
+        self._bump("progress_events")
+
+    def record_busy(self, seconds: float) -> None:
+        """Accumulate worker busy time (utilization numerator)."""
+        if seconds < 0:
+            raise ValueError(f"busy time cannot be negative, got {seconds}")
+        self._busy_seconds += seconds
+
+    def _record_latency_ms(self, ms: int) -> None:
+        ms = max(0, ms)
+        if ms >= self._latency_hist.size:
+            grown = np.zeros(ms + 1, dtype=np.int64)
+            grown[: self._latency_hist.size] = self._latency_hist
+            self._latency_hist = grown
+        self._latency_hist[ms] += 1
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Copy of the monotonic counters."""
+        return dict(self._counters)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of serviced cells satisfied by the result cache."""
+        serviced = self._counters["cells_serviced"]
+        return self._counters["cache_hits"] / serviced if serviced else 0.0
+
+    def job_latency_percentiles(self, qs=DEFAULT_PERCENTILES) -> dict[float, int]:
+        """Nearest-rank submit-to-finish percentiles in milliseconds."""
+        return percentiles_from_histogram(self._latency_hist, qs)
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        running_jobs: int = 0,
+        workers: int = 1,
+        extra: dict | None = None,
+    ) -> dict:
+        """JSON-ready metrics document (the ``/metrics`` payload).
+
+        Counters come from this object; gauges are the caller's — the
+        scheduler passes its live queue depth, running-job count, and
+        worker-slot count.
+        """
+        elapsed = max(self._clock() - self._started, 1e-9)
+        serviced = self._counters["cells_serviced"]
+        snap = {
+            **self.counters,
+            "uptime_s": elapsed,
+            "queue_depth": queue_depth,
+            "running_jobs": running_jobs,
+            "workers": workers,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "cells_per_second": serviced / elapsed,
+            "jobs_per_second": self._counters["jobs_completed"] / elapsed,
+            "worker_busy_s": self._busy_seconds,
+            "worker_utilization": min(self._busy_seconds / (elapsed * max(workers, 1)), 1.0),
+            "job_latency_ms": self.job_latency_percentiles(),
+        }
+        if extra:
+            snap.update(extra)
+        return snap

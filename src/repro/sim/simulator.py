@@ -94,7 +94,7 @@ class SecureProcessorSim:
         self.trace_store = trace_store
         self._miss_traces: dict[tuple, MissTrace] = {}
         #: (store id, key) pairs known to be present in that store.
-        self._synced: set[tuple[int, str]] = set()
+        self._synced: set[tuple[object, str]] = set()
 
     def _store_key(self, *parts: object) -> str:
         """Stable string key for the persistent store (config-qualified)."""
@@ -115,7 +115,7 @@ class SecureProcessorSim:
         store = self.trace_store
         if store is None:
             return
-        marker = (id(store), store_key)
+        marker = (self._store_identity(store), store_key)
         if marker in self._synced:
             return
         present = store.has(store_key) if hasattr(store, "has") else (
@@ -124,6 +124,19 @@ class SecureProcessorSim:
         if not present:
             store.put(store_key, trace)
         self._synced.add(marker)
+
+    @staticmethod
+    def _store_identity(store: TraceStore) -> object:
+        """Durable identity for the sync markers.
+
+        ``id(store)`` alone is unsafe: a store object can be garbage
+        collected and its id reused by a *different* store (e.g. two
+        short-lived cache directories in one process), which would make
+        the sync marker silently skip the backfill.  Prefer the store's
+        root path — stable and collision-free per directory.
+        """
+        root = getattr(store, "root", None)
+        return str(root) if root is not None else id(store)
 
     def _cached_pass(self, key: tuple, store_key: str, compute) -> MissTrace:
         """Memory -> store -> compute lookup chain for functional passes."""
@@ -136,9 +149,13 @@ class SecureProcessorSim:
             trace = compute()
             if self.trace_store is not None:
                 self.trace_store.put(store_key, trace)
-                self._synced.add((id(self.trace_store), store_key))
+                self._synced.add(
+                    (self._store_identity(self.trace_store), store_key)
+                )
         else:
-            self._synced.add((id(self.trace_store), store_key))
+            self._synced.add(
+                (self._store_identity(self.trace_store), store_key)
+            )
         self._miss_traces[key] = trace
         return trace
 

@@ -1,5 +1,7 @@
 """Shared-memory miss-trace hand-off: round trips, lifecycle, fallback."""
 
+import os
+
 import numpy as np
 
 from repro.api.backends import ProcessPoolBackend, SerialBackend
@@ -78,6 +80,59 @@ class TestArenaRoundTrip:
         arena = SharedTraceArena()
         assert arena.publish("x", make_trace()) is None
         assert attach_miss_trace({"segment": "nope"}) is None
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+class TestArenaLeakSafety:
+    """Segments must not outlive the arena, even without close()."""
+
+    def test_gc_without_close_unlinks_segments(self):
+        import gc
+
+        arena = SharedTraceArena()
+        descriptor = arena.publish("leak-gc", make_trace())
+        name = descriptor["segment"]
+        assert _segment_exists(name)
+        # Simulate the abnormal path: the arena is dropped (backend
+        # raised mid-dispatch) without anyone calling close().
+        del arena
+        gc.collect()
+        assert not _segment_exists(name)
+
+    def test_close_is_idempotent_and_rearms(self):
+        arena = SharedTraceArena()
+        first = arena.publish("rearm", make_trace())
+        arena.close()
+        arena.close()  # idempotent
+        assert not _segment_exists(first["segment"])
+        # The arena stays usable after close(), and the re-armed
+        # finalizer covers the new segments too.
+        second = arena.publish("rearm", make_trace())
+        assert _segment_exists(second["segment"])
+        arena.close()
+        assert not _segment_exists(second["segment"])
+
+    def test_pool_run_leaves_no_segments_behind(self):
+        reset_local_sims()
+        # Warm the parent so the pool run publishes traces via shm.
+        Engine(backend=SerialBackend()).run(SPEC, use_cache=False)
+        Engine(backend=ProcessPoolBackend(max_workers=2)).run(SPEC, use_cache=False)
+        reset_local_sims()
+        shm_dir = "/dev/shm"
+        if os.path.isdir(shm_dir):  # Linux: check the segment namespace
+            prefix = f"rt-{os.getpid():x}-"
+            leaked = [n for n in os.listdir(shm_dir) if n.startswith(prefix)]
+            assert leaked == []
 
 
 SPEC = ExperimentSpec(

@@ -1,0 +1,180 @@
+"""Job lifecycle and registry semantics: ordering, dedup, cancellation."""
+
+import pytest
+
+from repro.api.records import ResultSet
+from repro.api.spec import ExperimentSpec
+from repro.service.jobs import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobRegistry,
+    spec_digest,
+)
+
+
+def make_spec(name="s", benchmarks=("mcf",), schemes=("base_dram",), seeds=(0,)):
+    return ExperimentSpec(
+        name=name, benchmarks=benchmarks, schemes=schemes, seeds=seeds,
+        n_instructions=10_000,
+    )
+
+
+def empty_result(spec):
+    return ResultSet(records=(), spec=spec, meta={"backend": "test"})
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpecDigest:
+    def test_name_does_not_change_identity(self):
+        assert spec_digest(make_spec(name="a")) == spec_digest(make_spec(name="b"))
+
+    def test_cell_fields_do_change_identity(self):
+        assert spec_digest(make_spec(seeds=(0,))) != spec_digest(make_spec(seeds=(1,)))
+        assert spec_digest(make_spec()) != spec_digest(
+            make_spec(schemes=("static:300",))
+        )
+
+
+class TestOrdering:
+    def test_fifo_ids_and_iteration_order(self):
+        registry = JobRegistry()
+        ids = [registry.submit(make_spec(seeds=(s,)))[0].id for s in range(5)]
+        assert ids == [f"j-{n:06d}" for n in range(1, 6)]
+        assert [job.id for job in registry] == ids
+        assert len(registry) == 5
+        assert registry.queue_depth() == 5
+        assert registry.running_count() == 0
+
+    def test_snapshot_preserves_submission_order(self):
+        registry = JobRegistry()
+        for s in range(3):
+            registry.submit(make_spec(name=f"n{s}", seeds=(s,)))
+        names = [row["name"] for row in registry.snapshot()]
+        assert names == ["n0", "n1", "n2"]
+
+
+class TestDeduplication:
+    def test_duplicate_active_spec_attaches(self):
+        registry = JobRegistry()
+        first, deduped_first = registry.submit(make_spec(name="a"))
+        again, deduped_again = registry.submit(make_spec(name="b"))  # same cells
+        assert not deduped_first and deduped_again
+        assert again is first
+        assert first.dedup_hits == 1
+        assert len(registry) == 1
+
+    def test_duplicate_attaches_while_running(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        job.mark_running()
+        again, deduped = registry.submit(make_spec())
+        assert deduped and again is job
+
+    def test_terminal_job_never_absorbs_resubmission(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        job.mark_running()
+        job.mark_done(empty_result(job.spec))
+        fresh, deduped = registry.submit(make_spec())
+        assert not deduped
+        assert fresh.id != job.id
+
+    def test_distinct_specs_never_dedup(self):
+        registry = JobRegistry()
+        registry.submit(make_spec(seeds=(0,)))
+        other, deduped = registry.submit(make_spec(seeds=(1,)))
+        assert not deduped and other.id == "j-000002"
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        assert registry.cancel(job.id)
+        assert job.state == CANCELLED and job.is_terminal
+
+    def test_cancel_running_sets_flag_only(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        job.mark_running()
+        assert registry.cancel(job.id)
+        assert job.state == RUNNING and job.cancel_requested
+        job.mark_cancelled()  # the scheduler acts on the flag
+        assert job.state == CANCELLED
+
+    def test_cancel_terminal_returns_false(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        registry.cancel(job.id)
+        assert not registry.cancel(job.id)
+
+    def test_cancelled_job_frees_the_digest_for_new_jobs(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        registry.cancel(job.id)
+        fresh, deduped = registry.submit(make_spec())
+        assert not deduped and fresh.id != job.id
+
+
+class TestStateMachine:
+    def test_states_partition(self):
+        assert TERMINAL_STATES == {DONE, FAILED, CANCELLED}
+        assert ACTIVE_STATES == {QUEUED, RUNNING}
+        assert not (TERMINAL_STATES & ACTIVE_STATES)
+
+    def test_invalid_transitions_raise(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        with pytest.raises(RuntimeError):
+            job.mark_done(empty_result(job.spec))  # queued -> done is illegal
+        job.mark_running()
+        with pytest.raises(RuntimeError):
+            job.mark_running()
+        job.mark_failed("boom")
+        with pytest.raises(RuntimeError):
+            job.mark_cancelled()
+        assert job.error == "boom"
+
+    def test_latency_uses_injected_clock(self):
+        clock = FakeClock()
+        registry = JobRegistry(clock=clock)
+        job, _ = registry.submit(make_spec())
+        assert job.latency is None
+        clock.now = 1.0
+        job.mark_running()
+        clock.now = 3.5
+        job.mark_done(empty_result(job.spec))
+        assert job.latency == pytest.approx(3.5)
+
+
+class TestEvents:
+    def test_event_log_is_append_only_with_dense_seq(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        job.mark_running()
+        job.add_event("progress", benchmark="mcf", seed=0)
+        job.mark_done(empty_result(job.spec))
+        seqs = [event["seq"] for event in job.events]
+        assert seqs == list(range(1, len(job.events) + 1))
+        kinds = [event["kind"] for event in job.events]
+        assert kinds == ["queued", "started", "progress", "done"]
+
+    def test_events_since_is_exclusive(self):
+        registry = JobRegistry()
+        job, _ = registry.submit(make_spec())
+        job.mark_running()
+        assert [e["kind"] for e in job.events_since(0)] == ["queued", "started"]
+        assert [e["kind"] for e in job.events_since(1)] == ["started"]
+        assert job.events_since(2) == []

@@ -1,0 +1,148 @@
+"""Load generator: deterministic plans, report math, live saturation."""
+
+import json
+
+import pytest
+
+from repro.service import ThreadedService
+from repro.service.loadgen import (
+    LoadProfile,
+    LoadReport,
+    default_templates,
+    run_load,
+    run_saturation,
+)
+
+TEMPLATES = default_templates(n_instructions=20_000)
+
+
+class TestTemplates:
+    def test_pool_shares_one_lattice_with_distinct_schemes(self):
+        scheme_sets = {template.schemes for template in TEMPLATES}
+        assert len(scheme_sets) == len(TEMPLATES)  # all-distinct work
+        lattices = {
+            (template.benchmarks, template.seeds, template.n_instructions)
+            for template in TEMPLATES
+        }
+        assert len(lattices) == 1  # one shared functional-pass lattice
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            default_templates(n_templates=0)
+
+
+class TestLoadProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadProfile(clients=0)
+        with pytest.raises(ValueError):
+            LoadProfile(mode="bursty")
+        with pytest.raises(ValueError):
+            LoadProfile(templates=())
+
+    def test_plans_are_deterministic_and_distinct_per_client(self):
+        profile = LoadProfile(clients=3, requests_per_client=8,
+                              mode="open", templates=TEMPLATES, seed=7)
+        first = [profile.client_plan(c) for c in range(3)]
+        second = [profile.client_plan(c) for c in range(3)]
+        for (a_times, a_idx), (b_times, b_idx) in zip(first, second):
+            assert (a_times == b_times).all() and (a_idx == b_idx).all()
+        # Distinct clients draw distinct streams.
+        assert not (first[0][1] == first[1][1]).all() or not (
+            first[0][0] == first[1][0]
+        ).all()
+
+    def test_closed_loop_collapses_arrivals(self):
+        profile = LoadProfile(clients=1, requests_per_client=5,
+                              mode="closed", templates=TEMPLATES)
+        arrivals, indices = profile.client_plan(0)
+        assert (arrivals == 0.0).all()
+        assert len(indices) == 5
+        assert all(0 <= i < len(TEMPLATES) for i in indices)
+
+    def test_expected_passes_is_the_lattice_size(self):
+        assert LoadProfile(templates=TEMPLATES).expected_passes() == 2
+        wide = default_templates(seeds=(0, 1), n_instructions=20_000)
+        assert LoadProfile(templates=wide).expected_passes() == 4
+
+    def test_planned_cells_sums_template_draws(self):
+        profile = LoadProfile(clients=2, requests_per_client=3,
+                              templates=TEMPLATES)
+        total = profile.planned_cells()
+        per_spec = {t.n_cells for t in TEMPLATES}
+        assert total >= min(per_spec) * profile.total_requests
+        assert total <= max(per_spec) * profile.total_requests
+
+
+class TestLoadReportMath:
+    def make_report(self, fresh=2, expected=2, latencies=(10, 20, 30, 1000)):
+        return LoadReport(
+            profile_summary={"clients": 2}, duration_s=2.0,
+            jobs_submitted=4, jobs_completed=4, jobs_failed=0, deduplicated=1,
+            latencies_ms=latencies,
+            metrics_delta={"functional_passes": fresh},
+            expected_passes=expected, planned_cells=24,
+        )
+
+    def test_redundant_passes_floor_at_zero(self):
+        assert self.make_report(fresh=2, expected=2).redundant_passes == 0
+        assert self.make_report(fresh=1, expected=2).redundant_passes == 0
+        assert self.make_report(fresh=5, expected=2).redundant_passes == 3
+
+    def test_percentiles_are_nearest_rank(self):
+        pct = self.make_report().latency_percentiles()
+        assert pct[50.0] == 20 and pct[99.0] == 1000
+
+    def test_deterministic_dict_drops_wall_clock_fields(self):
+        row = self.make_report().to_dict(deterministic=True)
+        assert "duration_s" not in row and "latency_ms" not in row
+        assert row["redundant_passes"] == 0
+        full = self.make_report().to_dict()
+        assert full["throughput_jobs_s"] == pytest.approx(2.0)
+
+
+class TestLiveLoad:
+    def test_closed_loop_run_has_zero_redundant_passes(self, tmp_path):
+        with ThreadedService(cache=tmp_path / "cache", max_concurrency=2) as hosted:
+            profile = LoadProfile(clients=4, requests_per_client=2,
+                                  templates=TEMPLATES)
+            report = run_load(hosted.address, profile)
+        assert report.jobs_completed == 8 and report.jobs_failed == 0
+        assert report.functional_passes_new == report.expected_passes == 2
+        assert report.redundant_passes == 0
+
+    def test_open_loop_run_completes(self, tmp_path):
+        with ThreadedService(cache=tmp_path / "cache", max_concurrency=2) as hosted:
+            profile = LoadProfile(clients=2, requests_per_client=2, mode="open",
+                                  mean_gap_s=0.01, templates=TEMPLATES)
+            report = run_load(hosted.address, profile)
+        assert report.jobs_completed == 4
+        assert report.redundant_passes == 0
+
+    def test_saturation_curve_only_pays_passes_at_level_one(self, tmp_path):
+        with ThreadedService(cache=tmp_path / "cache", max_concurrency=2) as hosted:
+            curve = run_saturation(
+                hosted.address, levels=(1, 2),
+                base_profile=LoadProfile(requests_per_client=2,
+                                         templates=TEMPLATES),
+            )
+        assert curve.levels[0].functional_passes_new == 2
+        assert curve.levels[1].functional_passes_new == 0
+        assert curve.total_redundant_passes == 0
+        rendered = curve.render()
+        assert "Service saturation curve" in rendered and "OK" in rendered
+
+    def test_saturation_json_is_pinned_and_stable(self, tmp_path):
+        with ThreadedService(cache=tmp_path / "cache", max_concurrency=2) as hosted:
+            curve = run_saturation(
+                hosted.address, levels=(1,),
+                base_profile=LoadProfile(requests_per_client=2,
+                                         templates=TEMPLATES),
+            )
+        out = tmp_path / "curve.json"
+        curve.save_json(out, deterministic=True)
+        document = json.loads(out.read_text())
+        assert document["total_redundant_passes"] == 0
+        level = document["levels"][0]
+        assert level["expected_passes"] == 2
+        assert "duration_s" not in level  # wall clock never pins

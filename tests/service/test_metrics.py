@@ -1,0 +1,119 @@
+"""Metrics accounting: monotonic counters, rates, latency percentiles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.metrics import COUNTER_NAMES, ServiceMetrics
+
+
+def make_metrics(ticks=(0.0, 100.0)):
+    stream = iter(ticks)
+    return ServiceMetrics(clock=lambda: next(stream, ticks[-1]))
+
+
+class TestCounters:
+    def test_all_counters_start_at_zero(self):
+        metrics = make_metrics()
+        assert metrics.counters == dict.fromkeys(COUNTER_NAMES, 0)
+
+    def test_submission_and_dedup(self):
+        metrics = make_metrics()
+        metrics.record_job_submitted()
+        metrics.record_job_submitted(deduplicated=True)
+        assert metrics.counters["jobs_submitted"] == 2
+        assert metrics.counters["jobs_deduplicated"] == 1
+
+    def test_terminal_states_route_to_their_counter(self):
+        metrics = make_metrics()
+        metrics.record_job_finished("done")
+        metrics.record_job_finished("failed")
+        metrics.record_job_finished("cancelled")
+        counters = metrics.counters
+        assert counters["jobs_completed"] == 1
+        assert counters["jobs_failed"] == 1
+        assert counters["jobs_cancelled"] == 1
+        with pytest.raises(ValueError):
+            metrics.record_job_finished("queued")
+
+    def test_negative_amounts_rejected(self):
+        metrics = make_metrics()
+        with pytest.raises(ValueError):
+            metrics.record_cells(run=-1)
+        with pytest.raises(ValueError):
+            metrics.record_busy(-0.1)
+
+    def test_cells_accounting_and_hit_rate(self):
+        metrics = make_metrics()
+        assert metrics.cache_hit_rate() == 0.0
+        metrics.record_cells(run=6, hits=2, functional_passes=2)
+        assert metrics.counters["cells_serviced"] == 8
+        assert metrics.cache_hit_rate() == pytest.approx(0.25)
+
+
+# One recording action per hypothesis step; every one may only grow counters.
+_ACTIONS = st.sampled_from([
+    ("submit", lambda m: m.record_job_submitted()),
+    ("submit_dedup", lambda m: m.record_job_submitted(deduplicated=True)),
+    ("start", lambda m: m.record_job_started()),
+    ("done", lambda m: m.record_job_finished("done", latency_s=0.01)),
+    ("fail", lambda m: m.record_job_finished("failed")),
+    ("cancel", lambda m: m.record_job_finished("cancelled", latency_s=0.5)),
+    ("cells", lambda m: m.record_cells(run=2, hits=1, functional_passes=1)),
+    ("event", lambda m: m.record_progress_event()),
+    ("busy", lambda m: m.record_busy(0.1)),
+])
+
+
+class TestMonotonicity:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_ACTIONS, max_size=40))
+    def test_every_counter_is_monotonic(self, actions):
+        metrics = ServiceMetrics(clock=lambda: 0.0)
+        previous = metrics.counters
+        for _name, action in actions:
+            action(metrics)
+            current = metrics.counters
+            assert all(
+                current[key] >= previous[key] for key in COUNTER_NAMES
+            ), f"counter regressed after {_name}"
+            previous = current
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0), max_size=30))
+    def test_latency_histogram_counts_every_sample(self, latencies):
+        metrics = ServiceMetrics(clock=lambda: 0.0)
+        for latency in latencies:
+            metrics.record_job_finished("done", latency_s=latency)
+        assert int(metrics._latency_hist.sum()) == len(latencies)
+
+
+class TestSnapshot:
+    def test_rates_use_injected_clock(self):
+        metrics = make_metrics(ticks=(0.0, 10.0))
+        for _ in range(5):
+            metrics.record_job_finished("done", latency_s=0.1)
+        metrics.record_cells(run=20)
+        metrics.record_busy(15.0)
+        snap = metrics.snapshot(queue_depth=3, running_jobs=2, workers=2)
+        assert snap["uptime_s"] == pytest.approx(10.0)
+        assert snap["jobs_per_second"] == pytest.approx(0.5)
+        assert snap["cells_per_second"] == pytest.approx(2.0)
+        assert snap["worker_utilization"] == pytest.approx(0.75)
+        assert (snap["queue_depth"], snap["running_jobs"], snap["workers"]) == (3, 2, 2)
+
+    def test_utilization_is_clamped_to_one(self):
+        metrics = make_metrics(ticks=(0.0, 1.0))
+        metrics.record_busy(50.0)
+        assert metrics.snapshot(workers=1)["worker_utilization"] == 1.0
+
+    def test_percentiles_are_nearest_rank_ms(self):
+        metrics = make_metrics()
+        for ms in (10, 20, 1000):
+            metrics.record_job_finished("done", latency_s=ms / 1000.0)
+        pct = metrics.job_latency_percentiles()
+        assert pct[50.0] == 20
+        assert pct[99.0] == 1000
+
+    def test_extra_keys_pass_through(self):
+        snap = make_metrics().snapshot(extra={"accepting": True, "gauge": 7})
+        assert snap["accepting"] is True and snap["gauge"] == 7
