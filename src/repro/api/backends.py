@@ -18,8 +18,11 @@ work happens:
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
 from typing import Protocol, Sequence
 
@@ -35,7 +38,15 @@ from repro.api.execution import (
 from repro.api.shm import SharedTraceArena
 from repro.api.records import RunRecord
 from repro.api.spec import Cell
+from repro.faults import counters
 from repro.sim.simulator import SecureProcessorSim
+
+#: Attempts a batch gets before its cells are quarantined as poison.
+DEFAULT_MAX_BATCH_ATTEMPTS = 3
+
+#: First retry backoff; doubles per retry round, capped below.
+DEFAULT_RETRY_BACKOFF_S = 0.05
+RETRY_BACKOFF_CAP_S = 2.0
 
 
 def default_start_method() -> str:
@@ -50,11 +61,17 @@ def default_start_method() -> str:
 
 
 class ExecutionBackend(Protocol):
-    """Anything that can run a batch of cells."""
+    """Anything that can run a batch of cells.
+
+    Returned records align with ``cells`` by index.  An entry may be
+    ``None`` when the backend quarantined that cell as poison after
+    repeated worker crashes — the engine drops those from the ResultSet
+    and reports them in ``meta["cells_poisoned"]``.
+    """
 
     def run_cells(
         self, cells: Sequence[Cell], cache: ExperimentCache | None = None
-    ) -> list[RunRecord]: ...
+    ) -> list[RunRecord | None]: ...
 
 
 class SerialBackend:
@@ -154,8 +171,19 @@ class SerialBackend:
         return records
 
 
+@dataclass
+class _BatchState:
+    """One cell group's dispatch state across pool-crash retries."""
+
+    indices: list[int]
+    batch: list[Cell]
+    attempts: int = 0
+    records: list[RunRecord] | None = None
+    poisoned: bool = field(default=False)
+
+
 class ProcessPoolBackend:
-    """Shard cells across worker processes.
+    """Shard cells across worker processes, surviving worker crashes.
 
     Cells are grouped by functional-pass identity (benchmark, input,
     seed, budget) and each group runs in one worker, so the expensive
@@ -167,13 +195,29 @@ class ProcessPoolBackend:
     the engine sorts records canonically, so a pool run's ResultSet is
     identical to a serial run's for the same spec.
 
+    **Crash recovery.**  A worker death (segfault, OOM kill, fault
+    injection) surfaces as :class:`BrokenProcessPool`; the backend
+    re-creates the pool and retries every lost group with capped
+    exponential backoff.  Retry rounds run one fresh single-group pool
+    per batch so failure attribution is exact — a pool break condemns
+    only the group that crashed it, not innocent batches that shared the
+    first pool.  After ``max_batch_attempts`` crashes a group's cells
+    are quarantined as *poison*: their records come back ``None``, the
+    rest of the sweep completes, and ``cells_poisoned`` counts the loss.
+    Completed groups are never re-run, so recovery adds zero redundant
+    work beyond the crashed cells themselves.
+
     Args:
         max_workers: Pool size (default: ``os.cpu_count()``, capped at
             the number of cell groups).
         start_method: ``"fork"`` where available (cheap on Linux), else
             ``"spawn"``; override for debugging.
-        chunksize: Cell groups per task message; larger values amortize
-            IPC for big sweeps of small groups.
+        chunksize: Retained for API compatibility; groups are submitted
+            individually so crashed ones can be retried.
+        max_batch_attempts: Worker crashes a group survives before its
+            cells are poisoned (>= 1).
+        retry_backoff_s: First retry delay; doubles each retry round,
+            capped at :data:`RETRY_BACKOFF_CAP_S`.
     """
 
     name = "process_pool"
@@ -183,16 +227,55 @@ class ProcessPoolBackend:
         max_workers: int | None = None,
         start_method: str | None = None,
         chunksize: int = 1,
+        max_batch_attempts: int = DEFAULT_MAX_BATCH_ATTEMPTS,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     ) -> None:
         if start_method is None:
             start_method = default_start_method()
+        if max_batch_attempts < 1:
+            raise ValueError(f"max_batch_attempts must be >= 1, got {max_batch_attempts}")
+        if retry_backoff_s < 0:
+            raise ValueError(f"retry_backoff_s cannot be negative, got {retry_backoff_s}")
         self.max_workers = max_workers
         self.start_method = start_method
         self.chunksize = chunksize
+        self.max_batch_attempts = max_batch_attempts
+        self.retry_backoff_s = retry_backoff_s
+
+    def _make_pool(self, workers: int, cache_root: str | None,
+                   shm_traces: dict[str, dict]) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=get_context(self.start_method),
+            initializer=_init_worker,
+            initargs=(cache_root, shm_traces),
+        )
+
+    def _dispatch_round(
+        self,
+        states: list[_BatchState],
+        workers: int,
+        cache_root: str | None,
+        shm_traces: dict[str, dict],
+    ) -> list[_BatchState]:
+        """Run one pool over ``states``; returns the groups that crashed."""
+        with self._make_pool(workers, cache_root, shm_traces) as pool:
+            futures = [
+                (state, pool.submit(_execute_batch_in_worker, state.batch))
+                for state in states
+            ]
+            crashed: list[_BatchState] = []
+            for state, future in futures:
+                state.attempts += 1
+                try:
+                    state.records = future.result()
+                except BrokenProcessPool:
+                    crashed.append(state)
+        return crashed
 
     def run_cells(
         self, cells: Sequence[Cell], cache: ExperimentCache | None = None
-    ) -> list[RunRecord]:
+    ) -> list[RunRecord | None]:
         """Execute cells on the pool, preserving submission order."""
         cells = list(cells)
         if not cells:
@@ -205,7 +288,10 @@ class ProcessPoolBackend:
             # A one-worker pool is pure overhead; run inline instead.
             return SerialBackend().run_cells(cells, cache)
         cache_root = str(cache.traces.root) if cache else None
-        batches = [[cells[i] for i in indices] for indices in groups.values()]
+        states = [
+            _BatchState(indices=indices, batch=[cells[i] for i in indices])
+            for indices in groups.values()
+        ]
         # Groups whose miss trace the parent already holds (warm sims or
         # a persistent-cache hit) ship it through shared memory instead
         # of making the worker recompute or re-unpickle it; cold groups
@@ -213,8 +299,8 @@ class ProcessPoolBackend:
         arena = SharedTraceArena()
         shm_traces: dict[str, dict] = {}
         try:
-            for batch in batches:
-                head = batch[0]
+            for state in states:
+                head = state.batch[0]
                 trace = lookup_cached_trace(head, cache)
                 if trace is not None:
                     descriptor = arena.publish(
@@ -222,22 +308,50 @@ class ProcessPoolBackend:
                     )
                     if descriptor is not None:
                         shm_traces[str(functional_pass_key(head))] = descriptor
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=get_context(self.start_method),
-                initializer=_init_worker,
-                initargs=(cache_root, shm_traces),
-            ) as pool:
-                batch_results = list(
-                    pool.map(
-                        _execute_batch_in_worker, batches, chunksize=self.chunksize
+
+            pending = self._dispatch_round(states, workers, cache_root, shm_traces)
+            retry_round = 0
+            while pending:
+                counters.bump("pool_rebuilds")
+                survivors: list[_BatchState] = []
+                for state in pending:
+                    if state.attempts >= self.max_batch_attempts:
+                        # Deterministic crasher: quarantine the group as
+                        # poison instead of aborting the whole sweep.
+                        state.poisoned = True
+                        counters.bump("cells_poisoned", len(state.batch))
+                        warnings.warn(
+                            f"ProcessPoolBackend: poisoned {len(state.batch)} cell(s) "
+                            f"of group {functional_pass_key(state.batch[0])} after "
+                            f"{state.attempts} worker crashes",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                    else:
+                        counters.bump("worker_retries")
+                        survivors.append(state)
+                if not survivors:
+                    break
+                if self.retry_backoff_s:
+                    time.sleep(min(
+                        self.retry_backoff_s * 2 ** retry_round, RETRY_BACKOFF_CAP_S
+                    ))
+                retry_round += 1
+                # One single-group pool per crashed batch: exact failure
+                # attribution (a shared pool's break condemns every
+                # in-flight future, innocent or not).
+                pending = []
+                for state in survivors:
+                    pending.extend(
+                        self._dispatch_round([state], 1, cache_root, shm_traces)
                     )
-                )
         finally:
             arena.close()
         records: list[RunRecord | None] = [None] * len(cells)
-        for indices, batch in zip(groups.values(), batch_results):
-            for index, record in zip(indices, batch):
+        for state in states:
+            if state.records is None:
+                continue
+            for index, record in zip(state.indices, state.records):
                 records[index] = record
         return records
 

@@ -12,9 +12,14 @@ Two content-addressed stores under one root directory:
   the spec cell's content hash, so a warm repeated sweep runs nothing at
   all.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent pool
-workers may race on the same key without corrupting entries; unreadable
-entries are treated as misses and recomputed.
+Writes are atomic **and durable** (temp file + ``fsync`` +
+``os.replace``), so concurrent pool workers may race on the same key
+without corrupting entries and a host crash cannot persist a torn
+artifact.  Corrupt entries — truncated pickles, bad JSON, wrong shapes —
+are never silently discarded: they move to a ``quarantine/`` sibling
+directory (evidence for triage), count into
+``repro.faults.counters.artifacts_quarantined``, and the key reads as a
+miss so the artifact is recomputed.
 """
 
 from __future__ import annotations
@@ -28,9 +33,14 @@ from pathlib import Path
 from repro.api.records import RunRecord
 from repro.api.spec import TRACE_SCHEMA_VERSION
 from repro.cpu.trace import MissTrace
+from repro.faults import counters
+from repro.faults.plan import corrupt_bytes
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory (per store) where corrupt artifacts are preserved.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -42,19 +52,63 @@ def default_cache_dir() -> Path:
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write via a sibling temp file so readers never see partial entries."""
+    """Write via a sibling temp file so readers never see partial entries.
+
+    The temp file is fsync'd *before* ``os.replace`` — without it a host
+    crash can replace the entry with zero-length or torn bytes that the
+    digest check would then silently discard forever.  The directory
+    entry is fsync'd best-effort afterwards (rename durability).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass  # platform without directory fsync; file bytes are safe
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+def quarantine_artifact(path: Path) -> Path | None:
+    """Move a corrupt artifact into its store's ``quarantine/`` subdir.
+
+    Keeps every generation (suffixing duplicates) so repeated corruption
+    of one key never destroys evidence.  Returns the quarantine path, or
+    None when the file vanished or could not be moved (a concurrent
+    reader may have quarantined it first — that reader counted it).
+    """
+    if not path.is_file():
+        return None
+    target_dir = path.parent / QUARANTINE_DIR
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    target = target_dir / path.name
+    generation = 0
+    while target.exists():
+        generation += 1
+        target = target_dir / f"{path.name}.{generation}"
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    counters.bump("artifacts_quarantined")
+    return target
 
 
 class TraceCache:
@@ -76,18 +130,28 @@ class TraceCache:
         return self.root / f"v{TRACE_SCHEMA_VERSION}-{key}.pkl"
 
     def get(self, key: str) -> MissTrace | None:
-        """Load a trace, or None on miss/corruption."""
+        """Load a trace; None on miss, quarantine-then-None on corruption."""
         path = self._path(key)
         try:
-            with open(path, "rb") as handle:
-                trace = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            payload = path.read_bytes()
+        except OSError:
+            return None  # plain miss — nothing on disk for this key
+        try:
+            trace = pickle.loads(payload)
+        except Exception:
+            # Truncated/zero-length pickle, torn write, unpicklable
+            # garbage: preserve the evidence and recompute.
+            quarantine_artifact(path)
             return None
-        return trace if isinstance(trace, MissTrace) else None
+        if not isinstance(trace, MissTrace):
+            quarantine_artifact(path)
+            return None
+        return trace
 
     def put(self, key: str, trace: MissTrace) -> None:
         """Persist a trace under its digest."""
-        _atomic_write_bytes(self._path(key), pickle.dumps(trace, protocol=4))
+        payload = corrupt_bytes("cache-write-trace", pickle.dumps(trace, protocol=4))
+        _atomic_write_bytes(self._path(key), payload)
 
     def has(self, key: str) -> bool:
         """Cheap existence check (no deserialization)."""
@@ -113,17 +177,26 @@ class ResultCache:
         return self.root / f"{cell_hash}.json"
 
     def get(self, cell_hash: str) -> RunRecord | None:
-        """Load a record, or None on miss/corruption."""
+        """Load a record; None on miss, quarantine-then-None on corruption."""
+        path = self._path(cell_hash)
         try:
-            payload = json.loads(self._path(cell_hash).read_text())
-            return RunRecord.from_dict(payload)
-        except (OSError, ValueError, TypeError, KeyError):
+            text = path.read_text()
+        except OSError:
+            return None  # plain miss
+        try:
+            return RunRecord.from_dict(json.loads(text))
+        except (ValueError, TypeError, KeyError):
+            # Bad JSON, wrong schema/shape, zero-length file: quarantine
+            # and let the engine recompute the cell.
+            quarantine_artifact(path)
             return None
 
     def put(self, cell_hash: str, record: RunRecord) -> None:
         """Persist a record under its cell hash (strict RFC-8259 JSON)."""
         payload = json.dumps(record.to_dict(), sort_keys=True, allow_nan=False)
-        _atomic_write_bytes(self._path(cell_hash), payload.encode())
+        _atomic_write_bytes(
+            self._path(cell_hash), corrupt_bytes("cache-write-result", payload.encode())
+        )
 
 
 class ExperimentCache:

@@ -60,19 +60,28 @@ class Engine:
             pending = cells
 
         fresh = self.backend.run_cells(pending, self.cache) if pending else []
+        # A backend may return None for cells it quarantined as poison
+        # after repeated worker crashes; the sweep completes without
+        # them rather than aborting (meta reports the loss).
+        survived = [record for record in fresh if record is not None]
+        poisoned = len(fresh) - len(survived)
         if self.cache is not None:
             for cell, record in zip(pending, fresh):
-                self.cache.results.put(cell.content_hash(), record)
+                if record is not None:
+                    self.cache.results.put(cell.content_hash(), record)
 
+        meta = {
+            "backend": getattr(self.backend, "name", type(self.backend).__name__),
+            "cells": len(cells),
+            "cache_hits": len(cached),
+            "cells_run": len(pending) - poisoned,
+        }
+        if poisoned:
+            meta["cells_poisoned"] = poisoned
         return ResultSet(
-            records=tuple(cached) + tuple(fresh),
+            records=tuple(cached) + tuple(survived),
             spec=spec,
-            meta={
-                "backend": getattr(self.backend, "name", type(self.backend).__name__),
-                "cells": len(cells),
-                "cache_hits": len(cached),
-                "cells_run": len(pending),
-            },
+            meta=meta,
         )
 
 

@@ -31,6 +31,7 @@ from repro.api.shm import attach_miss_trace
 from repro.api.spec import Cell
 from repro.core.scheme import scheme_from_spec
 from repro.cpu.trace import MissTrace
+from repro.faults.plan import fault_point
 from repro.sim.simulator import SecureProcessorSim, SimConfig
 from repro.sim.windows import (
     epoch_transition_instructions,
@@ -320,6 +321,12 @@ def _execute_batch_in_worker(cells: list[Cell]) -> list[RunRecord]:
     functional pass and one batched timing replay per (benchmark,
     seed), not one replay task per scheme — and skips the pass
     entirely when the parent shipped its trace through shared memory.
+
+    Each cell arms the ``worker-cell`` fault site before the batch
+    executes, so a chaos plan can kill this worker deterministically
+    "at cell K" (a no-op dict lookup without an active plan).
     """
+    for _ in cells:
+        fault_point("worker-cell")
     _seed_shared_traces(cells)
     return execute_cells_batch(cells, trace_store=_WORKER_TRACE_CACHE)

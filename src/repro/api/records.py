@@ -15,6 +15,7 @@ serialize to identical bytes once rows are sorted.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import asdict, dataclass, field, fields
@@ -293,6 +294,21 @@ class ResultSet:
             ["bench", "scheme", "seed", "IPC", "perf x", "power W", "dummy", "leak bits"],
             rows,
         ).render()
+
+    def digest(self) -> str:
+        """Content digest over the canonically ordered records.
+
+        Volatile ``meta`` is excluded, records are already sorted, and
+        serialization is strict JSON — so two runs of the same spec
+        digest identically regardless of backend, cache temperature, or
+        recovery retries.  The chaos suite pins fault-injected sweeps
+        against fault-free digests with exactly this.
+        """
+        payload = json.dumps(
+            [record.to_dict() for record in self.records],
+            sort_keys=True, allow_nan=False,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def save(self, path: str | Path) -> None:
         """Write spec + records as JSON (volatile ``meta`` excluded)."""

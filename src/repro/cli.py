@@ -34,6 +34,10 @@ Installed as the ``repro`` console script and runnable as
   ``--levels`` records the saturation curves behind
   ``benchmarks/BENCH_service.json``, and any redundant functional pass
   under load exits 1 (docs/operations.md has the full recipe).
+- ``faults`` — scripted chaos drills: kill workers, rot cached
+  artifacts, tear writes, restart the daemon, refuse client connects —
+  each scenario asserts byte-identical digests against fault-free runs
+  and exits 1 on any broken recovery contract (CI's chaos step).
 """
 
 from __future__ import annotations
@@ -378,6 +382,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             uds=args.uds,
             max_concurrency=args.max_concurrency,
+            resume=args.resume,
         ))
     except KeyboardInterrupt:
         print("\ninterrupted; daemon stopped")
@@ -428,6 +433,24 @@ def _serve_smoke(args: argparse.Namespace) -> int:
         )
         print("smoke " + ("OK" if ok else "FAILED"))
         return 0 if ok else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import SCENARIO_NAMES, run_scenario
+
+    names = tuple(args.scenario) if args.scenario else SCENARIO_NAMES
+    failures = 0
+    for name in names:
+        report = run_scenario(name, workdir=args.workdir)
+        status = "OK" if report["ok"] else "FAILED"
+        print(f"scenario {name}: {status}")
+        for check in report["checks"]:
+            mark = "pass" if check["ok"] else "FAIL"
+            detail = f"  [{check['detail']}]" if check["detail"] and not check["ok"] else ""
+            print(f"  {mark}  {check['check']}{detail}")
+        failures += 0 if report["ok"] else 1
+    print(f"\n{len(names) - failures}/{len(names)} scenarios passed")
+    return 1 if failures else 0
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -772,6 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs executing at once (default 2)",
     )
     serve.add_argument(
+        "--resume", action="store_true",
+        help="replay the cache root's job journal before accepting traffic, "
+             "re-enqueueing jobs a previous daemon admitted but never finished",
+    )
+    serve.add_argument(
         "--smoke", action="store_true",
         help="self-test: start, submit one sweep, stream events, scrape "
              "/metrics, clean shutdown; exit 1 on any failure",
@@ -850,6 +878,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(byte-stable artifacts, e.g. benchmarks/BENCH_service.json)",
     )
     load.set_defaults(func=_cmd_load)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run scripted chaos scenarios (worker kills, artifact rot, "
+             "torn writes, daemon restarts, refused connects)",
+    )
+    faults.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to run (repeatable; default: all). Known: "
+             "worker-crash, corrupt-artifact, torn-write, daemon-restart, "
+             "client-retry",
+    )
+    faults.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="working directory for caches/tokens (default: fresh temp dirs)",
+    )
+    faults.set_defaults(func=_cmd_faults)
 
     return parser
 

@@ -1,0 +1,285 @@
+"""Scripted chaos scenarios: end-to-end fault drills with pass/fail checks.
+
+Each scenario builds a tiny real sweep, injects one class of fault
+through :mod:`repro.faults.plan`, and verifies the recovery contract the
+repository promises: **fault-injected runs produce byte-identical
+ResultSet digests to fault-free runs**, recovery counters move, and no
+layer crashes.  ``repro faults --scenario worker-crash`` runs them from
+the shell; CI runs the same entry points as its chaos step.
+
+Scenarios (see ``docs/operations.md`` "Failure modes and recovery"):
+
+- ``worker-crash``     kill a pool worker mid-batch; pool rebuilds and
+  retries the lost cells.
+- ``corrupt-artifact`` rot every cached trace/result on disk; the cache
+  quarantines and the engine recomputes.
+- ``torn-write``       tear a result write in flight (crash between
+  write and fsync); the next run quarantines the stub.
+- ``daemon-restart``   journal queued jobs, "crash", resume into a new
+  daemon with dedup intact.
+- ``client-retry``     refuse the client's first connects; retries with
+  backoff land, and a truly dead address raises ``ServiceUnavailable``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import tempfile
+from pathlib import Path
+
+from repro.faults import counters
+from repro.faults.plan import FaultPlan, FaultSpec
+
+#: Sweep shape shared by every scenario: 4 cells, 2 functional passes,
+#: small enough that the full suite runs in seconds.
+_BENCHMARKS = ("mcf", "libquantum")
+_SCHEMES = ("base_dram", "static:300")
+_N_INSTRUCTIONS = 20_000
+
+
+def _chaos_spec(name: str = "chaos", seeds: tuple[int, ...] = (0,)):
+    from repro.api.spec import ExperimentSpec
+
+    return ExperimentSpec(
+        name=name, benchmarks=_BENCHMARKS, schemes=_SCHEMES, seeds=seeds,
+        n_instructions=_N_INSTRUCTIONS,
+    )
+
+
+def _check(checks: list, label: str, ok: bool, detail: str = "") -> None:
+    checks.append({"check": label, "ok": bool(ok), "detail": detail})
+
+
+def _report(name: str, checks: list) -> dict:
+    return {"scenario": name, "ok": all(c["ok"] for c in checks), "checks": checks}
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+def scenario_worker_crash(workdir: Path) -> dict:
+    """Kill a pool worker at its first cell; the sweep must still match
+    the serial fault-free digest with zero poisoned cells."""
+    from repro.api.backends import ProcessPoolBackend, SerialBackend
+    from repro.api.engine import Engine
+
+    spec = _chaos_spec()
+    baseline = Engine(backend=SerialBackend()).run(spec)
+    kill = FaultSpec(kind="kill", site="worker-cell", at=1)
+    plan = FaultPlan(faults=(kill,), token_dir=str(workdir / "tokens-worker"))
+    before = counters.snapshot()
+    with plan.activated():
+        chaotic = Engine(backend=ProcessPoolBackend(max_workers=2)).run(spec)
+    delta = counters.delta(before)
+
+    checks: list = []
+    _check(checks, "digest matches fault-free run",
+           chaotic.digest() == baseline.digest())
+    _check(checks, "worker retries recorded",
+           delta.get("worker_retries", 0) >= 1, f"delta={delta}")
+    _check(checks, "pool was rebuilt", delta.get("pool_rebuilds", 0) >= 1)
+    # The kill fires (and counts) inside the dying worker, so the
+    # parent's counters never see it — the claimed token is the
+    # cross-process evidence.
+    _check(checks, "fault actually fired", plan.fired_count(kill) >= 1)
+    _check(checks, "no cells poisoned", "cells_poisoned" not in chaotic.meta,
+           f"meta={chaotic.meta}")
+    return _report("worker-crash", checks)
+
+
+def scenario_corrupt_artifact(workdir: Path) -> dict:
+    """Rot every cached artifact on disk; the second run must
+    quarantine all of them and still reproduce the digest."""
+    from repro.api.cache import ExperimentCache
+    from repro.api.engine import Engine
+    from repro.api.execution import reset_local_sims
+
+    root = workdir / "cache-corrupt"
+    baseline = Engine(cache=ExperimentCache(root)).run(spec := _chaos_spec())
+
+    cache = ExperimentCache(root)
+    results = sorted(cache.results.root.glob("*.json"))
+    traces = sorted(cache.traces.root.glob("*.pkl"))
+    for path in results:
+        path.write_text('{"benchmark": "mcf", "truncated')
+    for path in traces:
+        path.write_bytes(path.read_bytes()[:16])
+
+    reset_local_sims()  # force disk reads: no warm in-process traces
+    before = counters.snapshot()
+    second = Engine(cache=ExperimentCache(root)).run(spec)
+    delta = counters.delta(before)
+    quarantined = (
+        list((cache.results.root / "quarantine").glob("*"))
+        + list((cache.traces.root / "quarantine").glob("*"))
+    )
+
+    checks: list = []
+    _check(checks, "digest matches fault-free run",
+           second.digest() == baseline.digest())
+    _check(checks, "every rotten artifact quarantined",
+           delta.get("artifacts_quarantined", 0) >= len(results) + len(traces),
+           f"delta={delta}, corrupted={len(results) + len(traces)}")
+    _check(checks, "quarantine evidence preserved on disk",
+           len(quarantined) >= len(results) + len(traces))
+    _check(checks, "all cells recomputed (no hits from rot)",
+           second.meta["cache_hits"] == 0, f"meta={second.meta}")
+    return _report("corrupt-artifact", checks)
+
+
+def scenario_torn_write(workdir: Path) -> dict:
+    """Tear one result write mid-flight; the next run must quarantine
+    the stub, recompute exactly that cell, and match the digest."""
+    from repro.api.cache import ExperimentCache
+    from repro.api.engine import Engine
+    from repro.api.execution import reset_local_sims
+
+    root = workdir / "cache-torn"
+    spec = _chaos_spec()
+    plan = FaultPlan(
+        faults=(FaultSpec(kind="corrupt", site="cache-write-result", at=1),),
+        token_dir=str(workdir / "tokens-torn"),
+    )
+    with plan.activated():
+        first = Engine(cache=ExperimentCache(root)).run(spec)
+
+    reset_local_sims()
+    before = counters.snapshot()
+    second = Engine(cache=ExperimentCache(root)).run(spec)
+    delta = counters.delta(before)
+
+    checks: list = []
+    _check(checks, "digest matches fault-free run",
+           second.digest() == first.digest())
+    _check(checks, "torn stub quarantined",
+           delta.get("artifacts_quarantined", 0) >= 1, f"delta={delta}")
+    _check(checks, "exactly the torn cell recomputed",
+           second.meta["cells_run"] == 1
+           and second.meta["cache_hits"] == spec.n_cells - 1,
+           f"meta={second.meta}")
+    return _report("torn-write", checks)
+
+
+def scenario_daemon_restart(workdir: Path) -> dict:
+    """Simulate a daemon crash with journaled-but-unfinished jobs, then
+    resume into a fresh daemon: interrupted jobs re-run, duplicates
+    collapse, finished jobs stay finished."""
+    from repro.api.cache import ExperimentCache
+    from repro.service.daemon import SweepService
+    from repro.service.jobs import spec_digest
+    from repro.service.journal import JobJournal
+
+    root = workdir / "cache-daemon"
+    root.mkdir(parents=True, exist_ok=True)
+
+    # Phase 1: a "crashed" daemon's journal — two interrupted
+    # submissions of one spec, one job that already finished, and a
+    # torn trailing line (crash mid-append).
+    journal = JobJournal.for_cache_root(root)
+    pending = _chaos_spec(name="resume-me")
+    finished = _chaos_spec(name="already-done", seeds=(1,))
+    journal.record_submitted("j-000001", pending.to_dict(), spec_digest(pending))
+    journal.record_submitted("j-000002", pending.to_dict(), spec_digest(pending))
+    journal.record_submitted("j-000003", finished.to_dict(), spec_digest(finished))
+    journal.record_state("j-000003", "done")
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"op": "submit", "job_id": "j-0000')  # torn append
+
+    before = counters.snapshot()
+
+    async def _restart() -> tuple[list, dict]:
+        service = SweepService(cache=ExperimentCache(root), max_concurrency=1)
+        resumed = await service.resume()
+        await service.drain()
+        snap = service.metrics_snapshot()
+        states = [job.state for job in resumed]
+        await service.shutdown()
+        return states, snap
+
+    states, snap = asyncio.run(_restart())
+    delta = counters.delta(before)
+
+    checks: list = []
+    _check(checks, "exactly one interrupted job resumed",
+           len(states) == 1 and snap["jobs_resumed"] == 1,
+           f"states={states}, jobs_resumed={snap['jobs_resumed']}")
+    _check(checks, "resumed job ran to done", states == ["done"])
+    _check(checks, "duplicate interrupted submission deduplicated",
+           snap["jobs_deduplicated"] == 1)
+    _check(checks, "finished job not re-run", snap["jobs_submitted"] == 2)
+    _check(checks, "torn journal line skipped, not fatal",
+           delta.get("journal_lines_skipped", 0) >= 1, f"delta={delta}")
+    return _report("daemon-restart", checks)
+
+
+def scenario_client_retry(workdir: Path) -> dict:
+    """Refuse the client's first two connects (daemon mid-restart); the
+    third lands.  A truly dead address raises ``ServiceUnavailable``."""
+    from repro.service.client import ServiceClient, ServiceUnavailable
+    from repro.service.hosting import ThreadedService
+
+    checks: list = []
+    plan = FaultPlan(
+        faults=(FaultSpec(kind="refuse", site="client-connect", at=1, count=2),),
+        token_dir=str(workdir / "tokens-client"),
+    )
+    with ThreadedService(cache=workdir / "cache-client") as hosted:
+        client = hosted.client()
+        client.retry_backoff_s = 0.01
+        before = counters.snapshot()
+        with plan.activated():
+            health = client.healthz()
+        delta = counters.delta(before)
+        _check(checks, "request survived two refused connects",
+               bool(health), f"health={health}")
+        _check(checks, "both retries counted",
+               delta.get("client_retries", 0) == 2, f"delta={delta}")
+
+    # A port nothing listens on: bind-then-close guarantees it was free.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    dead = ServiceClient(("tcp", "127.0.0.1", dead_port),
+                         timeout=1.0, connect_retries=1, retry_backoff_s=0.01)
+    try:
+        dead.healthz()
+        _check(checks, "dead address raises ServiceUnavailable", False,
+               "healthz unexpectedly succeeded")
+    except ServiceUnavailable as error:
+        _check(checks, "dead address raises ServiceUnavailable",
+               error.attempts == 2, f"attempts={error.attempts}")
+    return _report("client-retry", checks)
+
+
+# ----------------------------------------------------------------------
+# Registry / runner
+# ----------------------------------------------------------------------
+
+SCENARIOS = {
+    "worker-crash": scenario_worker_crash,
+    "corrupt-artifact": scenario_corrupt_artifact,
+    "torn-write": scenario_torn_write,
+    "daemon-restart": scenario_daemon_restart,
+    "client-retry": scenario_client_retry,
+}
+
+SCENARIO_NAMES = tuple(SCENARIOS)
+
+
+def run_scenario(name: str, workdir: str | Path | None = None) -> dict:
+    """Run one scenario in an isolated working directory."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}")
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix=f"repro-chaos-{name}-")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    return SCENARIOS[name](workdir)
+
+
+def run_scenarios(names=None, workdir: str | Path | None = None) -> list[dict]:
+    """Run several scenarios (all of them by default)."""
+    return [run_scenario(name, workdir) for name in (names or SCENARIO_NAMES)]

@@ -25,11 +25,17 @@ lives in ``docs/operations.md``.  From the shell::
 [('mcf', 0), ('mcf', 1), ('libquantum', 0), ('libquantum', 1)]
 """
 
-from repro.service.client import ServiceClient, ServiceError, parse_address
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    parse_address,
+)
 from repro.service.daemon import DEFAULT_CONCURRENCY, SweepService, subgroup_specs
 from repro.service.hosting import ThreadedService, serve_forever
 from repro.service.http import ServiceHTTPServer, start_http_server
 from repro.service.jobs import Job, JobRegistry, spec_digest
+from repro.service.journal import JobJournal, PendingJob
 from repro.service.loadgen import (
     LoadProfile,
     LoadReport,
@@ -43,13 +49,16 @@ from repro.service.metrics import ServiceMetrics
 __all__ = [
     "DEFAULT_CONCURRENCY",
     "Job",
+    "JobJournal",
     "JobRegistry",
     "LoadProfile",
     "LoadReport",
+    "PendingJob",
     "SaturationReport",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
+    "ServiceUnavailable",
     "ServiceMetrics",
     "SweepService",
     "ThreadedService",

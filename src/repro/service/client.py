@@ -5,6 +5,13 @@ identically over TCP and Unix domain sockets — the one transport wrapper
 shared by ``repro load``, the load generator, the CI smoke test, and the
 test suite.  One request per connection, matching the server.
 
+Failure handling: every socket carries a timeout (no request can block
+forever), connects retry with capped exponential backoff (a daemon
+mid-restart looks like a refused connection for a moment), and anything
+that never reached the service raises :class:`ServiceUnavailable` — so
+callers can tell "the daemon said no" (:class:`ServiceError` with a
+real status) from "there is no daemon".
+
 Use :func:`parse_address` to accept either form from a CLI::
 
     client = ServiceClient(parse_address("127.0.0.1:8642"))
@@ -19,9 +26,16 @@ import time
 from typing import Iterator
 
 from repro.api.spec import ExperimentSpec
+from repro.faults import counters
+from repro.faults.plan import fault_point
 
 #: Address forms: ("tcp", host, port) or ("uds", path).
 Address = tuple
+
+#: Default connect retry policy: total attempts = 1 + retries.
+DEFAULT_CONNECT_RETRIES = 2
+DEFAULT_RETRY_BACKOFF_S = 0.1
+RETRY_BACKOFF_CAP_S = 2.0
 
 
 class ServiceError(RuntimeError):
@@ -30,6 +44,21 @@ class ServiceError(RuntimeError):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+
+
+class ServiceUnavailable(ServiceError):
+    """The service could not be reached at all (no HTTP status).
+
+    Raised when every connect attempt fails or a response read times
+    out — distinct from :class:`ServiceError`, which means the daemon
+    answered with an error status.  ``status`` is 0 and ``attempts``
+    records how many connects were tried.
+    """
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        RuntimeError.__init__(self, message)
+        self.status = 0
+        self.attempts = attempts
 
 
 def parse_address(text: str) -> Address:
@@ -49,26 +78,70 @@ def parse_address(text: str) -> Address:
 
 
 class ServiceClient:
-    """Synchronous API client over one service address."""
+    """Synchronous API client over one service address.
 
-    def __init__(self, address: Address, timeout: float = 60.0) -> None:
+    Args:
+        address: ``("tcp", host, port)`` or ``("uds", path)``.
+        timeout: Socket timeout (seconds) applied to connects *and*
+            reads — a hung daemon surfaces as :class:`ServiceUnavailable`
+            instead of a client blocked forever.
+        connect_retries: Extra connect attempts after the first fails
+            (refused/unreachable), with capped exponential backoff.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float = 60.0,
+        connect_retries: int = DEFAULT_CONNECT_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if connect_retries < 0:
+            raise ValueError(f"connect_retries must be >= 0, got {connect_retries}")
         self.address = address
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.retry_backoff_s = retry_backoff_s
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
+    def _connect_once(self) -> socket.socket:
+        fault_point("client-connect")
         if self.address[0] == "uds":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
-            sock.connect(self.address[1])
+            try:
+                sock.settimeout(self.timeout)
+                sock.connect(self.address[1])
+            except OSError:
+                sock.close()
+                raise
         else:
             sock = socket.create_connection(
                 (self.address[1], self.address[2]), timeout=self.timeout
             )
         return sock
+
+    def _connect(self) -> socket.socket:
+        attempts = 1 + self.connect_retries
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._connect_once()
+            except OSError as error:
+                if attempt >= attempts:
+                    raise ServiceUnavailable(
+                        f"cannot connect to {self.address} "
+                        f"after {attempt} attempt(s): {error}",
+                        attempts=attempt,
+                    ) from error
+                counters.bump("client_retries")
+                time.sleep(
+                    min(self.retry_backoff_s * 2 ** (attempt - 1), RETRY_BACKOFF_CAP_S)
+                )
+        raise AssertionError("unreachable")
 
     def _send(self, sock: socket.socket, method: str, path: str,
               payload: dict | None) -> None:
@@ -101,15 +174,23 @@ class ServiceClient:
         return status, headers, rest
 
     def _request(self, method: str, path: str, payload: dict | None = None):
-        with self._connect() as sock:
-            self._send(sock, method, path, payload)
-            status, headers, body = self._read_head(sock)
-            want = int(headers.get("content-length", -1))
-            while want < 0 or len(body) < want:
-                chunk = sock.recv(65536)
-                if not chunk:
-                    break
-                body += chunk
+        try:
+            with self._connect() as sock:
+                self._send(sock, method, path, payload)
+                status, headers, body = self._read_head(sock)
+                want = int(headers.get("content-length", -1))
+                while want < 0 or len(body) < want:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    body += chunk
+        except TimeoutError as error:
+            # socket.timeout: the daemon accepted but never answered
+            # within ``timeout``.  Not retried automatically — the
+            # request may have side effects (POST /jobs).
+            raise ServiceUnavailable(
+                f"no response from {self.address} within {self.timeout}s: {error}"
+            ) from error
         document = json.loads(body.decode()) if body else {}
         if status >= 400:
             message = document.get("error", "") if isinstance(document, dict) else ""

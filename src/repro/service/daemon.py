@@ -38,7 +38,16 @@ from repro.api.engine import Engine
 from repro.api.execution import functional_pass_key, trace_store_key
 from repro.api.records import ResultSet
 from repro.api.spec import ExperimentSpec
-from repro.service.jobs import DONE, FAILED, Job, JobRegistry, QUEUED
+from repro.faults import counters as fault_counters
+from repro.service.jobs import (
+    DEFAULT_EVENTS_LIMIT,
+    DONE,
+    FAILED,
+    Job,
+    JobRegistry,
+    QUEUED,
+)
+from repro.service.journal import JobJournal
 from repro.service.metrics import ServiceMetrics
 
 #: Default number of jobs executing concurrently.
@@ -71,6 +80,13 @@ class SweepService:
             for the zero-redundant-pass guarantee.
         max_concurrency: Jobs executing at once (thread-pool width).
         engine: Injectable pre-built engine (tests); must carry a cache.
+        journal: ``True`` (default) journals admissions and terminal
+            states to ``<cache root>/journal/jobs.ndjson`` so
+            :meth:`resume` can re-enqueue interrupted jobs after a
+            restart; ``False``/``None`` disables journaling; a
+            :class:`JobJournal` uses that journal verbatim.
+        events_limit: Per-job event-log ring bound (see
+            :class:`~repro.service.jobs.Job`).
     """
 
     def __init__(
@@ -78,6 +94,8 @@ class SweepService:
         cache: ExperimentCache | str | Path | None = None,
         max_concurrency: int = DEFAULT_CONCURRENCY,
         engine: Engine | None = None,
+        journal: JobJournal | bool | None = True,
+        events_limit: int = DEFAULT_EVENTS_LIMIT,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
@@ -90,7 +108,15 @@ class SweepService:
             raise ValueError("SweepService needs an engine with a persistent cache")
         self.engine = engine
         self.max_concurrency = max_concurrency
-        self.registry = JobRegistry()
+        if journal is True:
+            journal = JobJournal.for_cache_root(engine.cache.root)
+        elif journal is False:
+            journal = None
+        self.journal = journal
+        self.registry = JobRegistry(
+            events_limit=events_limit,
+            on_drop=self._on_events_dropped,
+        )
         self.metrics = ServiceMetrics()
         self._slots = asyncio.Semaphore(max_concurrency)
         self._pass_locks: dict[tuple, asyncio.Lock] = {}
@@ -112,11 +138,43 @@ class SweepService:
         job, deduped = self.registry.submit(spec)
         self.metrics.record_job_submitted(deduplicated=deduped)
         if not deduped:
+            if self.journal is not None:
+                self.journal.record_submitted(job.id, spec.to_dict(), job.digest)
             task = asyncio.create_task(self._run_job(job), name=f"job-{job.id}")
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
         await self._notify()
         return job, deduped
+
+    async def resume(self) -> list[Job]:
+        """Re-enqueue every journaled job that never reached a terminal
+        state (``repro serve --resume``).
+
+        Replayed specs go through the normal :meth:`submit` path, so
+        dedup still applies — two interrupted submissions of one spec
+        come back as one job — and the persistent result cache makes
+        already-finished groups nearly free to re-run.  Returns the
+        re-admitted jobs.
+        """
+        if self.journal is None:
+            return []
+        resumed: list[Job] = []
+        for entry in self.journal.replay():
+            job, deduped = await self.submit(ExperimentSpec.from_dict(entry.spec))
+            if not deduped:
+                job.add_event("resumed", original_id=entry.job_id,
+                              last_state=entry.last_state)
+                self.metrics.record_job_resumed()
+                resumed.append(job)
+        return resumed
+
+    def _journal_state(self, job: Job) -> None:
+        """Append a terminal transition to the journal (if enabled)."""
+        if self.journal is not None:
+            self.journal.record_state(job.id, job.state)
+
+    def _on_events_dropped(self, amount: int) -> None:
+        self.metrics.record_events_dropped(amount)
 
     def job(self, job_id: str) -> Job:
         """Job by id (KeyError for unknown ids)."""
@@ -129,16 +187,27 @@ class SweepService:
             self.metrics.record_job_finished(
                 "cancelled", latency_s=self.registry.get(job_id).latency
             )
+            self._journal_state(self.registry.get(job_id))
         await self._notify()
         return cancelled
 
     def metrics_snapshot(self) -> dict:
-        """The live ``/metrics`` document."""
+        """The live ``/metrics`` document.
+
+        Alongside the service's own counters, the process-global fault
+        recovery counters (:mod:`repro.faults.counters`) are merged in
+        under a ``recovery_`` prefix — worker retries, pool rebuilds,
+        quarantined artifacts, and friends, monotonic and scrapeable.
+        """
+        recovery = {
+            f"recovery_{name}": value
+            for name, value in fault_counters.snapshot().items()
+        }
         return self.metrics.snapshot(
             queue_depth=self.registry.queue_depth(),
             running_jobs=self.registry.running_count(),
             workers=self.max_concurrency,
-            extra={"accepting": self._accepting, **self._cache_gauges()},
+            extra={"accepting": self._accepting, **self._cache_gauges(), **recovery},
         )
 
     def _cache_gauges(self) -> dict:
@@ -238,6 +307,7 @@ class SweepService:
                     if job.cancel_requested:
                         job.mark_cancelled()
                         self.metrics.record_job_finished("cancelled", job.latency)
+                        self._journal_state(job)
                         await self._notify()
                         return
                     results = await self._run_group(job, benchmark, seed, subspec)
@@ -247,6 +317,7 @@ class SweepService:
             except Exception:
                 job.mark_failed(traceback.format_exc(limit=8))
                 self.metrics.record_job_finished(FAILED, job.latency)
+                self._journal_state(job)
                 await self._notify()
                 return
             job.mark_done(ResultSet(
@@ -260,6 +331,7 @@ class SweepService:
                 },
             ))
             self.metrics.record_job_finished(DONE, job.latency)
+            self._journal_state(job)
             await self._notify()
 
     # ------------------------------------------------------------------

@@ -28,9 +28,19 @@ async def serve_forever(
     max_concurrency: int = DEFAULT_CONCURRENCY,
     announce=print,
     ready: "asyncio.Event | None" = None,
+    resume: bool = False,
 ) -> None:
-    """Run a sweep service until ``POST /shutdown`` (or cancellation)."""
+    """Run a sweep service until ``POST /shutdown`` (or cancellation).
+
+    ``resume=True`` replays the cache root's job journal before
+    accepting traffic, re-enqueueing every job a previous daemon
+    admitted but never finished (``repro serve --resume``).
+    """
     service = SweepService(cache=cache, max_concurrency=max_concurrency)
+    if resume:
+        resumed = await service.resume()
+        if resumed:
+            announce(f"resumed {len(resumed)} interrupted job(s) from journal")
     server = await start_http_server(service, host=host, port=port, uds=uds)
     announce(
         f"repro.service listening on {server.address} "
@@ -65,10 +75,11 @@ class ThreadedService:
         host: str = "127.0.0.1",
         port: int = 0,
         uds: str | None = None,
+        resume: bool = False,
     ) -> None:
         self._config = dict(
             cache=cache, max_concurrency=max_concurrency,
-            host=host, port=port, uds=uds,
+            host=host, port=port, uds=uds, resume=resume,
         )
         self._uds = uds
         self._thread: threading.Thread | None = None
@@ -87,6 +98,8 @@ class ThreadedService:
         self.service = SweepService(
             cache=config["cache"], max_concurrency=config["max_concurrency"]
         )
+        if config["resume"]:
+            await self.service.resume()
         self._server = await start_http_server(
             self.service, host=config["host"], port=config["port"], uds=config["uds"]
         )

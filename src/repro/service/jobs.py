@@ -49,6 +49,12 @@ TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 #: States a duplicate submission attaches to.
 ACTIVE_STATES = frozenset({QUEUED, RUNNING})
 
+#: Default per-job event-log bound.  Long sweeps emit one event per
+#: benchmark-seed group; past this the oldest events are dropped (with a
+#: synthetic notice on replay) so a week-long job cannot grow memory
+#: without bound.
+DEFAULT_EVENTS_LIMIT = 512
+
 
 def spec_digest(spec: ExperimentSpec) -> str:
     """Content identity of a spec for duplicate detection.
@@ -72,19 +78,36 @@ def spec_digest(spec: ExperimentSpec) -> str:
 class Job:
     """One submitted spec with lifecycle state and a progress event log.
 
-    Events are append-only dicts ``{"seq": n, "kind": ..., **payload}``;
-    ``seq`` starts at 1, so ``events_since(0)`` replays the full log.
+    Events are dicts ``{"seq": n, "kind": ..., **payload}``; ``seq`` is
+    monotonic starting at 1, so ``events_since(0)`` replays the full
+    log.  The log is a *bounded ring*: past ``events_limit`` entries the
+    oldest are discarded (counted in ``events_dropped``), and a replay
+    that reaches back across the drop boundary gets a synthetic
+    ``events_dropped`` notice so ``?since=`` resumption stays honest.
     Mutation goes through the ``mark_*`` methods, which validate the
     state machine — an invalid transition raises ``RuntimeError`` rather
     than silently corrupting the queue.
     """
 
-    def __init__(self, job_id: str, spec: ExperimentSpec, clock: Callable[[], float]) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        spec: ExperimentSpec,
+        clock: Callable[[], float],
+        events_limit: int = DEFAULT_EVENTS_LIMIT,
+        on_drop: Callable[[int], None] | None = None,
+    ) -> None:
+        if events_limit < 1:
+            raise ValueError(f"events_limit must be >= 1, got {events_limit}")
         self.id = job_id
         self.spec = spec
         self.digest = spec_digest(spec)
         self.state = QUEUED
         self.events: list[dict] = []
+        self.events_limit = events_limit
+        self.events_dropped = 0
+        self._next_seq = 1
+        self._on_drop = on_drop
         self.result: ResultSet | None = None
         self.error: str | None = None
         self.dedup_hits = 0
@@ -100,13 +123,38 @@ class Job:
     # ------------------------------------------------------------------
 
     def add_event(self, kind: str, **payload) -> dict:
-        """Append one progress event and return it."""
-        event = {"seq": len(self.events) + 1, "kind": kind, **payload}
+        """Append one progress event and return it.
+
+        Appending past ``events_limit`` evicts the oldest retained
+        events; seq numbers keep counting, only retention is bounded.
+        """
+        event = {"seq": self._next_seq, "kind": kind, **payload}
+        self._next_seq += 1
         self.events.append(event)
+        overflow = len(self.events) - self.events_limit
+        if overflow > 0:
+            del self.events[:overflow]
+            self.events_dropped += overflow
+            if self._on_drop is not None:
+                self._on_drop(overflow)
         return event
 
     def events_since(self, seq: int) -> list[dict]:
-        """Every event with ``seq`` strictly greater than ``seq``."""
+        """Every retained event with ``seq`` strictly greater than ``seq``.
+
+        When the ring has dropped events the caller has not yet seen, a
+        synthetic ``{"kind": "events_dropped", "dropped": n}`` notice is
+        prepended.  Its seq is ``oldest_retained - 1``, which keeps the
+        streaming loop's ``since = event["seq"]`` cursor monotonic and
+        makes the gap explicit instead of silent.
+        """
+        if self.events_dropped:
+            oldest = self.events[0]["seq"] if self.events else self._next_seq
+            missing = (oldest - 1) - seq
+            if missing > 0:
+                notice = {"seq": oldest - 1, "kind": "events_dropped",
+                          "dropped": missing}
+                return [notice] + list(self.events)
         return [event for event in self.events if event["seq"] > seq]
 
     # ------------------------------------------------------------------
@@ -174,7 +222,8 @@ class Job:
             "dedup_hits": self.dedup_hits,
             "cancel_requested": self.cancel_requested,
             "error": self.error,
-            "events": len(self.events),
+            "events": self._next_seq - 1,
+            "events_dropped": self.events_dropped,
             "latency_s": self.latency,
         }
 
@@ -185,10 +234,22 @@ class JobRegistry:
     Args:
         clock: Monotonic time source (injectable for deterministic
             tests).
+        events_limit: Ring-buffer bound applied to every admitted job's
+            event log.
+        on_drop: Callback invoked with the number of events evicted
+            whenever any job's ring overflows (the daemon wires this to
+            its ``events_dropped`` metric).
     """
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        events_limit: int = DEFAULT_EVENTS_LIMIT,
+        on_drop: Callable[[int], None] | None = None,
+    ) -> None:
         self._clock = clock
+        self._events_limit = events_limit
+        self._on_drop = on_drop
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._counter = 0
@@ -210,7 +271,8 @@ class JobRegistry:
                 job.dedup_hits += 1
                 return job, True
         self._counter += 1
-        job = Job(f"j-{self._counter:06d}", spec, self._clock)
+        job = Job(f"j-{self._counter:06d}", spec, self._clock,
+                  events_limit=self._events_limit, on_drop=self._on_drop)
         self._jobs[job.id] = job
         self._order.append(job.id)
         return job, False

@@ -48,6 +48,8 @@ COUNTER_NAMES = (
     "cache_hits",
     "functional_passes",
     "progress_events",
+    "jobs_resumed",
+    "events_dropped",
 )
 
 
@@ -105,6 +107,14 @@ class ServiceMetrics:
     def record_progress_event(self) -> None:
         """One per-job progress event was emitted."""
         self._bump("progress_events")
+
+    def record_job_resumed(self) -> None:
+        """One journaled job was re-enqueued after a daemon restart."""
+        self._bump("jobs_resumed")
+
+    def record_events_dropped(self, amount: int = 1) -> None:
+        """``amount`` events were evicted from a job's bounded ring."""
+        self._bump("events_dropped", amount)
 
     def record_busy(self, seconds: float) -> None:
         """Accumulate worker busy time (utilization numerator)."""

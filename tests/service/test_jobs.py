@@ -178,3 +178,79 @@ class TestEvents:
         assert [e["kind"] for e in job.events_since(0)] == ["queued", "started"]
         assert [e["kind"] for e in job.events_since(1)] == ["started"]
         assert job.events_since(2) == []
+
+
+class TestEventRing:
+    def make_job(self, limit, drops=None):
+        on_drop = drops.append if drops is not None else None
+        registry = JobRegistry(events_limit=limit, on_drop=on_drop)
+        job, _ = registry.submit(make_spec())
+        return job
+
+    def test_retention_bounded_but_seq_monotonic(self):
+        job = self.make_job(limit=4)
+        for i in range(10):
+            job.add_event("progress", i=i)
+        assert len(job.events) == 4
+        assert job.events_dropped == 7        # 11 emitted (incl. queued) - 4 kept
+        assert [e["seq"] for e in job.events] == [8, 9, 10, 11]
+
+    def test_on_drop_callback_sees_every_eviction(self):
+        drops = []
+        job = self.make_job(limit=2, drops=drops)
+        for _ in range(5):
+            job.add_event("progress")
+        assert sum(drops) == job.events_dropped == 4
+
+    def test_no_drops_below_limit(self):
+        drops = []
+        job = self.make_job(limit=100, drops=drops)
+        job.add_event("progress")
+        assert job.events_dropped == 0
+        assert drops == []
+
+    def test_events_since_inserts_drop_notice_across_boundary(self):
+        job = self.make_job(limit=3)
+        for i in range(8):
+            job.add_event("progress", i=i)
+        tail = job.events_since(0)
+        assert tail[0]["kind"] == "events_dropped"
+        assert tail[0]["dropped"] == 6        # seqs 1..6 are gone
+        assert tail[0]["seq"] == 6            # oldest retained is 7
+        assert [e["seq"] for e in tail[1:]] == [7, 8, 9]
+
+    def test_resume_cursor_stays_monotonic_across_notice(self):
+        """The HTTP streamer advances ``since`` to each event's seq; the
+        synthetic notice must never move that cursor backwards or skip a
+        retained event."""
+        job = self.make_job(limit=3)
+        for i in range(8):
+            job.add_event("progress", i=i)
+        since = 2                             # client saw seqs 1..2 pre-drop
+        seen = []
+        for event in job.events_since(since):
+            assert event["seq"] > since
+            since = event["seq"]
+            seen.append(event["kind"])
+        assert seen[0] == "events_dropped"
+        assert job.events_since(since) == []  # fully caught up
+
+    def test_no_notice_when_caller_is_ahead_of_drops(self):
+        job = self.make_job(limit=3)
+        for i in range(8):
+            job.add_event("progress", i=i)
+        oldest = job.events[0]["seq"]
+        assert all(e["kind"] != "events_dropped"
+                   for e in job.events_since(oldest - 1))
+
+    def test_snapshot_reports_totals(self):
+        job = self.make_job(limit=2)
+        for _ in range(6):
+            job.add_event("progress")
+        snap = job.snapshot()
+        assert snap["events"] == 7            # total emitted, not retained
+        assert snap["events_dropped"] == 5
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError, match="events_limit"):
+            JobRegistry(events_limit=0).submit(make_spec())
