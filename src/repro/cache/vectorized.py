@@ -121,9 +121,11 @@ def hierarchy_pass_vectorized(
     # ------------------------------------------------------------------
     # Whole-trace numpy precompute
     # ------------------------------------------------------------------
-    addresses = np.ascontiguousarray(trace.addresses, dtype=np.uint64)
-    stores_np = np.ascontiguousarray(trace.is_store, dtype=bool)
-    gaps_np = np.ascontiguousarray(trace.gap_instructions, dtype=np.int64)
+    # MemoryTrace.__post_init__ canonicalizes (contiguous uint64/bool/
+    # int64), so the arrays are consumed as-is.
+    addresses = trace.addresses
+    stores_np = trace.is_store
+    gaps_np = trace.gap_instructions
     n_refs = len(addresses)
 
     if n_refs == 0:

@@ -453,6 +453,100 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest.errors import IngestError
+    from repro.ingest.store import IngestStore
+
+    store = IngestStore(args.store) if args.store else IngestStore()
+    did_something = False
+    failures = 0
+
+    for path in args.validate:
+        did_something = True
+        try:
+            header, n_refs = store.validate(path)
+        except IngestError as error:
+            print(f"{path}: invalid — {error}")
+            failures += 1
+        else:
+            print(
+                f"{path}: ok — {header.name}/{header.input_name}, "
+                f"{n_refs} references"
+            )
+
+    for path in args.import_paths:
+        did_something = True
+        digest = store.import_trace(path)
+        print(f"imported {path} -> ingest:{digest}")
+
+    if args.list:
+        did_something = True
+        entries = store.list_entries()
+        print(store.describe())
+        for entry in entries:
+            print(
+                f"  ingest:{entry['digest'][:16]}  {entry['name']}/{entry['input']}"
+                f"  {entry['n_references']} refs  {entry['bytes']} bytes"
+            )
+
+    if args.gc:
+        did_something = True
+        swept = store.gc()
+        print(
+            f"gc: kept {swept['kept']}, quarantined {swept['quarantined']}, "
+            f"removed {swept['removed_tmp']} temp file(s)"
+        )
+        failures += swept["quarantined"]
+
+    if args.replay:
+        did_something = True
+        from repro.cache.streaming import stream_functional
+        from repro.core.scheme import scheme_from_spec
+        from repro.sim.streaming import run_timing_streaming
+
+        digest = store.resolve(args.replay)
+        scheme = scheme_from_spec(args.scheme)
+        header, chunks = store.open_stream(digest, chunk_refs=args.chunk_refs)
+        miss_chunks, machine = stream_functional(
+            header, chunks, warmup_instructions=args.warmup
+        )
+        result = run_timing_streaming(miss_chunks, machine.finish, scheme)
+        print(
+            f"ingest:{digest[:16]} under {scheme.name}: "
+            f"{result.cycles:.0f} cycles, {result.n_instructions} instructions, "
+            f"{result.controller.real_accesses} real / "
+            f"{result.controller.dummy_accesses} dummy accesses"
+        )
+        if args.verify:
+            from repro.cache.hierarchy import simulate_hierarchy
+            from repro.sim.timing import run_timing
+
+            trace = store.load(digest)
+            if trace is None:
+                print(f"error: entry {digest[:16]} is corrupt (quarantined)",
+                      file=sys.stderr)
+                return 1
+            miss_trace = simulate_hierarchy(trace, warmup_instructions=args.warmup)
+            reference = run_timing(miss_trace, scheme, record_requests=False)
+            identical = (
+                result.cycles == reference.cycles
+                and result.power_watts == reference.power_watts
+                and result.controller.total_waste == reference.controller.total_waste
+            )
+            print(f"streaming vs in-memory: {'identical' if identical else 'MISMATCH'}")
+            if not identical:
+                failures += 1
+
+    if not did_something:
+        print(
+            "error: nothing to do — pass --validate, --import, --list, "
+            "--gc, and/or --replay",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if failures else 0
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -888,13 +982,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", action="append", default=None, metavar="NAME",
         help="scenario to run (repeatable; default: all). Known: "
              "worker-crash, corrupt-artifact, torn-write, daemon-restart, "
-             "client-retry",
+             "client-retry, corrupt-import",
     )
     faults.add_argument(
         "--workdir", default=None, metavar="DIR",
         help="working directory for caches/tokens (default: fresh temp dirs)",
     )
     faults.set_defaults(func=_cmd_faults)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="validate, import, list, gc, and replay external trace files "
+             "(text/binary/gzip formats)",
+    )
+    ingest.add_argument(
+        "--validate", action="append", default=[], metavar="PATH",
+        help="parse a trace file and report schema errors (repeatable)",
+    )
+    ingest.add_argument(
+        "--import", dest="import_paths", action="append", default=[],
+        metavar="PATH",
+        help="import a trace file into the content-addressed store (repeatable)",
+    )
+    ingest.add_argument(
+        "--list", action="store_true", help="list stored traces with digests"
+    )
+    ingest.add_argument(
+        "--gc", action="store_true",
+        help="sweep the store: quarantine corrupt entries, drop temp files",
+    )
+    ingest.add_argument(
+        "--replay", default=None, metavar="DIGEST",
+        help="streaming replay of a stored trace (digest or unique prefix)",
+    )
+    ingest.add_argument(
+        "--scheme", default="base_dram",
+        help='scheme spec for --replay (default "base_dram")',
+    )
+    ingest.add_argument(
+        "--chunk-refs", type=int, default=65536,
+        help="streaming window size in references (default 65536)",
+    )
+    ingest.add_argument(
+        "--warmup", type=int, default=0,
+        help="warmup instructions for --replay (default 0)",
+    )
+    ingest.add_argument(
+        "--verify", action="store_true",
+        help="with --replay: also run the in-memory path and require "
+             "bit-identical results",
+    )
+    ingest.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="ingest store directory (default: <cache>/ingest)",
+    )
+    ingest.set_defaults(func=_cmd_ingest)
 
     return parser
 

@@ -88,10 +88,12 @@ class MemoryTrace:
         as the cache key for externally built traces (the old
         ``(name, input, n_references)`` key conflated distinct traces).
         """
+        # __post_init__ is the single canonicalization point (contiguous
+        # uint64/bool/int64), so the arrays hash as-is.
         hasher = hashlib.sha256()
-        hasher.update(np.ascontiguousarray(self.addresses).tobytes())
-        hasher.update(np.ascontiguousarray(self.is_store).tobytes())
-        hasher.update(np.ascontiguousarray(self.gap_instructions).tobytes())
+        hasher.update(self.addresses.tobytes())
+        hasher.update(self.is_store.tobytes())
+        hasher.update(self.gap_instructions.tobytes())
         hasher.update(
             repr((
                 self.name,

@@ -19,6 +19,8 @@ Scenarios (see ``docs/operations.md`` "Failure modes and recovery"):
   daemon with dedup intact.
 - ``client-retry``     refuse the client's first connects; retries with
   backoff land, and a truly dead address raises ``ServiceUnavailable``.
+- ``corrupt-import``   tear a trace import mid-write; the read path
+  quarantines the torn entry and a re-import heals it digest-identical.
 """
 
 from __future__ import annotations
@@ -254,6 +256,50 @@ def scenario_client_retry(workdir: Path) -> dict:
     return _report("client-retry", checks)
 
 
+def scenario_corrupt_import(workdir: Path) -> dict:
+    """Tear a trace import mid-write; the torn entry must land under its
+    true digest, quarantine on read, and re-import digest-identical."""
+    from repro.ingest.store import IngestStore
+    from repro.ingest.formats import write_text_trace
+    from repro.workloads.registry import build_trace
+
+    trace = build_trace(_BENCHMARKS[0], seed=0, n_instructions=_N_INSTRUCTIONS)
+    source = workdir / "import-me.trace"
+    write_text_trace(trace, source)
+    expected = trace.content_digest()
+
+    baseline_store = IngestStore(workdir / "ingest-baseline")
+    baseline_digest = baseline_store.import_trace(source)
+
+    tear = FaultSpec(kind="corrupt", site="ingest-write-trace", at=1)
+    plan = FaultPlan(faults=(tear,), token_dir=str(workdir / "tokens-import"))
+    store = IngestStore(workdir / "ingest-faulty")
+    with plan.activated():
+        torn_digest = store.import_trace(source)
+    before = counters.snapshot()
+    loaded_torn = store.load(torn_digest)
+    delta = counters.delta(before)
+    quarantined = list((store.root / "quarantine").glob("*"))
+
+    healed_digest = store.import_trace(source)
+    healed = store.load(healed_digest)
+
+    checks: list = []
+    _check(checks, "fault actually fired", plan.fired_count(tear) >= 1)
+    _check(checks, "torn import landed under its true digest",
+           torn_digest == expected == baseline_digest,
+           f"torn={torn_digest[:12]}, expected={expected[:12]}")
+    _check(checks, "torn entry reads as a miss", loaded_torn is None)
+    _check(checks, "torn entry quarantined",
+           delta.get("artifacts_quarantined", 0) >= 1 and len(quarantined) >= 1,
+           f"delta={delta}, quarantined={len(quarantined)}")
+    _check(checks, "re-import heals digest-identical",
+           healed_digest == expected
+           and healed is not None
+           and healed.content_digest() == expected)
+    return _report("corrupt-import", checks)
+
+
 # ----------------------------------------------------------------------
 # Registry / runner
 # ----------------------------------------------------------------------
@@ -264,6 +310,7 @@ SCENARIOS = {
     "torn-write": scenario_torn_write,
     "daemon-restart": scenario_daemon_restart,
     "client-retry": scenario_client_retry,
+    "corrupt-import": scenario_corrupt_import,
 }
 
 SCENARIO_NAMES = tuple(SCENARIOS)

@@ -1,0 +1,73 @@
+"""Typed errors raised by the trace-ingestion pipeline.
+
+Every malformed input — truncated file, bad magic, overflowing field,
+mixed newline conventions, checksum mismatch — raises an
+:class:`IngestError` subclass carrying *where* the problem is (a 1-based
+line number for text formats, a byte offset for binary formats) and the
+source label, so shell users and tests get precise, actionable reports
+instead of crashes or silent misparses.
+
+All ingest errors subclass :class:`ValueError`, so the ``repro`` CLI's
+top-level handler turns an uncaught one into a clean ``error: ...`` exit.
+
+>>> try:
+...     raise TraceFormatError("bad magic", source="t.rtb", offset=0)
+... except IngestError as error:
+...     print(error)
+t.rtb @byte 0: bad magic
+>>> err = TraceFormatError("field overflows u64", source="a.trace", line=7)
+>>> (err.line, err.offset)
+(7, None)
+>>> str(err)
+'a.trace:7: field overflows u64'
+"""
+
+from __future__ import annotations
+
+
+class IngestError(ValueError):
+    """Base class for every ingestion failure.
+
+    Attributes:
+        source: Label of the offending input (path or stream name).
+        line: 1-based line number for text formats, when known.
+        offset: Byte offset into the raw input, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        source: str = "",
+        line: int | None = None,
+        offset: int | None = None,
+    ) -> None:
+        self.source = source
+        self.line = line
+        self.offset = offset
+        where = source
+        if line is not None:
+            where = f"{where}:{line}" if where else f"line {line}"
+        elif offset is not None:
+            where = f"{where} @byte {offset}" if where else f"byte {offset}"
+        super().__init__(f"{where}: {message}" if where else message)
+
+
+class TraceFormatError(IngestError):
+    """The input does not conform to its trace format.
+
+    Covers structural failures: unrecognized magic, truncation mid-record,
+    fields that overflow their declared width, mixed newline conventions,
+    and block checksums that do not verify.
+    """
+
+
+class TraceValidationError(IngestError):
+    """The input parses but violates the trace schema.
+
+    Covers semantic failures: negative instruction gaps, instruction-mix
+    fractions that do not sum to one, mismatched array lengths.
+    """
+
+
+class StoreError(IngestError):
+    """An ingest-store operation failed (unknown or ambiguous digest)."""

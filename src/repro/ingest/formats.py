@@ -1,0 +1,805 @@
+"""Pluggable trace formats: text, packed binary, and gzip variants.
+
+Two on-disk representations of a :class:`~repro.cpu.trace.MemoryTrace`,
+each with a gzip-wrapped variant sniffed from the file's magic bytes:
+
+**Text** (``repro-trace v1``) — one reference per line, human-editable::
+
+    #repro-trace v1
+    #name mcf
+    #input ref
+    #mix 0.7 0.05 0.01 0.04 0.03 0.01 0.16
+    R 0x7f3a20 12
+    W 0x7f3a28 0
+
+``R``/``W`` marks load/store, then the byte address (hex or decimal) and
+the non-memory instruction gap since the previous reference.  Metadata
+directives (``#key value``) may appear in any order before the first
+body line; floats use ``repr`` so parse → serialize → parse is the
+identity.  Newline style must be consistent — a file mixing CRLF and LF
+raises :class:`~repro.ingest.errors.TraceFormatError` instead of
+silently misparsing addresses with trailing ``\\r``.
+
+**Binary** (``.rtb``, magic ``RTRC``) — the import store's canonical
+form: a fixed little-endian header, then length-prefixed blocks of
+``(addresses u64[], is_store u8[], gaps i64[])`` sized for streaming, a
+zero count as end marker, and a trailing CRC-32 over everything before
+it.  Truncation, bit rot, overflowing fields, and trailing garbage all
+raise typed errors with byte offsets.
+
+Both formats stream: :func:`open_trace_stream` yields bounded
+:class:`TraceChunk` windows so traces larger than memory never
+materialize, and the writers accept either a full ``MemoryTrace`` or a
+``(header, chunks)`` pair.
+
+>>> import io, numpy as np
+>>> from repro.cpu.trace import MemoryTrace
+>>> trace = MemoryTrace("demo", "ref", np.array([64, 128]),
+...                     np.array([False, True]), np.array([3, 0]))
+>>> buf = io.BytesIO()
+>>> write_binary_trace(trace, buf)
+>>> buf.getvalue()[:4]
+b'RTRC'
+>>> parsed = load_memory_trace(io.BytesIO(buf.getvalue()), source="demo.rtb")
+>>> parsed.content_digest() == trace.content_digest()
+True
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+import zlib
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+import numpy as np
+
+from repro.cpu.isa import InstructionMix
+from repro.cpu.trace import MemoryTrace
+from repro.ingest.errors import TraceFormatError, TraceValidationError
+
+#: Magic line opening every text trace.
+TEXT_MAGIC = b"#repro-trace v1"
+#: Magic bytes opening every packed binary trace.
+BINARY_MAGIC = b"RTRC"
+#: Binary container version.
+BINARY_VERSION = 1
+#: gzip magic (RFC 1952).
+GZIP_MAGIC = b"\x1f\x8b"
+
+#: Default references per streamed chunk (~1.3 MB of arrays).
+DEFAULT_CHUNK_REFS = 65_536
+
+#: InstructionMix field names, in dataclass order (serialization order).
+MIX_FIELDS = tuple(f.name for f in fields(InstructionMix))
+
+_U64_MAX = 2**64 - 1
+_I64_MAX = 2**63 - 1
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Trace-level metadata shared by every format.
+
+    Mirrors the non-array fields of :class:`~repro.cpu.trace.MemoryTrace`
+    exactly, so a parsed header plus the reference arrays reconstructs a
+    trace with an identical ``content_digest()``.
+    """
+
+    name: str
+    input_name: str
+    mix: InstructionMix
+    local_ref_fraction: float
+    icache_footprint_bytes: int
+    n_phases: int
+
+    def digest_suffix(self) -> bytes:
+        """The metadata bytes ``MemoryTrace.content_digest`` hashes last."""
+        return repr((
+            self.name,
+            self.input_name,
+            self.mix,
+            self.local_ref_fraction,
+            self.icache_footprint_bytes,
+            self.n_phases,
+        )).encode()
+
+
+@dataclass
+class TraceChunk:
+    """One bounded window of reference arrays (canonical dtypes)."""
+
+    addresses: np.ndarray
+    is_store: np.ndarray
+    gap_instructions: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.addresses = np.ascontiguousarray(self.addresses, dtype=np.uint64)
+        self.is_store = np.ascontiguousarray(self.is_store, dtype=bool)
+        self.gap_instructions = np.ascontiguousarray(
+            self.gap_instructions, dtype=np.int64
+        )
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+def header_for(trace: MemoryTrace) -> TraceHeader:
+    """The :class:`TraceHeader` describing an in-memory trace."""
+    return TraceHeader(
+        name=trace.name,
+        input_name=trace.input_name,
+        mix=trace.mix,
+        local_ref_fraction=trace.local_ref_fraction,
+        icache_footprint_bytes=trace.icache_footprint_bytes,
+        n_phases=trace.n_phases,
+    )
+
+
+def trace_chunks(
+    trace: MemoryTrace, chunk_refs: int = DEFAULT_CHUNK_REFS
+) -> Iterator[TraceChunk]:
+    """Slice an in-memory trace into bounded chunks (views, no copies)."""
+    if chunk_refs <= 0:
+        raise ValueError(f"chunk_refs must be positive, got {chunk_refs}")
+    for start in range(0, trace.n_references, chunk_refs):
+        stop = start + chunk_refs
+        yield TraceChunk(
+            trace.addresses[start:stop],
+            trace.is_store[start:stop],
+            trace.gap_instructions[start:stop],
+        )
+
+
+def assemble_trace(header: TraceHeader, chunks: Iterable[TraceChunk]) -> MemoryTrace:
+    """Concatenate streamed chunks back into one in-memory trace."""
+    chunks = [c for c in chunks if len(c)]
+    if chunks:
+        addresses = np.concatenate([c.addresses for c in chunks])
+        stores = np.concatenate([c.is_store for c in chunks])
+        gaps = np.concatenate([c.gap_instructions for c in chunks])
+    else:
+        addresses = np.zeros(0, dtype=np.uint64)
+        stores = np.zeros(0, dtype=bool)
+        gaps = np.zeros(0, dtype=np.int64)
+    return MemoryTrace(
+        name=header.name,
+        input_name=header.input_name,
+        addresses=addresses,
+        is_store=stores,
+        gap_instructions=gaps,
+        mix=header.mix,
+        local_ref_fraction=header.local_ref_fraction,
+        icache_footprint_bytes=header.icache_footprint_bytes,
+        n_phases=header.n_phases,
+    )
+
+
+# ----------------------------------------------------------------------
+# Format detection
+# ----------------------------------------------------------------------
+
+def detect_format(stream: BinaryIO, source: str = "") -> str:
+    """Identify the trace format from magic bytes (stream is rewound).
+
+    Returns ``"text"``, ``"binary"``, ``"text.gz"``, or ``"binary.gz"``;
+    raises :class:`TraceFormatError` on unrecognized magic.
+    """
+    head = stream.read(2)
+    stream.seek(0)
+    if head == GZIP_MAGIC:
+        with gzip.open(stream, "rb") as inner:
+            try:
+                inner_head = inner.read(max(len(TEXT_MAGIC), len(BINARY_MAGIC)))
+            except (OSError, EOFError) as error:
+                raise TraceFormatError(
+                    f"corrupt gzip wrapper: {error}", source=source, offset=0
+                )
+        stream.seek(0)
+        return _plain_format(inner_head, source) + ".gz"
+    head = stream.read(max(len(TEXT_MAGIC), len(BINARY_MAGIC)))
+    stream.seek(0)
+    return _plain_format(head, source)
+
+
+def _plain_format(head: bytes, source: str) -> str:
+    if head.startswith(BINARY_MAGIC):
+        return "binary"
+    if head.startswith(TEXT_MAGIC) or TEXT_MAGIC.startswith(head.rstrip(b"\r\n")):
+        # Short files still count as text candidates; the parser will
+        # report the precise failure.
+        if head.startswith(TEXT_MAGIC[: len(head)]):
+            return "text"
+    raise TraceFormatError(
+        f"unrecognized trace magic {head[:16]!r} "
+        "(expected '#repro-trace v1', 'RTRC', or a gzip wrapper)",
+        source=source,
+        offset=0,
+    )
+
+
+def _open_source(path_or_stream, source: str | None) -> tuple[BinaryIO, str, bool]:
+    """Normalize a path or binary stream into (stream, label, owned)."""
+    if hasattr(path_or_stream, "read"):
+        return path_or_stream, source or getattr(path_or_stream, "name", "<stream>"), False
+    path = Path(path_or_stream)
+    return open(path, "rb"), source or str(path), True
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+
+#: Metadata directives: key -> (required, parser).
+_TEXT_KEYS = (
+    "name", "input", "mix", "local-ref-fraction", "icache-footprint", "phases"
+)
+
+
+def _iter_text_lines(stream: BinaryIO, source: str) -> Iterator[tuple[int, bytes]]:
+    """Yield (line_number, stripped_line) enforcing one newline style.
+
+    Reads incrementally (bounded memory) and raises on a file that mixes
+    CRLF and LF terminators — the classic silent-misparse source when a
+    trace is edited on two platforms.
+    """
+    newline_style: bytes | None = None
+    buffer = b""
+    number = 0
+    while True:
+        block = stream.read(1 << 16)
+        at_eof = not block
+        buffer += block
+        while True:
+            cut = buffer.find(b"\n")
+            if cut < 0:
+                break
+            line, buffer = buffer[:cut], buffer[cut + 1:]
+            number += 1
+            style = b"\r\n" if line.endswith(b"\r") else b"\n"
+            if newline_style is None:
+                newline_style = style
+            elif style != newline_style:
+                raise TraceFormatError(
+                    "mixed newline styles (file uses both CRLF and LF)",
+                    source=source, line=number,
+                )
+            yield number, line.rstrip(b"\r")
+        if at_eof:
+            if buffer:
+                number += 1
+                yield number, buffer  # final line without a terminator
+            return
+
+
+def _parse_mix(text: str, source: str, line: int) -> InstructionMix:
+    parts = text.split()
+    if len(parts) != len(MIX_FIELDS):
+        raise TraceFormatError(
+            f"#mix needs {len(MIX_FIELDS)} fractions "
+            f"({' '.join(MIX_FIELDS)}), got {len(parts)}",
+            source=source, line=line,
+        )
+    try:
+        values = [float(part) for part in parts]
+    except ValueError:
+        raise TraceFormatError(
+            f"#mix fractions must be numbers, got {text!r}", source=source, line=line
+        )
+    try:
+        return InstructionMix(**dict(zip(MIX_FIELDS, values)))
+    except ValueError as error:
+        raise TraceValidationError(str(error), source=source, line=line)
+
+
+def _parse_text_int(
+    text: str, what: str, source: str, line: int, maximum: int
+) -> int:
+    try:
+        value = int(text, 0)  # accepts 0x... hex and decimal
+    except ValueError:
+        raise TraceFormatError(
+            f"{what} must be an integer, got {text!r}", source=source, line=line
+        )
+    if value < 0:
+        raise TraceValidationError(
+            f"{what} must be non-negative, got {value}", source=source, line=line
+        )
+    if value > maximum:
+        raise TraceFormatError(
+            f"{what} {value:#x} overflows its {maximum.bit_length()}-bit field",
+            source=source, line=line,
+        )
+    return value
+
+
+def read_text_trace(
+    path_or_stream, source: str | None = None, chunk_refs: int = DEFAULT_CHUNK_REFS
+) -> tuple[TraceHeader, Iterator[TraceChunk]]:
+    """Parse a text trace into a header and a streamed chunk iterator.
+
+    The header is parsed eagerly (it precedes the body); chunks are
+    yielded lazily in ``chunk_refs`` windows.  Any malformed line raises
+    a typed error carrying its 1-based line number.
+    """
+    stream, source, owned = _open_source(path_or_stream, source)
+    lines = _iter_text_lines(stream, source)
+    meta: dict[str, object] = {}
+    seen: set[str] = set()
+    first_body: tuple[int, bytes] | None = None
+
+    try:
+        number, line = next(lines)
+    except StopIteration:
+        if owned:
+            stream.close()
+        raise TraceFormatError("empty file (missing magic line)", source=source, line=1)
+    if line != TEXT_MAGIC:
+        if owned:
+            stream.close()
+        raise TraceFormatError(
+            f"bad magic line {line[:32]!r} (expected {TEXT_MAGIC.decode()!r})",
+            source=source, line=number,
+        )
+
+    try:
+        for number, line in lines:
+            if not line.strip():
+                continue
+            if not line.startswith(b"#"):
+                first_body = (number, line)
+                break
+            key, _, value = line[1:].decode("utf-8", "replace").partition(" ")
+            value = value.strip()
+            if key not in _TEXT_KEYS:
+                raise TraceFormatError(
+                    f"unknown directive #{key} (known: "
+                    f"{', '.join('#' + k for k in _TEXT_KEYS)})",
+                    source=source, line=number,
+                )
+            if key in seen:
+                raise TraceFormatError(
+                    f"duplicate directive #{key}", source=source, line=number
+                )
+            seen.add(key)
+            if key == "mix":
+                meta["mix"] = _parse_mix(value, source, number)
+            elif key == "local-ref-fraction":
+                try:
+                    fraction = float(value)
+                except ValueError:
+                    raise TraceFormatError(
+                        f"#local-ref-fraction must be a number, got {value!r}",
+                        source=source, line=number,
+                    )
+                if not 0.0 <= fraction <= 1.0:
+                    raise TraceValidationError(
+                        f"#local-ref-fraction must be in [0, 1], got {fraction}",
+                        source=source, line=number,
+                    )
+                meta["local_ref_fraction"] = fraction
+            elif key == "icache-footprint":
+                meta["icache_footprint_bytes"] = _parse_text_int(
+                    value, "#icache-footprint", source, number, _I64_MAX
+                )
+            elif key == "phases":
+                phases = _parse_text_int(value, "#phases", source, number, _I64_MAX)
+                if phases < 1:
+                    raise TraceValidationError(
+                        f"#phases must be >= 1, got {phases}", source=source, line=number
+                    )
+                meta["n_phases"] = phases
+            else:
+                meta["name" if key == "name" else "input_name"] = value
+    except BaseException:
+        if owned:
+            stream.close()
+        raise
+
+    defaults = MemoryTrace(
+        "x", "x",
+        np.zeros(0, np.uint64), np.zeros(0, bool), np.zeros(0, np.int64),
+    )
+    header = TraceHeader(
+        name=str(meta.get("name", "imported")),
+        input_name=str(meta.get("input_name", "ref")),
+        mix=meta.get("mix", defaults.mix),
+        local_ref_fraction=meta.get("local_ref_fraction", defaults.local_ref_fraction),
+        icache_footprint_bytes=meta.get(
+            "icache_footprint_bytes", defaults.icache_footprint_bytes
+        ),
+        n_phases=meta.get("n_phases", defaults.n_phases),
+    )
+
+    def chunks() -> Iterator[TraceChunk]:
+        addresses: list[int] = []
+        stores: list[bool] = []
+        gaps: list[int] = []
+        try:
+            pending = [first_body] if first_body is not None else []
+
+            def body_lines():
+                yield from pending
+                yield from lines
+
+            for number, line in body_lines():
+                if not line.strip():
+                    continue
+                if line.startswith(b"#"):
+                    raise TraceFormatError(
+                        "metadata directive after the first body line",
+                        source=source, line=number,
+                    )
+                parts = line.decode("utf-8", "replace").split()
+                if len(parts) != 3 or parts[0] not in ("R", "W"):
+                    raise TraceFormatError(
+                        f"body line must be 'R|W <address> <gap>', got {line[:48]!r}",
+                        source=source, line=number,
+                    )
+                addresses.append(
+                    _parse_text_int(parts[1], "address", source, number, _U64_MAX)
+                )
+                gaps.append(_parse_text_int(parts[2], "gap", source, number, _I64_MAX))
+                stores.append(parts[0] == "W")
+                if len(addresses) >= chunk_refs:
+                    yield TraceChunk(
+                        np.array(addresses, dtype=np.uint64),
+                        np.array(stores, dtype=bool),
+                        np.array(gaps, dtype=np.int64),
+                    )
+                    addresses, stores, gaps = [], [], []
+            if addresses:
+                yield TraceChunk(
+                    np.array(addresses, dtype=np.uint64),
+                    np.array(stores, dtype=bool),
+                    np.array(gaps, dtype=np.int64),
+                )
+        finally:
+            if owned:
+                stream.close()
+
+    return header, chunks()
+
+
+def write_text_trace(
+    trace_or_header,
+    path_or_stream,
+    chunks: Iterable[TraceChunk] | None = None,
+    compress: bool = False,
+) -> None:
+    """Serialize a trace (or header + chunks) to the text format."""
+    header, chunks = _coerce_payload(trace_or_header, chunks)
+    stream, _, owned = _open_writer(path_or_stream)
+    gz = gzip.GzipFile(fileobj=stream, mode="wb", mtime=0) if compress else None
+    out = gz if gz is not None else stream
+    try:
+        mix_text = " ".join(repr(getattr(header.mix, name)) for name in MIX_FIELDS)
+        out.write(TEXT_MAGIC + b"\n")
+        out.write(f"#name {header.name}\n".encode())
+        out.write(f"#input {header.input_name}\n".encode())
+        out.write(f"#mix {mix_text}\n".encode())
+        out.write(f"#local-ref-fraction {header.local_ref_fraction!r}\n".encode())
+        out.write(f"#icache-footprint {header.icache_footprint_bytes}\n".encode())
+        out.write(f"#phases {header.n_phases}\n".encode())
+        for chunk in chunks:
+            rows = [
+                f"{'W' if store else 'R'} {address:#x} {gap}"
+                for address, store, gap in zip(
+                    chunk.addresses.tolist(),
+                    chunk.is_store.tolist(),
+                    chunk.gap_instructions.tolist(),
+                )
+            ]
+            if rows:
+                out.write(("\n".join(rows) + "\n").encode())
+    finally:
+        if gz is not None:
+            gz.close()
+        if owned:
+            stream.close()
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+
+def _read_exact(stream: BinaryIO, n: int, source: str, offset: int, what: str) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise TraceFormatError(
+            f"truncated while reading {what} "
+            f"(wanted {n} bytes, got {len(data)})",
+            source=source, offset=offset,
+        )
+    return data
+
+
+class _CrcReader:
+    """Stream wrapper accumulating CRC-32 and the byte offset."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self.stream = stream
+        self.crc = 0
+        self.offset = 0
+
+    def read(self, n: int) -> bytes:
+        data = self.stream.read(n)
+        self.crc = zlib.crc32(data, self.crc)
+        self.offset += len(data)
+        return data
+
+
+def read_binary_trace(
+    path_or_stream, source: str | None = None, chunk_refs: int = DEFAULT_CHUNK_REFS
+) -> tuple[TraceHeader, Iterator[TraceChunk]]:
+    """Parse a packed binary trace into a header and streamed chunks.
+
+    On-disk blocks larger than ``chunk_refs`` are re-sliced into
+    ``chunk_refs``-sized chunks (views over the block buffer), so
+    downstream per-chunk work is bounded by the *reader's* chunk size no
+    matter how the file was written; one writer block is still buffered
+    whole while its columns are read.  The trailing CRC-32 is verified
+    after the end marker, so truncation and bit rot surface as typed
+    errors, never as a silently shortened trace.
+    """
+    raw, source, owned = _open_source(path_or_stream, source)
+    reader = _CrcReader(raw)
+
+    try:
+        magic = _read_exact(reader, 4, source, 0, "magic")
+        if magic != BINARY_MAGIC:
+            raise TraceFormatError(
+                f"bad magic {magic!r} (expected {BINARY_MAGIC!r})",
+                source=source, offset=0,
+            )
+        version_at = reader.offset
+        (version,) = struct.unpack("<H", _read_exact(reader, 2, source, version_at, "version"))
+        if version != BINARY_VERSION:
+            raise TraceFormatError(
+                f"unsupported container version {version} "
+                f"(this reader speaks v{BINARY_VERSION})",
+                source=source, offset=version_at,
+            )
+        name = _read_string(reader, source, "name")
+        input_name = _read_string(reader, source, "input name")
+        at = reader.offset
+        mix_values = struct.unpack(
+            f"<{len(MIX_FIELDS)}d",
+            _read_exact(reader, 8 * len(MIX_FIELDS), source, at, "instruction mix"),
+        )
+        try:
+            mix = InstructionMix(**dict(zip(MIX_FIELDS, mix_values)))
+        except ValueError as error:
+            raise TraceValidationError(str(error), source=source, offset=at)
+        at = reader.offset
+        local_fraction, footprint, phases = struct.unpack(
+            "<dQI", _read_exact(reader, 20, source, at, "header tail")
+        )
+        if not 0.0 <= local_fraction <= 1.0:
+            raise TraceValidationError(
+                f"local-ref-fraction must be in [0, 1], got {local_fraction}",
+                source=source, offset=at,
+            )
+        if phases < 1:
+            raise TraceValidationError(
+                f"phases must be >= 1, got {phases}", source=source, offset=at
+            )
+        header = TraceHeader(
+            name=name, input_name=input_name, mix=mix,
+            local_ref_fraction=local_fraction,
+            icache_footprint_bytes=int(footprint), n_phases=int(phases),
+        )
+    except BaseException:
+        if owned:
+            raw.close()
+        raise
+
+    def chunks() -> Iterator[TraceChunk]:
+        try:
+            while True:
+                at = reader.offset
+                (count,) = struct.unpack(
+                    "<I", _read_exact(reader, 4, source, at, "block count")
+                )
+                if count == 0:
+                    break
+                at = reader.offset
+                addresses = np.frombuffer(
+                    _read_exact(reader, 8 * count, source, at, "address block"),
+                    dtype="<u8",
+                )
+                at = reader.offset
+                store_bytes = np.frombuffer(
+                    _read_exact(reader, count, source, at, "store-flag block"),
+                    dtype=np.uint8,
+                )
+                if store_bytes.max(initial=0) > 1:
+                    bad = int(np.flatnonzero(store_bytes > 1)[0])
+                    raise TraceFormatError(
+                        f"store flag must be 0 or 1, got {int(store_bytes[bad])}",
+                        source=source, offset=at + bad,
+                    )
+                at = reader.offset
+                gaps = np.frombuffer(
+                    _read_exact(reader, 8 * count, source, at, "gap block"),
+                    dtype="<i8",
+                )
+                if gaps.min(initial=0) < 0:
+                    bad = int(np.flatnonzero(gaps < 0)[0])
+                    raise TraceValidationError(
+                        f"gap must be non-negative, got {int(gaps[bad])}",
+                        source=source, offset=at + 8 * bad,
+                    )
+                stores = store_bytes.astype(bool)
+                for start in range(0, count, chunk_refs):
+                    stop = start + chunk_refs
+                    yield TraceChunk(
+                        addresses[start:stop], stores[start:stop], gaps[start:stop]
+                    )
+            expected_crc = reader.crc
+            at = reader.offset
+            (stored_crc,) = struct.unpack(
+                "<I", _read_exact(reader, 4, source, at, "trailing checksum")
+            )
+            if stored_crc != expected_crc:
+                raise TraceFormatError(
+                    f"checksum mismatch: stored {stored_crc:#010x}, "
+                    f"computed {expected_crc:#010x} (torn write or bit rot)",
+                    source=source, offset=at,
+                )
+            trailing = reader.read(1)
+            if trailing:
+                raise TraceFormatError(
+                    "trailing garbage after the checksum",
+                    source=source, offset=reader.offset - 1,
+                )
+        finally:
+            if owned:
+                raw.close()
+
+    return header, chunks()
+
+
+def _read_string(reader: _CrcReader, source: str, what: str) -> str:
+    at = reader.offset
+    (length,) = struct.unpack("<H", _read_exact(reader, 2, source, at, f"{what} length"))
+    data = _read_exact(reader, length, source, reader.offset, what)
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError:
+        raise TraceFormatError(f"{what} is not valid UTF-8", source=source, offset=at)
+
+
+def write_binary_trace(
+    trace_or_header,
+    path_or_stream,
+    chunks: Iterable[TraceChunk] | None = None,
+    compress: bool = False,
+    block_refs: int = DEFAULT_CHUNK_REFS,
+) -> None:
+    """Serialize a trace (or header + chunks) to the packed binary format."""
+    header, chunks = _coerce_payload(trace_or_header, chunks)
+    stream, _, owned = _open_writer(path_or_stream)
+    gz = gzip.GzipFile(fileobj=stream, mode="wb", mtime=0) if compress else None
+    out = gz if gz is not None else stream
+    crc = 0
+
+    def emit(data: bytes) -> None:
+        nonlocal crc
+        crc = zlib.crc32(data, crc)
+        out.write(data)
+
+    try:
+        emit(BINARY_MAGIC)
+        emit(struct.pack("<H", BINARY_VERSION))
+        for text, what in ((header.name, "name"), (header.input_name, "input name")):
+            encoded = text.encode("utf-8")
+            if len(encoded) > 0xFFFF:
+                raise TraceValidationError(f"{what} longer than 65535 bytes")
+            emit(struct.pack("<H", len(encoded)) + encoded)
+        emit(struct.pack(
+            f"<{len(MIX_FIELDS)}d",
+            *(getattr(header.mix, name) for name in MIX_FIELDS),
+        ))
+        emit(struct.pack(
+            "<dQI",
+            header.local_ref_fraction,
+            header.icache_footprint_bytes,
+            header.n_phases,
+        ))
+        for chunk in chunks:
+            for start in range(0, len(chunk), block_refs):
+                stop = start + block_refs
+                addresses = chunk.addresses[start:stop]
+                emit(struct.pack("<I", len(addresses)))
+                emit(addresses.astype("<u8", copy=False).tobytes())
+                emit(chunk.is_store[start:stop].astype(np.uint8).tobytes())
+                emit(chunk.gap_instructions[start:stop].astype("<i8", copy=False).tobytes())
+        emit(struct.pack("<I", 0))
+        out.write(struct.pack("<I", crc))
+    finally:
+        if gz is not None:
+            gz.close()
+        if owned:
+            stream.close()
+
+
+# ----------------------------------------------------------------------
+# Front door
+# ----------------------------------------------------------------------
+
+def open_trace_stream(
+    path_or_stream, source: str | None = None, chunk_refs: int = DEFAULT_CHUNK_REFS
+) -> tuple[TraceHeader, Iterator[TraceChunk]]:
+    """Open any supported trace format as (header, streamed chunks).
+
+    The format is sniffed from magic bytes (gzip wrappers included), so
+    callers never pass a format name.  Errors are typed
+    :class:`~repro.ingest.errors.IngestError` subclasses.
+    """
+    stream, source, owned = _open_source(path_or_stream, source)
+    try:
+        kind = detect_format(stream, source)
+    except BaseException:
+        if owned:
+            stream.close()
+        raise
+    if kind.endswith(".gz"):
+        inner = gzip.GzipFile(fileobj=stream, mode="rb")
+        reader = read_text_trace if kind == "text.gz" else read_binary_trace
+        try:
+            # The header parse reads eagerly, so a corrupt deflate
+            # stream (or the gzip CRC, checked at EOF on small files)
+            # can fire here as well as during lazy chunk iteration.
+            header, chunks = reader(inner, source=source, chunk_refs=chunk_refs)
+        except (OSError, EOFError, zlib.error) as error:
+            inner.close()
+            if owned:
+                stream.close()
+            raise TraceFormatError(f"corrupt gzip stream: {error}", source=source)
+
+        def closing() -> Iterator[TraceChunk]:
+            try:
+                try:
+                    yield from chunks
+                except (OSError, EOFError, zlib.error) as error:
+                    raise TraceFormatError(
+                        f"corrupt gzip stream: {error}", source=source
+                    )
+            finally:
+                inner.close()
+                if owned:
+                    stream.close()
+
+        return header, closing()
+    reader = read_text_trace if kind == "text" else read_binary_trace
+    if owned:
+        stream.close()
+        return reader(source, source=source, chunk_refs=chunk_refs)
+    return reader(stream, source=source, chunk_refs=chunk_refs)
+
+
+def load_memory_trace(path_or_stream, source: str | None = None) -> MemoryTrace:
+    """Parse any supported format fully into a :class:`MemoryTrace`."""
+    header, chunks = open_trace_stream(path_or_stream, source=source)
+    return assemble_trace(header, chunks)
+
+
+def _coerce_payload(trace_or_header, chunks):
+    if isinstance(trace_or_header, MemoryTrace):
+        if chunks is not None:
+            raise ValueError("pass either a MemoryTrace or (header, chunks), not both")
+        return header_for(trace_or_header), trace_chunks(trace_or_header)
+    if chunks is None:
+        raise ValueError("writing from a TraceHeader needs an explicit chunk iterable")
+    return trace_or_header, chunks
+
+
+def _open_writer(path_or_stream) -> tuple[BinaryIO, str, bool]:
+    if hasattr(path_or_stream, "write"):
+        return path_or_stream, getattr(path_or_stream, "name", "<stream>"), False
+    path = Path(path_or_stream)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return open(path, "wb"), str(path), True

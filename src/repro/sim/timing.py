@@ -618,8 +618,9 @@ def _replay_slotted_batch(miss_trace, controllers, entries, record_requests):
     controller (same contract as the single-config kernels).
     """
     n_cfg = len(controllers)
-    gaps_np = np.ascontiguousarray(miss_trace.gap_cycles, dtype=np.float64)
-    blocking_np = np.ascontiguousarray(miss_trace.is_blocking, dtype=bool)
+    # MissTrace.__post_init__ canonicalizes (contiguous float64/bool).
+    gaps_np = miss_trace.gap_cycles
+    blocking_np = miss_trace.is_blocking
     gaps = gaps_np.tolist()
     blocking = blocking_np.tolist()
     n = len(gaps)

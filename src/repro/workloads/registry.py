@@ -23,11 +23,20 @@ def workload_names() -> list[str]:
 
 
 def get_workload(name: str) -> WorkloadSpec:
-    """Look up one workload spec by name."""
+    """Look up one workload spec by name.
+
+    Names of the form ``ingest:<digest-prefix>`` resolve against the
+    trace-ingestion store instead of the synthetic registry, so every
+    surface that takes a benchmark name accepts an imported trace.
+    """
     specs = registry()
     try:
         return specs[name]
     except KeyError:
+        if name.startswith("ingest:"):
+            from repro.ingest.store import workload_spec_for
+
+            return workload_spec_for(name.split(":", 1)[1])
         raise ValueError(f"unknown workload {name!r}; options: {sorted(specs)}")
 
 

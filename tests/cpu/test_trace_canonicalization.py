@@ -1,0 +1,107 @@
+"""Dtype canonicalization happens once, in the trace constructors.
+
+``MemoryTrace.__post_init__`` / ``MissTrace.__post_init__`` are the
+single canonicalization points (contiguous uint64/bool/int64 and
+float64/bool/int64 respectively); every downstream consumer — digests,
+the vectorized kernels, the batched replay, the ingest store — uses the
+arrays as-is.  The regression here: traces built from float, int32,
+list, or strided source arrays must be indistinguishable from the
+canonical construction everywhere, most importantly in
+``content_digest`` (the cache and ingest-store key).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import simulate_hierarchy
+from repro.cpu.trace import MemoryTrace, MissTrace
+from repro.cpu.trace import EnergyEvents
+from repro.sim.timing import run_timing
+from repro.core.scheme import StaticScheme
+
+
+def _canonical_trace():
+    rng = np.random.default_rng(11)
+    n = 400
+    addresses = rng.integers(0, 1 << 30, size=n, dtype=np.uint64) * 8
+    is_store = rng.random(n) < 0.3
+    gaps = rng.integers(0, 50, size=n, dtype=np.int64)
+    return MemoryTrace("canon", "ref", addresses, is_store, gaps)
+
+
+VARIANT_BUILDERS = {
+    "float64-addresses": lambda t: (t.addresses.astype(np.float64),
+                                    t.is_store, t.gap_instructions),
+    "int32-gaps": lambda t: (t.addresses, t.is_store,
+                             t.gap_instructions.astype(np.int32)),
+    "python-lists": lambda t: (t.addresses.tolist(),
+                               t.is_store.tolist(),
+                               t.gap_instructions.tolist()),
+    "uint8-stores": lambda t: (t.addresses, t.is_store.astype(np.uint8),
+                               t.gap_instructions),
+    "non-contiguous": lambda t: (np.repeat(t.addresses, 2)[::2],
+                                 np.repeat(t.is_store, 2)[::2],
+                                 np.repeat(t.gap_instructions, 2)[::2]),
+}
+
+
+class TestMemoryTraceCanonicalization:
+    @pytest.mark.parametrize("variant", sorted(VARIANT_BUILDERS))
+    def test_mixed_dtype_sources_digest_identically(self, variant):
+        base = _canonical_trace()
+        addresses, is_store, gaps = VARIANT_BUILDERS[variant](base)
+        rebuilt = MemoryTrace("canon", "ref", addresses, is_store, gaps)
+        assert rebuilt.addresses.dtype == np.uint64
+        assert rebuilt.is_store.dtype == np.bool_
+        assert rebuilt.gap_instructions.dtype == np.int64
+        assert all(a.flags.c_contiguous for a in
+                   (rebuilt.addresses, rebuilt.is_store, rebuilt.gap_instructions))
+        assert rebuilt.content_digest() == base.content_digest()
+
+    @pytest.mark.parametrize("variant", sorted(VARIANT_BUILDERS))
+    def test_mixed_dtype_sources_simulate_identically(self, variant):
+        base = _canonical_trace()
+        addresses, is_store, gaps = VARIANT_BUILDERS[variant](base)
+        rebuilt = MemoryTrace("canon", "ref", addresses, is_store, gaps)
+        assert (
+            simulate_hierarchy(rebuilt, warmup_instructions=500).checksum()
+            == simulate_hierarchy(base, warmup_instructions=500).checksum()
+        )
+
+    def test_fractional_addresses_truncate_consistently(self):
+        # Float sources with fractional parts canonicalize through one
+        # astype(uint64) — the same truncation everywhere.
+        fractional = np.array([64.9, 128.2, 192.7])
+        a = MemoryTrace("f", "x", fractional, [0, 1, 0], [1, 2, 3])
+        b = MemoryTrace("f", "x", fractional.astype(np.uint64), [0, 1, 0], [1, 2, 3])
+        assert a.content_digest() == b.content_digest()
+
+
+class TestMissTraceCanonicalization:
+    def test_mixed_dtype_requests_replay_identically(self):
+        gaps = [120.0, 0.0, 37.5, 800.0]
+        blocking = [True, False, False, True]
+        index = [7, 14, 21, 28]
+        energy = EnergyEvents(n_instructions=40, n_memory_refs=4)
+
+        def build(g, b, ix):
+            return MissTrace(
+                gap_cycles=g, is_blocking=b, instruction_index=ix,
+                total_compute_cycles=50.0, n_instructions=40,
+                energy=energy, source_name="canon", source_input="x",
+            )
+
+        base = build(np.asarray(gaps), np.asarray(blocking), np.asarray(index))
+        variants = [
+            build(gaps, blocking, index),  # python lists
+            build(np.asarray(gaps, dtype=np.float32).astype(np.float64),
+                  np.asarray(blocking, dtype=np.int8),
+                  np.asarray(index, dtype=np.int32)),
+        ]
+        scheme = StaticScheme(rate=50, oram_latency=100)
+        reference = run_timing(base, scheme)
+        for variant in variants:
+            assert variant.checksum() == base.checksum()
+            result = run_timing(variant, scheme)
+            assert result.cycles == reference.cycles
+            assert result.power_watts == reference.power_watts

@@ -8,7 +8,7 @@ class TestScenarioRegistry:
     def test_known_scenarios(self):
         assert set(SCENARIO_NAMES) == {
             "worker-crash", "corrupt-artifact", "torn-write",
-            "daemon-restart", "client-retry",
+            "daemon-restart", "client-retry", "corrupt-import",
         }
 
     def test_unknown_scenario_raises(self, tmp_path):

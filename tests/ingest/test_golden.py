@@ -1,0 +1,121 @@
+"""Golden-file regression corpus: byte-stable parsing and import digests.
+
+``golden/`` holds one canonical trace committed in every supported
+format, plus ``MANIFEST.json`` pinning the trace's content digest and
+each file's sha-256.  The corpus guards three invariants at once:
+
+- the parsers keep accepting the committed bytes (format stability),
+- every format still reconstructs the exact same trace (the shared
+  ``content_digest`` — which is also the import-store key, so a drift
+  here would silently orphan every previously imported trace), and
+- the serializers keep producing the exact committed bytes from the
+  same in-memory trace (writer stability, including gzip with a pinned
+  mtime).
+
+If a change legitimately needs new bytes (a format v2, say), the old
+files must keep parsing — add new goldens next to them instead of
+regenerating these.
+"""
+
+import gzip
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cpu.isa import InstructionMix
+from repro.cpu.trace import MemoryTrace
+from repro.ingest import (
+    IngestStore,
+    detect_format,
+    load_memory_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+MANIFEST = json.loads((GOLDEN / "MANIFEST.json").read_text())
+FORMAT_FILES = sorted(MANIFEST["files"])
+
+
+def golden_trace() -> MemoryTrace:
+    """The golden trace, rebuilt from its arithmetic definition."""
+    n = MANIFEST["n_references"]
+    i = np.arange(n, dtype=np.uint64)
+    addresses = (
+        i * np.uint64(8) + (i % np.uint64(7)) * np.uint64(4096)
+    ) % np.uint64(1 << 34)
+    is_store = (i % np.uint64(3)) == np.uint64(0)
+    gaps = ((i * np.uint64(13)) % np.uint64(29)).astype(np.int64)
+    mix = InstructionMix(int_arith=0.68, int_mult=0.06, int_div=0.01,
+                         fp_arith=0.05, fp_mult=0.03, fp_div=0.01, branch=0.16)
+    return MemoryTrace("golden", "pinned", addresses, is_store, gaps,
+                       mix=mix, local_ref_fraction=0.25,
+                       icache_footprint_bytes=48 * 1024, n_phases=3)
+
+
+class TestGoldenCorpus:
+    def test_manifest_covers_every_format(self):
+        assert FORMAT_FILES == [
+            "golden.rtb", "golden.rtb.gz", "golden.trace", "golden.trace.gz",
+        ]
+
+    @pytest.mark.parametrize("filename", FORMAT_FILES)
+    def test_committed_bytes_unchanged(self, filename):
+        digest = hashlib.sha256((GOLDEN / filename).read_bytes()).hexdigest()
+        assert digest == MANIFEST["files"][filename], (
+            f"{filename} changed on disk — golden files are append-only"
+        )
+
+    @pytest.mark.parametrize("filename", FORMAT_FILES)
+    def test_every_format_parses_to_the_pinned_digest(self, filename):
+        trace = load_memory_trace(GOLDEN / filename)
+        assert trace.name == MANIFEST["name"]
+        assert trace.input_name == MANIFEST["input"]
+        assert trace.n_references == MANIFEST["n_references"]
+        assert trace.content_digest() == MANIFEST["content_digest"]
+
+    @pytest.mark.parametrize("filename", FORMAT_FILES)
+    def test_import_digest_is_byte_stable(self, filename, tmp_path):
+        store = IngestStore(tmp_path / "store")
+        digest = store.import_trace(GOLDEN / filename)
+        assert digest == MANIFEST["content_digest"]
+        # The canonical stored entry is byte-identical no matter which
+        # format fed the import.
+        entry = (tmp_path / "store" / f"{digest}.rtb").read_bytes()
+        assert hashlib.sha256(entry).hexdigest() == MANIFEST["files"]["golden.rtb"]
+
+    def test_writers_reproduce_the_committed_bytes(self, tmp_path):
+        trace = golden_trace()
+        assert trace.content_digest() == MANIFEST["content_digest"]
+        for filename, writer, compress in (
+            ("golden.trace", write_text_trace, False),
+            ("golden.trace.gz", write_text_trace, True),
+            ("golden.rtb", write_binary_trace, False),
+            ("golden.rtb.gz", write_binary_trace, True),
+        ):
+            out = tmp_path / filename
+            writer(trace, out, compress=compress)
+            assert (
+                hashlib.sha256(out.read_bytes()).hexdigest()
+                == MANIFEST["files"][filename]
+            ), f"serializer for {filename} no longer byte-stable"
+
+    def test_format_detection(self):
+        with open(GOLDEN / "golden.trace", "rb") as handle:
+            assert detect_format(handle) == "text"
+        with open(GOLDEN / "golden.rtb", "rb") as handle:
+            assert detect_format(handle) == "binary"
+        with open(GOLDEN / "golden.trace.gz", "rb") as handle:
+            assert detect_format(handle) == "text.gz"
+        with open(GOLDEN / "golden.rtb.gz", "rb") as handle:
+            assert detect_format(handle) == "binary.gz"
+
+    def test_gzip_variants_wrap_the_plain_bytes(self):
+        # .gz goldens are exactly the plain goldens, gzip-wrapped.
+        for stem in ("golden.trace", "golden.rtb"):
+            plain = (GOLDEN / stem).read_bytes()
+            wrapped = gzip.decompress((GOLDEN / f"{stem}.gz").read_bytes())
+            assert wrapped == plain
