@@ -40,6 +40,7 @@ from repro.api.records import RunRecord
 from repro.api.spec import Cell
 from repro.faults import counters
 from repro.sim.simulator import SecureProcessorSim
+from repro.util.backoff import full_jitter
 
 #: Attempts a batch gets before its cells are quarantined as poison.
 DEFAULT_MAX_BATCH_ATTEMPTS = 3
@@ -216,8 +217,9 @@ class ProcessPoolBackend:
             individually so crashed ones can be retried.
         max_batch_attempts: Worker crashes a group survives before its
             cells are poisoned (>= 1).
-        retry_backoff_s: First retry delay; doubles each retry round,
-            capped at :data:`RETRY_BACKOFF_CAP_S`.
+        retry_backoff_s: Retry-delay scale: each retry round sleeps a
+            full-jitter delay drawn from ``[0, min(retry_backoff_s *
+            2^round, RETRY_BACKOFF_CAP_S)]``.
     """
 
     name = "process_pool"
@@ -333,8 +335,11 @@ class ProcessPoolBackend:
                 if not survivors:
                     break
                 if self.retry_backoff_s:
-                    time.sleep(min(
-                        self.retry_backoff_s * 2 ** retry_round, RETRY_BACKOFF_CAP_S
+                    # Full jitter: concurrent sweeps whose pools broke on
+                    # the same event (OOM killer, host pressure) would
+                    # otherwise retry in lockstep (repro.util.backoff).
+                    time.sleep(full_jitter(
+                        self.retry_backoff_s, retry_round, RETRY_BACKOFF_CAP_S
                     ))
                 retry_round += 1
                 # One single-group pool per crashed batch: exact failure

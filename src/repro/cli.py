@@ -35,15 +35,24 @@ Installed as the ``repro`` console script and runnable as
   ``benchmarks/BENCH_service.json``, and any redundant functional pass
   under load exits 1 (docs/operations.md has the full recipe).
 - ``faults`` — scripted chaos drills: kill workers, rot cached
-  artifacts, tear writes, restart the daemon, refuse client connects —
-  each scenario asserts byte-identical digests against fault-free runs
-  and exits 1 on any broken recovery contract (CI's chaos step).
+  artifacts, tear writes, restart the daemon, refuse client connects,
+  SIGKILL distributed queue workers — each scenario asserts
+  byte-identical digests against fault-free runs and exits 1 on any
+  broken recovery contract (CI's chaos step).
+- ``dist`` — the distributed work-queue backend: ``submit`` a sweep as
+  a lease-guarded task board under the shared cache, ``worker`` drains
+  it from any process/host that sees the cache directory, ``status``
+  and ``workers`` observe the board, ``run`` does submit + a local
+  worker fleet + result assembly in one call (docs/operations.md,
+  "Distributed workers").
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
 from repro.api.backends import ProcessPoolBackend, SerialBackend
 from repro.api.cache import ExperimentCache
@@ -275,12 +284,29 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
         static_anchors=statics,
     )
     # A grid sweep is hundreds of independent replays: the pool is the
-    # default, --serial opts out (mutually exclusive with --workers).
-    backend = (
-        SerialBackend()
-        if args.serial
-        else ProcessPoolBackend(max_workers=args.workers)
-    )
+    # default, --serial opts out, --dist fans out across the work queue
+    # (all three mutually exclusive).
+    if args.dist:
+        if not args.cache_dir:
+            print(
+                "error: --dist needs --cache-dir (the shared cache is the "
+                "queue's coordination substrate)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.dist.backend import DEFAULT_DIST_WORKERS, WorkQueueBackend
+
+        backend = WorkQueueBackend(
+            workers=(
+                DEFAULT_DIST_WORKERS
+                if args.dist_workers is None
+                else args.dist_workers
+            ),
+        )
+    elif args.serial:
+        backend = SerialBackend()
+    else:
+        backend = ProcessPoolBackend(max_workers=args.workers)
     cache = ExperimentCache(args.cache_dir) if args.cache_dir else None
     engine = Engine(backend=backend, cache=cache)
     sweep = run_frontier(config, engine=engine, use_cache=not args.no_cache_read)
@@ -383,6 +409,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             uds=args.uds,
             max_concurrency=args.max_concurrency,
             resume=args.resume,
+            backend=args.backend,
+            dist_workers=args.dist_workers,
         ))
     except KeyboardInterrupt:
         print("\ninterrupted; daemon stopped")
@@ -545,6 +573,130 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         )
         return 2
     return 1 if failures else 0
+
+
+def _dist_spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="repro dist",
+        benchmarks=_split_csv(args.benchmarks),
+        schemes=_split_csv(args.schemes),
+        seeds=tuple(int(s) for s in _split_csv(args.seeds)),
+        n_instructions=args.instructions,
+    )
+
+
+def _dist_queue_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if getattr(args, "lease_ttl", None) is not None:
+        kwargs["lease_ttl_s"] = args.lease_ttl
+    if getattr(args, "max_attempts", None) is not None:
+        kwargs["max_attempts"] = args.max_attempts
+    return kwargs
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.dist import WorkQueue, list_queues, run_worker
+    from repro.dist.queue import QUEUE_SUBDIR
+
+    cache = ExperimentCache(args.cache_dir)
+
+    if args.dist_command == "submit":
+        spec = _dist_spec_from_args(args)
+        queue = WorkQueue.for_cells(
+            cache.root, list(spec.cells()), name=spec.name,
+            **_dist_queue_kwargs(args),
+        )
+        stats = queue.stats()
+        print(f"queue {queue.root.name} at {queue.root}")
+        print(
+            f"  {stats['tasks']} tasks / {stats['cells']} cells "
+            f"({stats['done']} done, {stats['pending']} pending)"
+        )
+        print(
+            f"drain it with: repro dist --cache {cache.root} "
+            f"worker --queue {queue.root.name}"
+        )
+        return 0
+
+    if args.dist_command == "status":
+        queues = list_queues(cache.root)
+        if args.queue:
+            queues = [(qid, path) for qid, path in queues if qid == args.queue]
+            if not queues:
+                print(f"error: no queue {args.queue!r} under {cache.root}",
+                      file=sys.stderr)
+                return 2
+        if not queues:
+            print(f"no queues under {cache.root / QUEUE_SUBDIR}")
+            return 0
+        for qid, path in queues:
+            stats = WorkQueue(path, **_dist_queue_kwargs(args)).stats()
+            state = "finished" if (
+                stats["tasks"] and stats["pending"] == stats["claimed"] == 0
+            ) else "active"
+            print(
+                f"{qid}  {state}  tasks {stats['done']}/{stats['tasks']} done "
+                f"({stats['claimed']} claimed, {stats['pending']} pending, "
+                f"{stats['poisoned']} poisoned); "
+                f"cells {stats['cells_done']}/{stats['cells']}"
+            )
+        return 0
+
+    if args.dist_command == "workers":
+        queue = WorkQueue(Path(cache.root) / QUEUE_SUBDIR / args.queue)
+        docs = queue.workers_seen()
+        if not docs:
+            print(f"no workers have reported on queue {args.queue}")
+            return 0
+        now = time.time()
+        for doc in docs:
+            age = now - float(doc.get("last_seen", now))
+            print(
+                f"{doc['worker']}  {doc.get('status', '?'):8s} "
+                f"last seen {age:6.1f}s ago  "
+                f"tasks {doc.get('tasks_completed', 0)}  "
+                f"cells {doc.get('cells_executed', 0)}"
+                + (f"  on {doc['task'][:12]}" if doc.get("task") else "")
+            )
+        return 0
+
+    if args.dist_command == "worker":
+        completed = run_worker(
+            cache.root, args.queue,
+            worker_id=args.worker_id,
+            lease_ttl_s=args.lease_ttl,
+            max_attempts=args.max_attempts,
+            idle_poll_s=args.idle_poll,
+            max_tasks=args.max_tasks,
+        )
+        print(f"worker done: {completed} task(s) completed")
+        return 0
+
+    if args.dist_command == "run":
+        from repro.dist.backend import DEFAULT_DIST_WORKERS, WorkQueueBackend
+
+        spec = _dist_spec_from_args(args)
+        backend = WorkQueueBackend(
+            workers=DEFAULT_DIST_WORKERS if args.workers is None else args.workers,
+            **_dist_queue_kwargs(args),
+        )
+        engine = Engine(backend=backend, cache=cache)
+        results = engine.run(spec)
+        print(results.render())
+        meta = results.meta
+        line = (
+            f"\n[{meta['backend']}] {meta['cells']} cells: "
+            f"{meta['cache_hits']} cached, {meta['cells_run']} run"
+        )
+        if meta.get("cells_poisoned"):
+            line += f", {meta['cells_poisoned']} poisoned"
+        print(line)
+        if args.save:
+            results.save(args.save)
+            print(f"saved to {args.save}")
+        return 1 if meta.get("cells_poisoned") else 0
+
+    raise ValueError(f"unknown dist subcommand {args.dist_command!r}")
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -767,6 +919,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process pool size (default: cpu count)",
     )
+    backend_group.add_argument(
+        "--dist", action="store_true",
+        help="run on the distributed work queue under --cache-dir "
+             "(requires --cache-dir; size the fleet with --dist-workers)",
+    )
+    frontier.add_argument(
+        "--dist-workers", type=int, default=None,
+        help="local queue workers for --dist (default 2; 0 = coordinate an "
+             "externally launched fleet)",
+    )
     frontier.add_argument(
         "-n", "--instructions", type=int, default=200_000,
         help="post-warmup instruction budget per run (default 200000)",
@@ -894,6 +1056,16 @@ def build_parser() -> argparse.ArgumentParser:
              "re-enqueueing jobs a previous daemon admitted but never finished",
     )
     serve.add_argument(
+        "--backend", default="serial", choices=["serial", "queue"],
+        help="job execution backend: in-process serial (default) or the "
+             "distributed work queue under the cache root",
+    )
+    serve.add_argument(
+        "--dist-workers", type=int, default=None,
+        help="local queue workers per job group for --backend queue "
+             "(default 2; 0 = coordinate an externally launched fleet)",
+    )
+    serve.add_argument(
         "--smoke", action="store_true",
         help="self-test: start, submit one sweep, stream events, scrape "
              "/metrics, clean shutdown; exit 1 on any failure",
@@ -982,7 +1154,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", action="append", default=None, metavar="NAME",
         help="scenario to run (repeatable; default: all). Known: "
              "worker-crash, corrupt-artifact, torn-write, daemon-restart, "
-             "client-retry, corrupt-import",
+             "client-retry, corrupt-import, worker-kill-dist",
     )
     faults.add_argument(
         "--workdir", default=None, metavar="DIR",
@@ -1037,6 +1209,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingest store directory (default: <cache>/ingest)",
     )
     ingest.set_defaults(func=_cmd_ingest)
+
+    dist = sub.add_parser(
+        "dist",
+        help="distributed work-queue sweeps: submit a task board, drain it "
+             "with workers from any host sharing the cache, observe progress",
+    )
+    dist.add_argument(
+        "--cache", dest="cache_dir", required=True, metavar="DIR",
+        help="shared cache root (queue lives under <DIR>/queue/)",
+    )
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+
+    def _dist_sweep_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--benchmarks", required=True,
+            help='comma-separated benchmarks, e.g. "mcf,libquantum"',
+        )
+        p.add_argument(
+            "--schemes", required=True,
+            help='comma-separated scheme specs, e.g. "base_dram,static:300"',
+        )
+        p.add_argument("--seeds", default="0", help='comma-separated seeds (default "0")')
+        p.add_argument(
+            "-n", "--instructions", type=int, default=200_000,
+            help="post-warmup instruction budget per run (default 200000)",
+        )
+
+    def _dist_queue_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--lease-ttl", type=float, default=None, metavar="SECONDS",
+            help="lease time-to-live (default 10.0; see docs/operations.md)",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=None,
+            help="failed claims before a task poisons (default 3)",
+        )
+
+    d_submit = dist_sub.add_parser(
+        "submit", help="materialize a sweep as a task board (no execution)"
+    )
+    _dist_sweep_args(d_submit)
+    _dist_queue_args(d_submit)
+
+    d_status = dist_sub.add_parser("status", help="show task-board progress")
+    d_status.add_argument(
+        "--queue", default=None, metavar="ID",
+        help="one queue id (default: every queue under the cache)",
+    )
+
+    d_workers = dist_sub.add_parser("workers", help="show worker heartbeats")
+    d_workers.add_argument("--queue", required=True, metavar="ID", help="queue id")
+
+    d_worker = dist_sub.add_parser(
+        "worker", help="drain a queue from this process until it finishes"
+    )
+    d_worker.add_argument("--queue", required=True, metavar="ID", help="queue id")
+    d_worker.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity (default: hostname-pid)",
+    )
+    d_worker.add_argument(
+        "--idle-poll", type=float, default=0.05, metavar="SECONDS",
+        help="sleep between claim attempts when nothing is claimable",
+    )
+    d_worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after completing this many tasks (default: drain fully)",
+    )
+    _dist_queue_args(d_worker)
+
+    d_run = dist_sub.add_parser(
+        "run", help="submit + local worker fleet + assembled results, one call"
+    )
+    _dist_sweep_args(d_run)
+    _dist_queue_args(d_run)
+    d_run.add_argument(
+        "--workers", type=int, default=None,
+        help="local worker processes (default 2; 0 drains in-process)",
+    )
+    d_run.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also write the ResultSet as JSON to PATH",
+    )
+
+    dist.set_defaults(func=_cmd_dist)
 
     return parser
 

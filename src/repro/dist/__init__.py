@@ -1,0 +1,31 @@
+"""Distributed, resumable sweep execution over a shared filesystem.
+
+``repro.dist`` generalizes the single-host process pool to a fleet of
+independent worker processes coordinated through nothing but the cache
+directory: a :class:`~repro.dist.queue.WorkQueue` of lease-guarded task
+files, :class:`~repro.dist.worker.Worker` loops that claim-execute-
+complete, and a :class:`~repro.dist.backend.WorkQueueBackend` exposing
+it all behind the ordinary ``ExecutionBackend`` contract.
+
+Execution is at-least-once; results are exactly-once and byte-identical
+to serial runs, because the content-addressed
+:class:`~repro.api.cache.ExperimentCache` is the only channel results
+travel through.  See ``docs/operations.md`` ("Distributed workers") for
+the operator story.
+"""
+
+from repro.dist.backend import WorkQueueBackend, spawn_worker_process
+from repro.dist.queue import Claim, Task, WorkQueue, list_queues, task_id_for_cells
+from repro.dist.worker import Worker, run_worker
+
+__all__ = [
+    "Claim",
+    "Task",
+    "WorkQueue",
+    "WorkQueueBackend",
+    "Worker",
+    "list_queues",
+    "run_worker",
+    "spawn_worker_process",
+    "task_id_for_cells",
+]

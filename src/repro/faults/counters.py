@@ -34,6 +34,10 @@ RECOVERY_COUNTER_NAMES = (
     "client_retries",         # ServiceClient connect attempts that were retried
     "journal_lines_skipped",  # unparseable job-journal lines ignored on replay
     "faults_injected",        # fault-plan firings (chaos runs only; 0 in production)
+    "leases_claimed",         # work-queue tasks claimed via O_EXCL lease creation
+    "leases_expired",         # leases reaped after their TTL passed unrenewed
+    "tasks_requeued",         # queue tasks returned to the pool behind a backoff
+    "tasks_poisoned",         # queue tasks quarantined after max failed claims
 )
 
 _LOCK = threading.Lock()

@@ -109,7 +109,31 @@ class FaultPlan:
     def __post_init__(self) -> None:
         if not self.token_dir:
             raise ValueError("a FaultPlan needs a token_dir for cross-process state")
+        # Absolutize eagerly: the plan travels to workers through the
+        # environment, and a relative token_dir would resolve against
+        # *their* CWDs — distributed workers launched from other
+        # directories (or hosts) would then each keep a private ledger
+        # and every one of them would fire a count=1 fault.
+        object.__setattr__(self, "token_dir", os.path.abspath(self.token_dir))
         object.__setattr__(self, "faults", tuple(self.faults))
+
+    @classmethod
+    def for_cache_root(
+        cls, cache_root: "str | os.PathLike[str]",
+        faults: tuple[FaultSpec, ...] = (), seed: int = 0,
+    ) -> "FaultPlan":
+        """A plan whose firing-cap tokens live under the shared cache.
+
+        The cache root is the one directory every worker in a
+        distributed sweep can already see, so rooting the token ledger
+        there (``<cache>/fault-tokens/``) makes cross-process firing
+        caps hold regardless of each worker's launch directory or host.
+        """
+        return cls(
+            faults=faults,
+            token_dir=str(Path(cache_root) / "fault-tokens"),
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------
     # Serialization

@@ -21,13 +21,20 @@ Scenarios (see ``docs/operations.md`` "Failure modes and recovery"):
   backoff land, and a truly dead address raises ``ServiceUnavailable``.
 - ``corrupt-import``   tear a trace import mid-write; the read path
   quarantines the torn entry and a re-import heals it digest-identical.
+- ``worker-kill-dist`` SIGKILL distributed queue workers mid-sweep —
+  first a lease-holding subset (survivors and respawns finish the
+  board), then *every* worker at random, followed by a cold restart
+  that must complete with zero recomputation of cached cells.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
+import signal
 import socket
 import tempfile
+import time
 from pathlib import Path
 
 from repro.faults import counters
@@ -300,6 +307,109 @@ def scenario_corrupt_import(workdir: Path) -> dict:
     return _report("corrupt-import", checks)
 
 
+def scenario_worker_kill_dist(workdir: Path) -> dict:
+    """SIGKILL distributed queue workers mid-sweep; the board must still
+    complete byte-identical to serial, and a total massacre plus cold
+    restart must recompute zero cached cells.
+
+    Two acts:
+
+    1. **Deterministic partial kill.**  Three queue workers drain the
+       board under a fault plan whose tokens live under the shared
+       cache root (:meth:`FaultPlan.for_cache_root` — any worker, any
+       CWD, same ledger): the first two workers to arm ``dist-cell``
+       die holding leases.  The coordinator reaps, requeues, respawns;
+       the digest must match the fault-free serial run with nothing
+       poisoned.
+    2. **Total massacre + cold restart.**  A fresh board, three
+       workers, and as soon as the first result lands every worker is
+       SIGKILLed in random order.  A cold engine restart on the same
+       cache must finish the sweep with ``cache_hits`` exactly equal to
+       the records the dead fleet persisted — at-least-once execution,
+       exactly-once results, zero recomputation.
+    """
+    from repro.api.backends import SerialBackend
+    from repro.api.cache import ExperimentCache
+    from repro.api.engine import Engine
+    from repro.dist.backend import WorkQueueBackend, spawn_worker_process
+    from repro.dist.queue import WorkQueue
+
+    spec = _chaos_spec(name="dist-chaos", seeds=(0, 1))  # 8 cells, 4 tasks
+    baseline = Engine(
+        backend=SerialBackend(), cache=ExperimentCache(workdir / "cache-serial")
+    ).run(spec)
+    checks: list = []
+
+    # -- Act 1: kill two lease-holding workers, deterministically -------
+    cache_a = ExperimentCache(workdir / "cache-dist-a")
+    kill = FaultSpec(kind="kill", site="dist-cell", at=1, count=2)
+    plan = FaultPlan.for_cache_root(cache_a.root, faults=(kill,))
+    backend = WorkQueueBackend(
+        workers=3, lease_ttl_s=0.6, poll_s=0.02, wait_timeout_s=180.0
+    )
+    with plan.activated():
+        chaotic = Engine(backend=backend, cache=cache_a).run(spec)
+
+    queue_a = backend.queue
+    failed_markers = list((queue_a.root / "failed").glob("*"))
+    _check(checks, "partial kill: digest matches fault-free serial run",
+           chaotic.digest() == baseline.digest())
+    _check(checks, "partial kill: both kill faults fired (shared token ledger)",
+           plan.fired_count(kill) == 2, f"fired={plan.fired_count(kill)}")
+    _check(checks, "partial kill: expired leases reaped and requeued",
+           len(failed_markers) >= 1, f"failed markers={len(failed_markers)}")
+    _check(checks, "partial kill: board finished, nothing poisoned",
+           queue_a.finished() and "cells_poisoned" not in chaotic.meta,
+           f"meta={chaotic.meta}, stats={queue_a.stats()}")
+
+    # -- Act 2: massacre every worker at random, then cold-restart ------
+    cache_b = ExperimentCache(workdir / "cache-dist-b")
+    cells = list(spec.cells())
+    queue_b = WorkQueue.for_cells(cache_b.root, cells, lease_ttl_s=0.6)
+    procs = [
+        spawn_worker_process(
+            cache_b.root, queue_b.root.name, f"victim-{i}",
+            lease_ttl_s=0.6, max_attempts=3, log_dir=queue_b.root / "logs",
+        )
+        for i in range(3)
+    ]
+    results_dir = cache_b.results.root
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if list(results_dir.glob("*.json")) or all(
+            proc.poll() is not None for proc in procs
+        ):
+            break
+        time.sleep(0.01)
+    rng = random.Random(0xD157)
+    rng.shuffle(procs)
+    for proc in procs:  # the massacre: no warning, no cleanup
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+    for proc in procs:
+        proc.wait(timeout=30.0)
+    persisted = len(list(results_dir.glob("*.json")))
+
+    restarted = Engine(
+        backend=WorkQueueBackend(
+            workers=2, lease_ttl_s=0.6, poll_s=0.02, wait_timeout_s=180.0
+        ),
+        cache=cache_b,
+    ).run(spec)
+
+    _check(checks, "massacre: at least one result persisted before the kill",
+           persisted >= 1, f"persisted={persisted}")
+    _check(checks, "cold restart: digest matches fault-free serial run",
+           restarted.digest() == baseline.digest())
+    _check(checks, "cold restart: zero recomputation of cached cells",
+           restarted.meta["cache_hits"] == persisted
+           and restarted.meta["cells_run"] == spec.n_cells - persisted,
+           f"meta={restarted.meta}, persisted={persisted}")
+    _check(checks, "cold restart: nothing poisoned",
+           "cells_poisoned" not in restarted.meta, f"meta={restarted.meta}")
+    return _report("worker-kill-dist", checks)
+
+
 # ----------------------------------------------------------------------
 # Registry / runner
 # ----------------------------------------------------------------------
@@ -311,6 +421,7 @@ SCENARIOS = {
     "daemon-restart": scenario_daemon_restart,
     "client-retry": scenario_client_retry,
     "corrupt-import": scenario_corrupt_import,
+    "worker-kill-dist": scenario_worker_kill_dist,
 }
 
 SCENARIO_NAMES = tuple(SCENARIOS)

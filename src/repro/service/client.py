@@ -6,8 +6,8 @@ shared by ``repro load``, the load generator, the CI smoke test, and the
 test suite.  One request per connection, matching the server.
 
 Failure handling: every socket carries a timeout (no request can block
-forever), connects retry with capped exponential backoff (a daemon
-mid-restart looks like a refused connection for a moment), and anything
+forever), connects retry with full-jitter capped exponential backoff (a
+daemon mid-restart looks like a refused connection for a moment), and anything
 that never reached the service raises :class:`ServiceUnavailable` — so
 callers can tell "the daemon said no" (:class:`ServiceError` with a
 real status) from "there is no daemon".
@@ -28,6 +28,7 @@ from typing import Iterator
 from repro.api.spec import ExperimentSpec
 from repro.faults import counters
 from repro.faults.plan import fault_point
+from repro.util.backoff import full_jitter
 
 #: Address forms: ("tcp", host, port) or ("uds", path).
 Address = tuple
@@ -86,7 +87,9 @@ class ServiceClient:
             reads — a hung daemon surfaces as :class:`ServiceUnavailable`
             instead of a client blocked forever.
         connect_retries: Extra connect attempts after the first fails
-            (refused/unreachable), with capped exponential backoff.
+            (refused/unreachable), with full-jitter capped exponential
+            backoff so a restarted daemon's orphaned clients don't
+            reconnect in lockstep.
     """
 
     def __init__(
@@ -138,8 +141,11 @@ class ServiceClient:
                         attempts=attempt,
                     ) from error
                 counters.bump("client_retries")
+                # Full jitter: a daemon restart orphans every client at
+                # once, and deterministic delays would reconnect them in
+                # lockstep waves (see repro.util.backoff).
                 time.sleep(
-                    min(self.retry_backoff_s * 2 ** (attempt - 1), RETRY_BACKOFF_CAP_S)
+                    full_jitter(self.retry_backoff_s, attempt - 1, RETRY_BACKOFF_CAP_S)
                 )
         raise AssertionError("unreachable")
 

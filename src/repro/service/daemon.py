@@ -87,6 +87,15 @@ class SweepService:
             :class:`JobJournal` uses that journal verbatim.
         events_limit: Per-job event-log ring bound (see
             :class:`~repro.service.jobs.Job`).
+        backend: ``"serial"`` (default) runs job groups in-process;
+            ``"queue"`` targets the distributed work queue
+            (:class:`~repro.dist.backend.WorkQueueBackend`) under the
+            same cache root, so daemon jobs become queue submissions
+            that any worker fleet sharing the cache can drain.
+        dist_workers: Local worker processes the queue backend spawns
+            per job group (``backend="queue"`` only); 0 coordinates an
+            externally-launched fleet, falling back to an in-process
+            drain if none appears.
     """
 
     def __init__(
@@ -96,12 +105,26 @@ class SweepService:
         engine: Engine | None = None,
         journal: JobJournal | bool | None = True,
         events_limit: int = DEFAULT_EVENTS_LIMIT,
+        backend: str = "serial",
+        dist_workers: int | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if backend not in ("serial", "queue"):
+            raise ValueError(f"backend must be 'serial' or 'queue', got {backend!r}")
         if engine is None:
+            if backend == "queue":
+                from repro.dist.backend import DEFAULT_DIST_WORKERS, WorkQueueBackend
+
+                execution_backend = WorkQueueBackend(
+                    workers=(
+                        DEFAULT_DIST_WORKERS if dist_workers is None else dist_workers
+                    ),
+                )
+            else:
+                execution_backend = SerialBackend()
             engine = Engine(
-                backend=SerialBackend(),
+                backend=execution_backend,
                 cache=cache if isinstance(cache, ExperimentCache) else ExperimentCache(cache),
             )
         if engine.cache is None:
@@ -203,11 +226,19 @@ class SweepService:
             f"recovery_{name}": value
             for name, value in fault_counters.snapshot().items()
         }
+        backend_name = getattr(
+            self.engine.backend, "name", type(self.engine.backend).__name__
+        )
         return self.metrics.snapshot(
             queue_depth=self.registry.queue_depth(),
             running_jobs=self.registry.running_count(),
             workers=self.max_concurrency,
-            extra={"accepting": self._accepting, **self._cache_gauges(), **recovery},
+            extra={
+                "accepting": self._accepting,
+                "backend": backend_name,
+                **self._cache_gauges(),
+                **recovery,
+            },
         )
 
     def _cache_gauges(self) -> dict:

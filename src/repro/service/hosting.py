@@ -29,14 +29,21 @@ async def serve_forever(
     announce=print,
     ready: "asyncio.Event | None" = None,
     resume: bool = False,
+    backend: str = "serial",
+    dist_workers: int | None = None,
 ) -> None:
     """Run a sweep service until ``POST /shutdown`` (or cancellation).
 
     ``resume=True`` replays the cache root's job journal before
     accepting traffic, re-enqueueing every job a previous daemon
     admitted but never finished (``repro serve --resume``).
+    ``backend="queue"`` executes job groups through the distributed
+    work queue under the cache root (``repro serve --backend queue``).
     """
-    service = SweepService(cache=cache, max_concurrency=max_concurrency)
+    service = SweepService(
+        cache=cache, max_concurrency=max_concurrency,
+        backend=backend, dist_workers=dist_workers,
+    )
     if resume:
         resumed = await service.resume()
         if resumed:
@@ -76,10 +83,13 @@ class ThreadedService:
         port: int = 0,
         uds: str | None = None,
         resume: bool = False,
+        backend: str = "serial",
+        dist_workers: int | None = None,
     ) -> None:
         self._config = dict(
             cache=cache, max_concurrency=max_concurrency,
             host=host, port=port, uds=uds, resume=resume,
+            backend=backend, dist_workers=dist_workers,
         )
         self._uds = uds
         self._thread: threading.Thread | None = None
@@ -96,7 +106,8 @@ class ThreadedService:
         config = self._config
         self._loop = asyncio.get_running_loop()
         self.service = SweepService(
-            cache=config["cache"], max_concurrency=config["max_concurrency"]
+            cache=config["cache"], max_concurrency=config["max_concurrency"],
+            backend=config["backend"], dist_workers=config["dist_workers"],
         )
         if config["resume"]:
             await self.service.resume()

@@ -1,0 +1,60 @@
+"""Retry backoff policies shared by every layer that retries.
+
+One implementation of capped exponential backoff and its full-jitter
+variant, used by the service client (connect retries), the process-pool
+backend (crashed-batch retries), and the distributed work queue
+(expired-lease requeues).  Full jitter — ``uniform(0, capped_exp)`` —
+matters whenever *many* peers back off from one shared event: N workers
+orphaned by the same crashed host all recompute the same deterministic
+delay and then thundering-herd the queue in lockstep, retry round after
+retry round.  Randomizing over the full window spreads them out while
+keeping the same mean pressure.
+
+>>> capped_exponential(0.05, attempt=0, cap_s=2.0)
+0.05
+>>> capped_exponential(0.05, attempt=3, cap_s=2.0)
+0.4
+>>> capped_exponential(0.05, attempt=10, cap_s=2.0)
+2.0
+>>> import random
+>>> delay = full_jitter(0.05, attempt=3, cap_s=2.0, rng=random.Random(7))
+>>> 0.0 <= delay <= 0.4
+True
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Process-wide jitter source.  Deliberately unseeded (OS entropy):
+#: backoff delays must differ *between* processes — that is the whole
+#: point — and never feed any result-determining computation, so they
+#: sit outside the repository's seeded-RNG determinism contract.
+_JITTER_RNG = random.Random()
+
+
+def capped_exponential(base_s: float, attempt: int, cap_s: float) -> float:
+    """Deterministic capped exponential delay: ``min(base * 2^attempt, cap)``.
+
+    ``attempt`` is 0-based (the first retry waits ``base_s``).
+    """
+    if base_s <= 0:
+        return 0.0
+    # Clamp the exponent: a long-lived retry loop can reach attempt
+    # counts where 2.0**attempt overflows float, and anything past 2^64
+    # is above every real cap anyway.
+    return min(base_s * (2.0 ** min(max(attempt, 0), 64)), cap_s)
+
+
+def full_jitter(
+    base_s: float, attempt: int, cap_s: float, rng: random.Random | None = None
+) -> float:
+    """Full-jitter delay: uniform over ``[0, capped_exponential(...)]``.
+
+    ``rng`` is injectable for deterministic tests; production call sites
+    share the module's OS-seeded generator.
+    """
+    upper = capped_exponential(base_s, attempt, cap_s)
+    if upper <= 0:
+        return 0.0
+    return (rng or _JITTER_RNG).uniform(0.0, upper)

@@ -1,0 +1,150 @@
+"""`WorkQueueBackend`: equivalence with serial, recovery, poison.
+
+The backend's contract is the engine's contract: for the same spec the
+ResultSet is byte-identical no matter which backend ran it, how many
+workers it used, or how many of them died.  The inline-worker mode
+(``workers=0``) keeps most of these tests hermetic and fast; one test
+exercises real subprocess workers end to end.
+"""
+
+import pytest
+
+from repro.api.cache import ExperimentCache
+from repro.api.engine import Engine
+from repro.api.spec import Cell, ExperimentSpec
+from repro.dist import WorkQueueBackend
+
+N_INSTRUCTIONS = 40_000
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        benchmarks=("mcf", "astar/rivers"),
+        schemes=("base_dram", "static:300"),
+        seeds=(0,),
+        n_instructions=N_INSTRUCTIONS,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def inline_backend(**overrides) -> WorkQueueBackend:
+    defaults = dict(workers=0, lease_ttl_s=5.0, poll_s=0.01)
+    defaults.update(overrides)
+    return WorkQueueBackend(**defaults)
+
+
+class TestContract:
+    def test_requires_persistent_cache(self):
+        with pytest.raises(ValueError, match="persistent ExperimentCache"):
+            inline_backend().run_cells(list(tiny_spec().cells()), cache=None)
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkQueueBackend(workers=-1)
+
+    def test_empty_cells_is_a_no_op(self, tmp_path):
+        assert inline_backend().run_cells([], ExperimentCache(tmp_path)) == []
+
+    def test_backend_name(self):
+        assert WorkQueueBackend().name == "work_queue"
+
+
+class TestEquivalence:
+    def test_inline_worker_matches_serial_byte_identical(self, tmp_path):
+        spec = tiny_spec(seeds=(0, 1), n_windows=6)
+        serial = Engine().run(spec)
+        dist = Engine(inline_backend(), cache=ExperimentCache(tmp_path)).run(spec)
+        assert serial.records == dist.records
+        assert serial.digest() == dist.digest()
+        a, b = tmp_path / "serial.json", tmp_path / "dist.json"
+        serial.save(a)
+        dist.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    @pytest.mark.slow
+    def test_subprocess_fleet_matches_serial(self, tmp_path):
+        spec = tiny_spec()
+        serial = Engine().run(spec)
+        backend = WorkQueueBackend(
+            workers=2, lease_ttl_s=5.0, poll_s=0.02, wait_timeout_s=180.0
+        )
+        dist = Engine(backend, cache=ExperimentCache(tmp_path)).run(spec)
+        assert dist.digest() == serial.digest()
+        assert dist.meta["cells_run"] == spec.n_cells
+        # The fleet really ran: both workers left heartbeat documents.
+        assert backend.queue is not None
+        assert len(backend.queue.workers_seen()) >= 1
+        # And no local worker outlived the sweep.
+        assert all(proc.poll() is not None for proc in backend.procs)
+
+    def test_warm_rerun_hits_cache_entirely(self, tmp_path):
+        spec = tiny_spec()
+        cache = ExperimentCache(tmp_path)
+        cold = Engine(inline_backend(), cache=cache).run(spec)
+        assert cold.meta["cells_run"] == spec.n_cells
+        warm = Engine(inline_backend(), cache=cache).run(spec)
+        assert warm.meta["cache_hits"] == spec.n_cells
+        assert warm.meta["cells_run"] == 0
+        assert warm.records == cold.records
+
+    def test_resubmission_reuses_completed_tasks(self, tmp_path):
+        # Drain the queue out-of-band, then run the engine: every record
+        # is already in the result cache, so the engine dispatches
+        # nothing to the backend at all.
+        from repro.dist.queue import WorkQueue
+        from repro.dist.worker import Worker
+
+        spec = tiny_spec(benchmarks=("mcf",))
+        cache = ExperimentCache(tmp_path)
+        cells = list(spec.cells())
+        queue = WorkQueue.for_cells(cache.root, cells, lease_ttl_s=5.0)
+        Worker(cache, queue, worker_id="external").run()
+        assert queue.finished()
+        results = Engine(inline_backend(), cache=cache).run(spec)
+        assert results.meta["cache_hits"] == spec.n_cells
+        assert results.digest() == Engine().run(spec).digest()
+
+
+class TestPoison:
+    def test_unrunnable_cell_poisons_not_hangs(self, tmp_path):
+        # A cell whose execution always raises must not wedge the sweep:
+        # the task requeues, burns its attempts, poisons, and the engine
+        # reports the loss in meta while every healthy cell completes.
+        bad = Cell(
+            benchmark="no-such-benchmark", input_name=None,
+            scheme_spec="base_dram", seed=0, n_instructions=N_INSTRUCTIONS,
+            warmup_fraction=0.3, write_buffer_entries=8,
+            n_windows=None, record_requests=False,
+        )
+        good = list(tiny_spec(benchmarks=("mcf",)).cells())
+        cache = ExperimentCache(tmp_path)
+        backend = inline_backend(max_attempts=2)
+        records = backend.run_cells(good + [bad], cache)
+        assert records[-1] is None
+        assert all(record is not None for record in records[:-1])
+        assert backend.queue is not None
+        bad_tasks = [
+            t for t in backend.queue.task_ids() if backend.queue.is_poisoned(t)
+        ]
+        assert len(bad_tasks) == 1
+        assert backend.queue.attempts_used(bad_tasks[0]) == 2
+        # The failure markers carry the executor error for triage.
+        marker = backend.queue.root / "failed" / f"{bad_tasks[0]}.1"
+        assert "no-such-benchmark" in marker.read_text()
+
+    def test_engine_reports_poisoned_cells(self, tmp_path, monkeypatch):
+        import repro.dist.worker as worker_module
+
+        def always_raises(cells, trace_store=None):
+            raise RuntimeError("executor down")
+
+        monkeypatch.setattr(worker_module, "execute_cells_batch", always_raises)
+        spec = tiny_spec(benchmarks=("mcf",), schemes=("base_dram",))
+        engine = Engine(
+            inline_backend(max_attempts=2), cache=ExperimentCache(tmp_path)
+        )
+        results = engine.run(spec)
+        assert len(results) == 0
+        assert results.meta["cells_poisoned"] == 1
+        assert results.meta["cells_run"] == 0

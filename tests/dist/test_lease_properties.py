@@ -1,0 +1,246 @@
+"""Property tests over the lease state machine.
+
+Hypothesis drives random interleavings of claims, renewals, clock
+advances, reaps, completions, and worker failures against a real
+on-disk :class:`WorkQueue` with an injected fake clock, checking the
+two safety/liveness properties the distributed backend is built on:
+
+- **mutual exclusion** — no task is ever owned by two live leases: a
+  successful claim implies every earlier lease on that task had
+  already expired (or was released) at claim time, and attempt numbers
+  are strictly increasing, never past ``max_attempts``.
+- **termination** — after any interleaving, a bounded drain loop
+  (reap, claim, complete — or crash, for the crashy variant) leaves
+  every task terminally done or poisoned.  No task is lost, and no
+  task retries forever.
+
+The jittered requeue windows are real (module RNG, unseeded), so the
+properties deliberately never assert on window *sizes* — only that
+claims inside a window may fail and claims far past any window on a
+live board eventually succeed.
+"""
+
+import shutil
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.spec import Cell
+from repro.dist.queue import WorkQueue
+
+MAX_ATTEMPTS = 3
+LEASE_TTL_S = 10.0
+N_WORKERS = 3
+
+#: Clock steps: within the TTL, just past the TTL, and far past any
+#: jittered requeue window (cap is 5s).
+ADVANCES = (0.5, 3.0, 11.0, 61.0)
+
+
+def make_cell(scheme: str, seed: int) -> Cell:
+    return Cell(
+        benchmark="mcf", input_name=None, scheme_spec=scheme, seed=seed,
+        n_instructions=10_000, warmup_fraction=0.3, write_buffer_entries=8,
+        n_windows=None, record_requests=False,
+    )
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+workers = st.integers(min_value=0, max_value=N_WORKERS - 1)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("claim"), workers),
+        st.tuples(st.just("renew"), workers),
+        st.tuples(st.just("complete"), workers),
+        st.tuples(st.just("fail"), workers),
+        st.tuples(st.just("advance"), st.sampled_from(ADVANCES)),
+        st.tuples(st.just("reap"), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+class Driver:
+    """Interprets an op sequence, mirroring lease state for invariants."""
+
+    def __init__(self) -> None:
+        self.tmp = tempfile.mkdtemp(prefix="lease-props-")
+        self.clock = FakeClock()
+        cells = [
+            make_cell(scheme, seed)
+            for seed in (0, 1)
+            for scheme in ("base_dram", "static:300")
+        ]
+        self.queue = WorkQueue.for_cells(
+            self.tmp, cells, lease_ttl_s=LEASE_TTL_S,
+            max_attempts=MAX_ATTEMPTS, clock=self.clock,
+        )
+        # worker -> {task_id: deadline we last saw on our lease}
+        self.held: dict[str, dict[str, float]] = {}
+        # task_id -> highest claim.attempt observed
+        self.last_attempt: dict[str, int] = {}
+        self.completed: set[str] = set()
+
+    def close(self) -> None:
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    def apply(self, op: tuple) -> None:
+        kind, arg = op
+        worker = f"w{arg}"
+        if kind == "advance":
+            self.clock.advance(arg)
+        elif kind == "reap":
+            self.queue.reap_expired()
+        elif kind == "claim":
+            self._claim(worker)
+        elif kind == "renew":
+            self._renew(worker)
+        elif kind == "complete":
+            self._complete(worker)
+        elif kind == "fail":
+            self._fail(worker)
+
+    def _claim(self, worker: str) -> None:
+        claim = self.queue.claim(worker)
+        if claim is None:
+            return  # nothing claimable right now: always legal
+        now = self.clock.now
+        # Mutual exclusion: every lease we have ever seen on this task
+        # must have expired before this claim could land.
+        for other, holdings in self.held.items():
+            deadline = holdings.get(claim.task_id)
+            assert deadline is None or deadline < now, (
+                f"{worker} claimed {claim.task_id} while {other} held a "
+                f"live lease (deadline {deadline}, now {now})"
+            )
+        # Done tasks are never handed out again.
+        assert claim.task_id not in self.completed
+        # Attempts count up and stop at the poison cap.
+        assert 1 <= claim.attempt <= MAX_ATTEMPTS
+        assert claim.attempt > self.last_attempt.get(claim.task_id, 0)
+        self.last_attempt[claim.task_id] = claim.attempt
+        self.held.setdefault(worker, {})[claim.task_id] = claim.deadline
+
+    def _renew(self, worker: str) -> None:
+        holdings = self.held.get(worker, {})
+        if not holdings:
+            return
+        task_id = sorted(holdings)[0]
+        deadline = self.queue.renew(task_id, worker)
+        if deadline is not None:
+            assert deadline == self.clock.now + LEASE_TTL_S
+            holdings[task_id] = deadline
+        else:
+            # Refusals only happen once our lease is expired (a reaper
+            # may own the task's future now) — never while it is live
+            # and still ours on disk.
+            lease = self.queue.lease_of(task_id)
+            ours = lease is not None and lease.get("worker") == worker
+            assert not (ours and holdings[task_id] >= self.clock.now)
+            holdings.pop(task_id, None)
+
+    def _complete(self, worker: str) -> None:
+        holdings = self.held.get(worker, {})
+        if not holdings:
+            return
+        task_id = sorted(holdings)[0]
+        if holdings[task_id] >= self.clock.now:  # only live owners complete
+            self.queue.complete(task_id, worker)
+            self.completed.add(task_id)
+        holdings.pop(task_id, None)
+
+    def _fail(self, worker: str) -> None:
+        holdings = self.held.get(worker, {})
+        if not holdings:
+            return
+        task_id = sorted(holdings)[0]
+        self.queue.release_failed(task_id, worker, error="injected")
+        holdings.pop(task_id, None)
+
+    # -- invariants checked after every interleaving ----------------------
+
+    def check_board_consistent(self) -> None:
+        stats = self.queue.stats()
+        assert stats["tasks"] == len(self.queue.task_ids())
+        assert stats["cells"] == 4
+        for task_id in self.completed:
+            assert self.queue.is_done(task_id)
+
+    def drain(self, crash_plan: list[bool] | None = None) -> None:
+        """Finish the board; bounded so livelock fails the test."""
+        budget = (MAX_ATTEMPTS + 2) * len(self.queue.task_ids()) + 8
+        step = 0
+        while not self.queue.finished():
+            assert budget > 0, "board failed to terminate"
+            budget -= 1
+            self.clock.advance(61.0)  # past every TTL and backoff window
+            self.queue.reap_expired()
+            claim = self.queue.claim("drain")
+            if claim is None:
+                continue
+            crash = bool(crash_plan) and crash_plan[step % len(crash_plan)]
+            step += 1
+            if crash:
+                continue  # walk away; the lease expires and is reaped
+            self.queue.complete(claim.task_id, "drain")
+        for task_id in self.queue.task_ids():
+            assert self.queue.is_done(task_id) or self.queue.is_poisoned(task_id)
+
+
+@given(sequence=ops)
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_no_task_has_two_live_leases(sequence):
+    driver = Driver()
+    try:
+        for op in sequence:
+            driver.apply(op)
+        driver.check_board_consistent()
+    finally:
+        driver.close()
+
+
+@given(sequence=ops)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_every_task_completes_after_any_interleaving(sequence):
+    driver = Driver()
+    try:
+        for op in sequence:
+            driver.apply(op)
+        driver.drain()
+        assert driver.queue.finished()
+    finally:
+        driver.close()
+
+
+@given(sequence=ops, crash_plan=st.lists(st.booleans(), min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_crashy_drain_terminates_via_poison(sequence, crash_plan):
+    """Even a drain worker that keeps abandoning leases terminates:
+    every task either completes on a non-crash step or poisons at the
+    attempt cap.  Nothing retries forever, nothing is lost."""
+    driver = Driver()
+    try:
+        for op in sequence:
+            driver.apply(op)
+        driver.drain(crash_plan=crash_plan)
+        for task_id in driver.queue.task_ids():
+            done = driver.queue.is_done(task_id)
+            poisoned = driver.queue.is_poisoned(task_id)
+            assert done or poisoned
+    finally:
+        driver.close()

@@ -27,6 +27,8 @@ DOCTESTED_MODULES = (
     "repro.core.epochs",
     "repro.core.leakage",
     "repro.core.learner",
+    "repro.util.backoff",
+    "repro.faults.plan",
 )
 
 

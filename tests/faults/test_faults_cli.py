@@ -9,6 +9,7 @@ class TestScenarioRegistry:
         assert set(SCENARIO_NAMES) == {
             "worker-crash", "corrupt-artifact", "torn-write",
             "daemon-restart", "client-retry", "corrupt-import",
+            "worker-kill-dist",
         }
 
     def test_unknown_scenario_raises(self, tmp_path):
